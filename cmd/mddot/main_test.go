@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestEmitHospitalDefault(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emit(nil, "", false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`digraph "Hospital"`, `digraph "Time"`, `"Ward" -> "Unit"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "m:W1") {
+		t.Error("members must be absent without -members")
+	}
+}
+
+func TestEmitWithMembersAndDimFilter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emit(nil, "Hospital", true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"m:W1" -> "m:Standard"`) {
+		t.Error("member rollup edge missing")
+	}
+	if strings.Contains(out, `digraph "Time"`) {
+		t.Error("-dim must filter to one dimension")
+	}
+}
+
+func TestEmitUnknownDimension(t *testing.T) {
+	if err := emit(nil, "Nope", false, &bytes.Buffer{}); err == nil {
+		t.Error("unknown dimension must error")
+	}
+}
+
+func TestEmitFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.mdq")
+	if err := os.WriteFile(path, []byte(parser.FormatHospitalExample()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := parser.ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emit(f.Ontology, "", false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `digraph "Hospital"`) {
+		t.Error("file-based export missing Hospital")
+	}
+}

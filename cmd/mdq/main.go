@@ -1,0 +1,268 @@
+// Command mdq loads a .mdq multidimensional ontology file and operates
+// on it: describe its contents, classify the compiled Datalog± program,
+// chase it, check its constraints, answer its named queries with a
+// chosen engine, or run the quality-assessment pipeline.
+//
+// Usage:
+//
+//	mdq describe file.mdq
+//	mdq classify file.mdq
+//	mdq chase    file.mdq
+//	mdq check    file.mdq
+//	mdq query    file.mdq [-engine chase|det|rewrite] [name]
+//	mdq assess   file.mdq            # quality versions + measures
+//	mdq clean    file.mdq [name]     # clean answers to named queries
+//	mdq example                      # print the built-in hospital example
+//	mdq example -quality             # ... with the Example 7 context
+//
+// With no query name, every named query in the file is answered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/parser"
+	"repro/internal/qa"
+	"repro/internal/quality"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mdq:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches the CLI; out receives all normal output.
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	cmd := args[0]
+	if cmd == "example" {
+		if len(args) > 1 && args[1] == "-quality" {
+			fmt.Fprint(out, parser.FormatHospitalQualityExample())
+		} else {
+			fmt.Fprint(out, parser.FormatHospitalExample())
+		}
+		return nil
+	}
+	if len(args) < 2 {
+		return usageError()
+	}
+	path := args[1]
+	rest := args[2:]
+	file, err := parser.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "describe":
+		return describe(file, out)
+	case "classify":
+		return classify(file, out)
+	case "chase":
+		return runChase(file, out)
+	case "check":
+		return check(file, out)
+	case "query":
+		return runQuery(file, rest, out)
+	case "assess":
+		return assess(file, out)
+	case "clean":
+		return cleanAnswer(file, rest, out)
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: mdq <describe|classify|chase|check|query|assess|clean|example> [file.mdq] [args]")
+}
+
+func describe(f *parser.File, out io.Writer) error {
+	fmt.Fprint(out, f.Ontology.Summary())
+	if len(f.Queries) > 0 {
+		fmt.Fprintln(out, "Queries:")
+		for _, nq := range f.Queries {
+			fmt.Fprintf(out, "  %s\n", nq.Query)
+		}
+	}
+	if f.HasContext() {
+		c := f.Context
+		fmt.Fprintf(out, "Quality context: %d input tuples, %d mappings, %d quality rules, %d versions\n",
+			c.Input.TotalTuples(), len(c.Mappings), len(c.QualityRules), len(c.Versions))
+	}
+	sep, reason := f.Ontology.SeparabilityHeuristic()
+	fmt.Fprintf(out, "EGD separability: %v (%s)\n", sep, reason)
+	fmt.Fprintf(out, "Upward-only: %v\n", f.Ontology.IsUpwardOnly())
+	return nil
+}
+
+func classify(f *parser.File, out io.Writer) error {
+	comp, err := f.Ontology.Compile(core.CompileOptions{ReferentialNCs: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, comp.Report)
+	if comp.Report.StickyWitness != "" {
+		fmt.Fprintln(out, "not sticky because:", comp.Report.StickyWitness)
+	}
+	if comp.Report.WSWitness != "" {
+		fmt.Fprintln(out, "not weakly sticky because:", comp.Report.WSWitness)
+	}
+	for _, t := range f.Ontology.Rules() {
+		fmt.Fprintf(out, "rule %s: %s navigation, %s\n", t.ID, comp.Directions[t.ID], comp.Forms[t.ID])
+	}
+	return nil
+}
+
+func runChase(f *parser.File, out io.Writer) error {
+	comp, err := f.Ontology.Compile(core.CompileOptions{})
+	if err != nil {
+		return err
+	}
+	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "chase: %d rounds, %d rule firings, %d nulls invented, saturated=%v\n",
+		res.Rounds, res.Fired, res.NullsCreated, res.Saturated)
+	for _, name := range f.Ontology.Relations() {
+		rel := res.Instance.Relation(name)
+		if rel == nil || rel.Len() == 0 {
+			continue
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, storage.FormatRelationSorted(rel))
+	}
+	return nil
+}
+
+func check(f *parser.File, out io.Writer) error {
+	comp, err := f.Ontology.Compile(core.CompileOptions{ReferentialNCs: true})
+	if err != nil {
+		return err
+	}
+	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	if err != nil {
+		return err
+	}
+	if res.Consistent() {
+		fmt.Fprintln(out, "consistent: no constraint violations")
+		return nil
+	}
+	fmt.Fprintf(out, "%d constraint violations:\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Fprintf(out, "  %s\n", v)
+	}
+	return nil
+}
+
+func runQuery(f *parser.File, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	fs.SetOutput(out)
+	engine := fs.String("engine", "det", "answering engine: chase, det, or rewrite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	comp, err := f.Ontology.Compile(core.CompileOptions{})
+	if err != nil {
+		return err
+	}
+	queries := f.Queries
+	if fs.NArg() > 0 {
+		q := f.QueryByName(fs.Arg(0))
+		if q == nil {
+			return fmt.Errorf("no query named %s", fs.Arg(0))
+		}
+		queries = []parser.NamedQuery{{Name: fs.Arg(0), Query: q}}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("the file declares no queries")
+	}
+	for _, nq := range queries {
+		var as *datalog.AnswerSet
+		switch *engine {
+		case "chase":
+			as, err = qa.CertainAnswersViaChase(comp.Program, comp.Instance, nq.Query, qa.ChaseOptions{AllowViolations: true})
+		case "det":
+			as, err = qa.Answer(comp.Program, comp.Instance, nq.Query, qa.Options{})
+		case "rewrite":
+			as, err = rewrite.Answer(comp.Program, comp.Instance, nq.Query, rewrite.Options{})
+		default:
+			return fmt.Errorf("unknown engine %q (chase, det, rewrite)", *engine)
+		}
+		if err != nil {
+			return fmt.Errorf("query %s: %w", nq.Name, err)
+		}
+		fmt.Fprintf(out, "%s (%d answers):\n%s", nq.Query, as.Len(), as)
+	}
+	return nil
+}
+
+// assessFile runs the quality pipeline; shared by assess and clean.
+func assessFile(f *parser.File) (*quality.Assessment, error) {
+	if !f.HasContext() {
+		return nil, fmt.Errorf("the file declares no quality context (input/mapping/quality/version statements)")
+	}
+	ctx, err := f.BuildContext()
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Assess(f.Context.Input)
+}
+
+func assess(f *parser.File, out io.Writer) error {
+	a, err := assessFile(f)
+	if err != nil {
+		return err
+	}
+	for _, v := range a.Violations {
+		fmt.Fprintln(out, "violation:", v)
+	}
+	for _, spec := range f.Context.Versions {
+		rel := a.Versions[spec.Original]
+		fmt.Fprintf(out, "quality version of %s:\n", spec.Original)
+		fmt.Fprint(out, storage.FormatRelationSorted(rel))
+		if m, ok := a.Measures[spec.Original]; ok {
+			fmt.Fprintf(out, "measure: |D|=%d |D_q|=%d clean-fraction=%.3f distance=%.3f\n\n",
+				m.Original, m.Quality, m.CleanFraction(), m.Distance())
+		}
+	}
+	return nil
+}
+
+func cleanAnswer(f *parser.File, args []string, out io.Writer) error {
+	a, err := assessFile(f)
+	if err != nil {
+		return err
+	}
+	queries := f.Queries
+	if len(args) > 0 {
+		q := f.QueryByName(args[0])
+		if q == nil {
+			return fmt.Errorf("no query named %s", args[0])
+		}
+		queries = []parser.NamedQuery{{Name: args[0], Query: q}}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("the file declares no queries")
+	}
+	for _, nq := range queries {
+		as, err := a.CleanAnswer(nq.Query)
+		if err != nil {
+			return fmt.Errorf("query %s: %w", nq.Name, err)
+		}
+		fmt.Fprintf(out, "%s -> clean answers (%d):\n%s", a.RewriteClean(nq.Query), as.Len(), as)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// writeExample writes the built-in hospital example (optionally with
+// the quality context) to a temp file.
+func writeExample(t *testing.T, quality bool) string {
+	t.Helper()
+	src := parser.FormatHospitalExample()
+	if quality {
+		src = parser.FormatHospitalQualityExample()
+	}
+	path := filepath.Join(t.TempDir(), "hospital.mdq")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCLI runs the mdq CLI and returns its output.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("mdq %v: %v\noutput:\n%s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestExampleCommand(t *testing.T) {
+	out := runCLI(t, "example")
+	for _, want := range []string{"dimension Hospital", "rule r7:", "query marks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("example output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "version Measurements_q") {
+		t.Error("plain example must not include the quality context")
+	}
+	withQ := runCLI(t, "example", "-quality")
+	if !strings.Contains(withQ, "version Measurements_q of Measurements") {
+		t.Error("-quality example must include the version definition")
+	}
+	// The emitted examples must round-trip through the parser.
+	if _, err := parser.Parse(out); err != nil {
+		t.Errorf("plain example does not re-parse: %v", err)
+	}
+	if _, err := parser.Parse(withQ); err != nil {
+		t.Errorf("quality example does not re-parse: %v", err)
+	}
+}
+
+func TestDescribeCommand(t *testing.T) {
+	path := writeExample(t, true)
+	out := runCLI(t, "describe", path)
+	for _, want := range []string{"Hospital", "PatientWard", "upward", "Quality context", "Upward-only: false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClassifyCommand(t *testing.T) {
+	path := writeExample(t, false)
+	out := runCLI(t, "classify", path)
+	for _, want := range []string{"weakly-sticky", "not sticky because", "rule r7: upward", "rule r8: downward"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("classify missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChaseCommand(t *testing.T) {
+	path := writeExample(t, false)
+	out := runCLI(t, "chase", path)
+	for _, want := range []string{"saturated=true", "PatientUnit", "Standard", "⊥"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chase missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckCommand(t *testing.T) {
+	path := writeExample(t, false)
+	out := runCLI(t, "check", path)
+	// The example's intensive-closed constraint fires on W3/Sep/7.
+	if !strings.Contains(out, "violation") || !strings.Contains(out, "W3") {
+		t.Errorf("check must report the intensive-closed violation:\n%s", out)
+	}
+}
+
+func TestQueryCommandAllEngines(t *testing.T) {
+	path := writeExample(t, false)
+	for _, engine := range []string{"det", "chase", "rewrite"} {
+		out := runCLI(t, "query", path, "-engine", engine, "marks")
+		if !strings.Contains(out, "Sep/9") {
+			t.Errorf("engine %s: marks answer missing Sep/9:\n%s", engine, out)
+		}
+	}
+	// All queries at once.
+	out := runCLI(t, "query", path)
+	if !strings.Contains(out, "marks") && !strings.Contains(out, "tomunits") {
+		t.Errorf("default run must answer every query:\n%s", out)
+	}
+}
+
+func TestAssessCommand(t *testing.T) {
+	path := writeExample(t, true)
+	out := runCLI(t, "assess", path)
+	for _, want := range []string{"quality version of Measurements", "Sep/5-12:10", "Sep/6-11:50", "clean-fraction=0.333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("assess missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Sep/7-12:15") {
+		t.Errorf("dirty tuple must not appear in the quality version:\n%s", out)
+	}
+}
+
+func TestCleanCommand(t *testing.T) {
+	path := writeExample(t, true)
+	out := runCLI(t, "clean", path, "tomunits")
+	// tomunits queries PatientUnit, which has no quality version: the
+	// clean rewriting leaves it unchanged, answering over the context.
+	if !strings.Contains(out, "Standard") {
+		t.Errorf("clean tomunits must answer over the context:\n%s", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("no args must error")
+	}
+	if err := run([]string{"describe"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := run([]string{"bogus", "x.mdq"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown command must error")
+	}
+	if err := run([]string{"describe", "/nonexistent.mdq"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file must error")
+	}
+	plain := writeExample(t, false)
+	if err := run([]string{"assess", plain}, &bytes.Buffer{}); err == nil {
+		t.Error("assess without a context must error")
+	}
+	if err := run([]string{"query", plain, "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown query name must error")
+	}
+	if err := run([]string{"query", plain, "-engine", "warp", "marks"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown engine must error")
+	}
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runExp runs one experiment and returns its output.
+func runExp(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s missing", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatalf("%s failed: %v\noutput so far:\n%s", id, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "C1", "C2", "C3", "C4"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID must not resolve")
+	}
+}
+
+func TestT1ReproducesTableI(t *testing.T) {
+	out := runExp(t, "T1")
+	for _, want := range []string{"Measurements", "Sep/5-12:10", "Tom Waits", "38.2", "Lou Reed", "38.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T1 output missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly 6 data rows: title + header + rule + 6.
+	if lines := strings.Count(strings.TrimSpace(out), "\n"); lines != 8 {
+		t.Errorf("T1 lines = %d, want 8:\n%s", lines, out)
+	}
+}
+
+func TestT2ReproducesTableII(t *testing.T) {
+	out := runExp(t, "T2")
+	for _, want := range []string{"Measurements_q", "Sep/5-12:10", "Sep/6-11:50", "MATCH", "clean-fraction=0.333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T2 output missing %q:\n%s", want, out)
+		}
+	}
+	// The dirty rows must NOT appear in the quality version.
+	if strings.Contains(out, "Sep/7-12:15") || strings.Contains(out, "Lou Reed") {
+		t.Errorf("T2 contains dirty rows:\n%s", out)
+	}
+}
+
+func TestT3ReproducesTableIII(t *testing.T) {
+	out := runExp(t, "T3")
+	for _, want := range []string{"WorkingSchedules", "Intensive", "Cathy", "Mark", "non-c."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT4DownwardNavigation(t *testing.T) {
+	out := runExp(t, "T4")
+	for _, want := range []string{"Shifts", "invented nulls", "DeterministicWSQAns", "FO-rewriting", "chase-certain", "Sep/9", "MATCH"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT5ExistentialDownward(t *testing.T) {
+	out := runExp(t, "T5")
+	for _, want := range []string{"DischargePatients", "Elvis Costello", "⊥", "MATCH"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T5 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF1ModelReproduction(t *testing.T) {
+	out := runExp(t, "F1")
+	for _, want := range []string{"Hospital", "Time", "PatientWard", "upward", "downward", "strict", "digraph"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF2ContextPipeline(t *testing.T) {
+	out := runExp(t, "F2")
+	for _, want := range []string{"original instance D: 6", "Measurement_c", "TakenByNurse", "TakenWithTherm", "Measurements_q", "MATCH"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestC1ScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling experiment")
+	}
+	out := runExp(t, "C1")
+	if !strings.Contains(out, "SHAPE") {
+		t.Errorf("C1 missing shape verdict:\n%s", out)
+	}
+}
+
+func TestC2RewriteVsChase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling experiment")
+	}
+	out := runExp(t, "C2")
+	for _, want := range []string{"UCQ size", "SHAPE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("C2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestC3Classification(t *testing.T) {
+	out := runExp(t, "C3")
+	for _, want := range []string{"hospital (rules 7,8,9)", "chain-upward", "chain-downward", "contrast (non-WS)", "SHAPE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("C3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestC4QualitySweep(t *testing.T) {
+	out := runExp(t, "C4")
+	for _, want := range []string{"dirty", "clean-fraction", "0.0", "1.0", "SHAPE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("C4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunScalingRows(t *testing.T) {
+	rows, err := RunScaling([]int{50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].N != 50 || rows[1].N != 100 {
+		t.Errorf("row sizes wrong: %+v", rows)
+	}
+	if rows[0].Atoms <= 0 || rows[1].Atoms <= rows[0].Atoms {
+		t.Errorf("atom counts must grow: %+v", rows)
+	}
+}

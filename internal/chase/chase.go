@@ -1,0 +1,416 @@
+// Package chase implements the Datalog± chase procedure: bottom-up data
+// completion by enforcing tuple-generating dependencies (with fresh
+// labeled nulls for existential variables), equality-generating
+// dependencies (by merging nulls, reporting hard conflicts), and
+// negative-constraint checking.
+//
+// The paper uses the chase both as the semantics of its
+// multidimensional ontologies (Section III) and as the engine behind
+// data generation through dimensional navigation (Examples 5 and 6);
+// the chase-based certain-answer computation in the qa package is the
+// executable counterpart of the non-deterministic WeaklyStickyQAns
+// algorithm it cites.
+package chase
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// Variant selects the chase flavor.
+type Variant uint8
+
+const (
+	// Restricted (standard) chase fires a TGD trigger only when the
+	// head is not already satisfied by the instance. It produces
+	// smaller results and terminates on all the ontologies in this
+	// repository.
+	Restricted Variant = iota
+	// Oblivious chase fires every trigger exactly once regardless of
+	// head satisfaction. It is simpler but produces more nulls; it is
+	// included for the ablation benchmarks.
+	Oblivious
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == Oblivious {
+		return "oblivious"
+	}
+	return "restricted"
+}
+
+// Options configures a chase run.
+type Options struct {
+	Variant Variant
+	// MaxRounds bounds the number of chase rounds (0 = DefaultMaxRounds).
+	MaxRounds int
+	// MaxAtoms aborts the chase when the instance exceeds this many
+	// tuples (0 = DefaultMaxAtoms), guarding against non-terminating
+	// programs.
+	MaxAtoms int
+	// NullPrefix names invented nulls (default "n").
+	NullPrefix string
+	// Trace records every TGD application in Result.Steps.
+	Trace bool
+	// SkipEGDs leaves EGDs unenforced (used by the separability
+	// ablation, which runs TGDs first and EGDs afterwards).
+	SkipEGDs bool
+}
+
+// DefaultMaxRounds bounds chase rounds when Options.MaxRounds is 0.
+const DefaultMaxRounds = 10_000
+
+// DefaultMaxAtoms bounds instance growth when Options.MaxAtoms is 0.
+const DefaultMaxAtoms = 5_000_000
+
+// ViolationKind classifies constraint violations found during the chase.
+type ViolationKind uint8
+
+const (
+	// NCViolation: a negative constraint body matched.
+	NCViolation ViolationKind = iota
+	// EGDConflict: an EGD required two distinct constants to be equal.
+	EGDConflict
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	if k == EGDConflict {
+		return "egd-conflict"
+	}
+	return "nc-violation"
+}
+
+// Violation records one constraint violation.
+type Violation struct {
+	Kind   ViolationKind
+	ID     string // constraint ID
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s %s: %s", v.Kind, v.ID, v.Detail)
+}
+
+// Step records one TGD application (provenance), when Options.Trace is
+// set.
+type Step struct {
+	Rule  string
+	Added []datalog.Atom
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	// Instance is the chased instance (the input instance is never
+	// modified).
+	Instance *storage.Instance
+	// Rounds is the number of completed rounds.
+	Rounds int
+	// Fired counts TGD trigger applications that inserted atoms.
+	Fired int
+	// Merged counts EGD-induced term merges.
+	Merged int
+	// NullsCreated counts invented labeled nulls.
+	NullsCreated int
+	// Violations lists NC violations and hard EGD conflicts.
+	Violations []Violation
+	// Saturated reports whether a fixpoint was reached (false when a
+	// bound aborted the run).
+	Saturated bool
+	// Steps is the provenance trace (only with Options.Trace).
+	Steps []Step
+}
+
+// Consistent reports whether no violations were found.
+func (r *Result) Consistent() bool { return len(r.Violations) == 0 }
+
+// Run chases the program over a copy of db and returns the result. The
+// error is non-nil only for invalid inputs; bound-exceeded runs return
+// Saturated=false with a nil error so callers can inspect partial
+// results.
+func Run(prog *datalog.Program, db *storage.Instance, opts Options) (*Result, error) {
+	if err := validateRules(prog); err != nil {
+		return nil, err
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	maxAtoms := opts.MaxAtoms
+	if maxAtoms <= 0 {
+		maxAtoms = DefaultMaxAtoms
+	}
+	prefix := opts.NullPrefix
+	if prefix == "" {
+		prefix = "n"
+	}
+
+	res := &Result{Instance: db.Clone()}
+	fresh := freshCounter(res.Instance, prefix)
+	// fired memoizes triggers already applied (rule + body binding),
+	// so each trigger fires at most once. EGD merges invalidate the
+	// memo (bindings may mention merged nulls), so it is cleared then.
+	fired := map[string]bool{}
+
+	for round := 0; round < maxRounds; round++ {
+		progress := false
+
+		for _, tgd := range prog.TGDs {
+			bodyVars := datalog.VarsOfAtoms(tgd.Body)
+			applied := applyTGD(res, tgd, bodyVars, fired, fresh, opts, maxAtoms)
+			if applied < 0 {
+				res.Rounds = round + 1
+				return res, nil // bound exceeded; Saturated stays false
+			}
+			if applied > 0 {
+				progress = true
+			}
+		}
+
+		if !opts.SkipEGDs {
+			merged, hard := applyEGDs(res, prog.EGDs)
+			if merged > 0 {
+				progress = true
+				// Bindings in the memo may reference merged nulls.
+				fired = map[string]bool{}
+			}
+			res.Violations = append(res.Violations, hard...)
+		}
+
+		res.Rounds = round + 1
+		if !progress {
+			res.Saturated = true
+			break
+		}
+	}
+
+	res.Violations = append(res.Violations, checkNCs(prog.NCs, res.Instance)...)
+	res.Violations = dedupViolations(res.Violations)
+	return res, nil
+}
+
+// dedupViolations removes duplicates (the same EGD conflict can be
+// rediscovered in several rounds), preserving first-seen order.
+func dedupViolations(vs []Violation) []Violation {
+	seen := map[Violation]bool{}
+	out := vs[:0]
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Saturate is a convenience wrapper: it chases with default options and
+// returns an error when the chase does not saturate or finds
+// violations.
+func Saturate(prog *datalog.Program, db *storage.Instance) (*storage.Instance, error) {
+	res, err := Run(prog, db, Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Saturated {
+		return nil, fmt.Errorf("chase: did not saturate within bounds (rounds=%d, atoms=%d)", res.Rounds, res.Instance.TotalTuples())
+	}
+	if !res.Consistent() {
+		return nil, fmt.Errorf("chase: %d constraint violations, first: %s", len(res.Violations), res.Violations[0])
+	}
+	return res.Instance, nil
+}
+
+func validateRules(prog *datalog.Program) error {
+	for _, t := range prog.TGDs {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, e := range prog.EGDs {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, n := range prog.NCs {
+		if err := n.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freshCounter returns a counter for null labels guaranteed not to
+// collide with nulls already present in the instance.
+func freshCounter(db *storage.Instance, prefix string) *datalog.Counter {
+	max := -1
+	for _, name := range db.RelationNames() {
+		for _, tup := range db.Relation(name).Tuples() {
+			for _, t := range tup {
+				if t.IsNull() && strings.HasPrefix(t.Name, prefix) {
+					if k, err := strconv.Atoi(t.Name[len(prefix):]); err == nil && k > max {
+						max = k
+					}
+				}
+			}
+		}
+	}
+	c := datalog.NewCounter(prefix)
+	for i := 0; i <= max; i++ {
+		c.Next()
+	}
+	return c
+}
+
+// applyTGD fires all pending triggers of one TGD. It returns the number
+// of applications, or -1 when MaxAtoms was exceeded.
+func applyTGD(res *Result, tgd *datalog.TGD, bodyVars []datalog.Term, fired map[string]bool, fresh *datalog.Counter, opts Options, maxAtoms int) int {
+	type trigger struct{ s datalog.Subst }
+	var triggers []trigger
+	res.Instance.MatchConjunction(tgd.Body, datalog.NewSubst(), func(s datalog.Subst) bool {
+		key := tgd.ID + "§" + s.Key(bodyVars)
+		if fired[key] {
+			return true
+		}
+		fired[key] = true
+		triggers = append(triggers, trigger{s: s.Clone()})
+		return true
+	})
+
+	applied := 0
+	for _, tr := range triggers {
+		if opts.Variant == Restricted {
+			// Head satisfied already? Existential head variables stay
+			// free, so HasMatch checks for an extension homomorphism.
+			if res.Instance.HasMatch(tgd.Head, tr.s) {
+				continue
+			}
+		}
+		s := tr.s
+		for _, ex := range tgd.ExistentialVars() {
+			nu := fresh.FreshNull()
+			res.NullsCreated++
+			s = s.Clone()
+			s.Bind(ex.Name, nu)
+		}
+		var added []datalog.Atom
+		for _, h := range tgd.Head {
+			atom := s.ApplyAtom(h)
+			isNew, err := res.Instance.InsertAtom(atom)
+			if err != nil {
+				// Head atoms are ground by construction; an error here
+				// indicates an arity clash, which Validate should have
+				// caught — surface it loudly.
+				panic("chase: insert failed: " + err.Error())
+			}
+			if isNew {
+				added = append(added, atom)
+			}
+		}
+		if len(added) > 0 {
+			applied++
+			res.Fired++
+			if opts.Trace {
+				res.Steps = append(res.Steps, Step{Rule: tgd.ID, Added: added})
+			}
+		}
+		if res.Instance.TotalTuples() > maxAtoms {
+			return -1
+		}
+	}
+	return applied
+}
+
+// applyEGDs enforces the EGDs to a local fixpoint. Null/term merges are
+// applied to the instance; constant/constant conflicts are returned as
+// hard violations (the chase does not fail outright: quality assessment
+// wants to see every violation).
+func applyEGDs(res *Result, egds []*datalog.EGD) (int, []Violation) {
+	totalMerged := 0
+	var hard []Violation
+	reported := map[string]bool{}
+	for {
+		merged := false
+		for _, egd := range egds {
+			// Collect one merge at a time: a merge rewrites the
+			// instance and invalidates in-flight matches.
+			var l, r datalog.Term
+			found := false
+			res.Instance.MatchConjunction(egd.Body, datalog.NewSubst(), func(s datalog.Subst) bool {
+				a := s.Apply(egd.Left)
+				b := s.Apply(egd.Right)
+				if a == b {
+					return true
+				}
+				if a.IsConst() && b.IsConst() {
+					key := egd.ID + "§" + a.Name + "§" + b.Name
+					if !reported[key] {
+						reported[key] = true
+						hard = append(hard, Violation{
+							Kind:   EGDConflict,
+							ID:     egd.ID,
+							Detail: fmt.Sprintf("requires %s = %s", a, b),
+						})
+					}
+					return true
+				}
+				l, r = a, b
+				found = true
+				return false
+			})
+			if found {
+				// Merge the null into the other term; prefer keeping
+				// constants, and for null/null pairs keep the smaller
+				// label for determinism.
+				from, to := l, r
+				if l.IsConst() || (l.IsNull() && r.IsNull() && l.Name < r.Name) {
+					from, to = r, l
+				}
+				res.Instance.ReplaceTerm(from, to)
+				res.Merged++
+				totalMerged++
+				merged = true
+			}
+		}
+		if !merged {
+			return totalMerged, hard
+		}
+	}
+}
+
+// checkNCs evaluates negative constraints over the final instance.
+// Negated atoms are checked under closed-world assumption.
+func checkNCs(ncs []*datalog.NC, db *storage.Instance) []Violation {
+	var out []Violation
+	for _, nc := range ncs {
+		pos := nc.PositiveBody()
+		neg := nc.NegativeBody()
+		seen := map[string]bool{}
+		db.MatchConjunction(pos, datalog.NewSubst(), func(s datalog.Subst) bool {
+			for _, na := range neg {
+				if db.ContainsAtom(s.ApplyAtom(na)) {
+					return true // negated atom present: body not satisfied
+				}
+			}
+			for _, c := range nc.Conds {
+				// Safety is validated up front, so Eval cannot see
+				// unbound variables here.
+				if ok, err := c.Eval(s); err != nil || !ok {
+					return true
+				}
+			}
+			detail := datalog.AtomsString(s.ApplyAtoms(pos))
+			if !seen[detail] {
+				seen[detail] = true
+				out = append(out, Violation{Kind: NCViolation, ID: nc.ID, Detail: detail})
+			}
+			return true
+		})
+	}
+	return out
+}

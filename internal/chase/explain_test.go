@@ -1,0 +1,123 @@
+package chase
+
+import (
+	"strings"
+	"testing"
+
+	dl "repro/internal/datalog"
+)
+
+func tracedHospitalChase(t *testing.T, tgds ...*dl.TGD) *Result {
+	t.Helper()
+	prog := dl.NewProgram()
+	for _, tgd := range tgds {
+		prog.AddTGD(tgd)
+	}
+	res, err := Run(prog, hospitalEDB(), Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExplainExtensional(t *testing.T) {
+	res := tracedHospitalChase(t, ruleSeven())
+	d, ok := res.Explain(dl.A("PatientWard", dl.C("W1"), dl.C("Sep/5"), dl.C("Tom Waits")))
+	if !ok {
+		t.Fatal("atom present, Explain must find it")
+	}
+	if !d.IsExtensional() {
+		t.Errorf("extensional atom misattributed: %s", d)
+	}
+	if !strings.Contains(d.String(), "extensional") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestExplainDerived(t *testing.T) {
+	res := tracedHospitalChase(t, ruleSeven())
+	d, ok := res.Explain(dl.A("PatientUnit", dl.C("Standard"), dl.C("Sep/5"), dl.C("Tom Waits")))
+	if !ok {
+		t.Fatal("derived atom must be found")
+	}
+	if d.Rule != "r7" {
+		t.Errorf("rule = %q, want r7", d.Rule)
+	}
+	if len(d.Siblings) != 0 {
+		t.Errorf("single-head rule has no siblings: %v", d.Siblings)
+	}
+}
+
+func TestExplainSiblings(t *testing.T) {
+	res := tracedHospitalChase(t, ruleNine())
+	// Find Elvis's PatientUnit atom (null unit).
+	var elvis dl.Atom
+	for _, tup := range res.Instance.Relation("PatientUnit").Tuples() {
+		if tup[2] == dl.C("Elvis Costello") {
+			elvis = dl.Atom{Pred: "PatientUnit", Args: tup}
+		}
+	}
+	if elvis.Pred == "" {
+		t.Fatal("Elvis atom missing")
+	}
+	d, ok := res.Explain(elvis)
+	if !ok || d.Rule != "r9" {
+		t.Fatalf("Explain = %v, %v", d, ok)
+	}
+	if len(d.Siblings) != 1 || d.Siblings[0].Pred != "InstitutionUnit" {
+		t.Errorf("siblings = %v, want the InstitutionUnit atom of the same firing", d.Siblings)
+	}
+	if !strings.Contains(d.String(), "r9") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestExplainAbsentAtom(t *testing.T) {
+	res := tracedHospitalChase(t, ruleSeven())
+	if _, ok := res.Explain(dl.A("PatientUnit", dl.C("Surgery"), dl.C("Sep/5"), dl.C("Nobody"))); ok {
+		t.Error("absent atom must not be explained")
+	}
+}
+
+func TestDerivationChain(t *testing.T) {
+	prog := dl.NewProgram()
+	prog.AddTGD(ruleSeven())
+	res, err := Run(prog, hospitalEDB(), Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := res.DerivationChain(prog,
+		dl.A("PatientUnit", dl.C("Standard"), dl.C("Sep/5"), dl.C("Tom Waits")), 5)
+	if len(chain) < 3 {
+		t.Fatalf("chain = %v, want derived atom + 2 supports", chain)
+	}
+	if chain[0].Rule != "r7" {
+		t.Errorf("first link = %v, want r7 derivation", chain[0])
+	}
+	// Supports: PatientWard(W1,...) and UnitWard(Standard, W1), both
+	// extensional.
+	preds := map[string]bool{}
+	for _, d := range chain[1:] {
+		if !d.IsExtensional() {
+			t.Errorf("support %v must be extensional", d)
+		}
+		preds[d.Atom.Pred] = true
+	}
+	if !preds["PatientWard"] || !preds["UnitWard"] {
+		t.Errorf("supports = %v, want PatientWard and UnitWard", chain[1:])
+	}
+}
+
+func TestDerivationChainDepthBound(t *testing.T) {
+	prog := dl.NewProgram()
+	prog.AddTGD(ruleSeven())
+	res, err := Run(prog, hospitalEDB(), Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := res.DerivationChain(prog,
+		dl.A("PatientUnit", dl.C("Standard"), dl.C("Sep/5"), dl.C("Tom Waits")), 1)
+	if len(chain) != 1 {
+		t.Errorf("depth 1 must stop at the atom itself: %v", chain)
+	}
+}

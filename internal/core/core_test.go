@@ -1,0 +1,462 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	dl "repro/internal/datalog"
+	"repro/internal/hospital"
+)
+
+func TestAttributeKinds(t *testing.T) {
+	c := core.Cat("Ward", "Hospital", "Ward")
+	if !c.IsCategorical() {
+		t.Error("Cat must be categorical")
+	}
+	if got := c.String(); got != "Ward: Hospital.Ward" {
+		t.Errorf("String = %q", got)
+	}
+	n := core.NonCat("Patient")
+	if n.IsCategorical() {
+		t.Error("NonCat must not be categorical")
+	}
+	if n.String() != "Patient" {
+		t.Errorf("String = %q", n.String())
+	}
+}
+
+func TestCategoricalRelationSchema(t *testing.T) {
+	r := core.NewCategoricalRelation("PatientWard",
+		core.Cat("Ward", "Hospital", "Ward"),
+		core.Cat("Day", "Time", "Day"),
+		core.NonCat("Patient"))
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CategoricalPositions(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("CategoricalPositions = %v", got)
+	}
+	if r.AttrIndex("Day") != 1 || r.AttrIndex("missing") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+	s := r.StorageSchema()
+	if s.Name != "PatientWard" || len(s.Attrs) != 3 {
+		t.Errorf("StorageSchema = %v", s)
+	}
+	// Paper-style rendering with the semicolon separator.
+	if got := r.String(); !strings.Contains(got, "; Patient") {
+		t.Errorf("String = %q, want semicolon before non-categorical attrs", got)
+	}
+}
+
+func TestCategoricalRelationValidateErrors(t *testing.T) {
+	cases := []*core.CategoricalRelation{
+		core.NewCategoricalRelation(""),
+		core.NewCategoricalRelation("R"),
+		core.NewCategoricalRelation("R", core.NonCat("")),
+		core.NewCategoricalRelation("R", core.NonCat("a"), core.NonCat("a")),
+		core.NewCategoricalRelation("R", core.Attribute{Name: "x", Category: "C"}), // category without dimension
+	}
+	for i, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d must fail validation", i)
+		}
+	}
+}
+
+func TestReferentialNC(t *testing.T) {
+	r := core.NewCategoricalRelation("PatientUnit",
+		core.Cat("Unit", "Hospital", "Unit"),
+		core.Cat("Day", "Time", "Day"),
+		core.NonCat("Patient"))
+	nc, err := r.ReferentialNC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constraint (5): ⊥ <- PatientUnit(u,d,p), not Unit(u).
+	s := nc.String()
+	if !strings.Contains(s, "PatientUnit(") || !strings.Contains(s, "not Unit(") {
+		t.Errorf("referential NC = %q", s)
+	}
+	if err := nc.Validate(); err != nil {
+		t.Errorf("generated NC invalid: %v", err)
+	}
+	if _, err := r.ReferentialNC(2); err == nil {
+		t.Error("non-categorical position must error")
+	}
+	if _, err := r.ReferentialNC(7); err == nil {
+		t.Error("out-of-range position must error")
+	}
+}
+
+func TestOntologyRegistration(t *testing.T) {
+	o := core.NewOntology()
+	if err := o.AddDimension(hospital.HospitalDimension()); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddDimension(hospital.HospitalDimension()); err == nil {
+		t.Error("duplicate dimension must fail")
+	}
+	if got := o.Dimensions(); len(got) != 1 || got[0] != "Hospital" {
+		t.Errorf("Dimensions = %v", got)
+	}
+	if o.Dimension("Hospital") == nil {
+		t.Error("Dimension accessor failed")
+	}
+
+	rel := core.NewCategoricalRelation("PatientWard",
+		core.Cat("Ward", "Hospital", "Ward"),
+		core.NonCat("Patient"))
+	if err := o.AddRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddRelation(rel); err == nil {
+		t.Error("duplicate relation must fail")
+	}
+	badDim := core.NewCategoricalRelation("X", core.Cat("a", "Nope", "Ward"))
+	if err := o.AddRelation(badDim); err == nil {
+		t.Error("unknown dimension must fail")
+	}
+	badCat := core.NewCategoricalRelation("Y", core.Cat("a", "Hospital", "Nope"))
+	if err := o.AddRelation(badCat); err == nil {
+		t.Error("unknown category must fail")
+	}
+	clash := core.NewCategoricalRelation("UnitWard", core.NonCat("x"))
+	if err := o.AddRelation(clash); err == nil {
+		t.Error("name clash with rollup predicate must fail")
+	}
+	clash2 := core.NewCategoricalRelation("Ward", core.NonCat("x"))
+	if err := o.AddRelation(clash2); err == nil {
+		t.Error("name clash with category predicate must fail")
+	}
+}
+
+func TestOntologyFacts(t *testing.T) {
+	o := core.NewOntology()
+	if err := o.AddDimension(hospital.HospitalDimension()); err != nil {
+		t.Fatal(err)
+	}
+	rel := core.NewCategoricalRelation("PatientWard",
+		core.Cat("Ward", "Hospital", "Ward"),
+		core.NonCat("Patient"))
+	if err := o.AddRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddFact("PatientWard", "W1", "Tom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddFact("PatientWard", "W1"); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if err := o.AddFact("Nope", "x"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	// Referential integrity: W99 is not a ward member.
+	if err := o.AddFact("PatientWard", "W99", "Tom"); err == nil {
+		t.Error("non-member categorical value must fail")
+	}
+	// Standard is a member, but of Unit, not Ward.
+	if err := o.AddFact("PatientWard", "Standard", "Tom"); err == nil {
+		t.Error("member of wrong category must fail")
+	}
+	// Unchecked path stages dirty data.
+	if err := o.AddFactUnchecked("PatientWard", "W99", "Tom"); err != nil {
+		t.Errorf("unchecked insert must succeed: %v", err)
+	}
+	if o.Data().Relation("PatientWard").Len() != 2 {
+		t.Errorf("facts = %d, want 2", o.Data().Relation("PatientWard").Len())
+	}
+}
+
+func TestRuleFormClassification(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{WithRuleNine: true})
+	form7, err := o.RuleForm(hospital.RuleSeven())
+	if err != nil || form7 != core.Form4 {
+		t.Errorf("rule 7 form = %v (%v), want form-(4)", form7, err)
+	}
+	form8, err := o.RuleForm(hospital.RuleEight())
+	if err != nil || form8 != core.Form4 {
+		t.Errorf("rule 8 form = %v (%v), want form-(4): existential z is non-categorical", form8, err)
+	}
+	form9, err := o.RuleForm(hospital.RuleNine())
+	if err != nil || form9 != core.Form10 {
+		t.Errorf("rule 9 form = %v (%v), want form-(10)", form9, err)
+	}
+	if core.Form4.String() != "form-(4)" || core.Form10.String() != "form-(10)" {
+		t.Error("form names wrong")
+	}
+}
+
+func TestRuleFormRejectsUnknownPredicates(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{})
+	bad := dl.NewTGD("bad",
+		[]dl.Atom{dl.A("PatientUnit", dl.V("u"), dl.V("d"), dl.V("p"))},
+		[]dl.Atom{dl.A("Mystery", dl.V("u"), dl.V("d"), dl.V("p"))})
+	if _, err := o.RuleForm(bad); err == nil {
+		t.Error("unknown body predicate must fail")
+	}
+	badHead := dl.NewTGD("bh",
+		[]dl.Atom{dl.A("Ward", dl.V("w"))}, // category predicate in head
+		[]dl.Atom{dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p"))})
+	if _, err := o.RuleForm(badHead); err == nil {
+		t.Error("category predicate in head must fail")
+	}
+}
+
+func TestJoinVariableCondition(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{})
+	// Join on the non-categorical Patient attribute violates the WS
+	// condition of Section III.
+	bad := dl.NewTGD("join-noncat",
+		[]dl.Atom{dl.A("PatientUnit", dl.V("u"), dl.V("d"), dl.V("p"))},
+		[]dl.Atom{
+			dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p")),
+			dl.A("Shifts", dl.V("w2"), dl.V("d2"), dl.V("p"), dl.V("s")),
+			dl.A("UnitWard", dl.V("u"), dl.V("w")),
+		})
+	if _, err := o.RuleForm(bad); err == nil || !strings.Contains(err.Error(), "non-categorical") {
+		t.Errorf("non-categorical join must be rejected, got %v", err)
+	}
+	if err := o.AddRule(bad); err == nil {
+		t.Error("AddRule must reject the rule too")
+	}
+}
+
+func TestNavigationDirection(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{WithRuleNine: true})
+	if got := o.NavigationDirection(hospital.RuleSeven()); got != core.Upward {
+		t.Errorf("rule 7 direction = %v, want upward", got)
+	}
+	if got := o.NavigationDirection(hospital.RuleEight()); got != core.Downward {
+		t.Errorf("rule 8 direction = %v, want downward", got)
+	}
+	if got := o.NavigationDirection(hospital.RuleNine()); got != core.Downward {
+		t.Errorf("rule 9 direction = %v, want downward (rollup atom in head)", got)
+	}
+	// A rule with no rollup atoms does not navigate.
+	copyRule := dl.NewTGD("copy",
+		[]dl.Atom{dl.A("PatientUnit", dl.V("u"), dl.V("d"), dl.V("p"))},
+		[]dl.Atom{dl.A("WorkingSchedules", dl.V("u"), dl.V("d"), dl.V("p"), dl.V("t"))})
+	if got := o.NavigationDirection(copyRule); got != core.DirectionNone {
+		t.Errorf("copy rule direction = %v, want none", got)
+	}
+	for d, want := range map[core.Direction]string{
+		core.Upward: "upward", core.Downward: "downward",
+		core.Both: "both", core.DirectionNone: "none",
+	} {
+		if d.String() != want {
+			t.Errorf("Direction(%d).String = %q", d, d.String())
+		}
+	}
+}
+
+func TestIsUpwardOnly(t *testing.T) {
+	up := core.NewOntology()
+	if err := up.AddDimension(hospital.HospitalDimension()); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.AddDimension(hospital.TimeDimension()); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*core.CategoricalRelation{
+		core.NewCategoricalRelation("PatientWard",
+			core.Cat("Ward", "Hospital", "Ward"), core.Cat("Day", "Time", "Day"), core.NonCat("Patient")),
+		core.NewCategoricalRelation("PatientUnit",
+			core.Cat("Unit", "Hospital", "Unit"), core.Cat("Day", "Time", "Day"), core.NonCat("Patient")),
+	} {
+		if err := up.AddRelation(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := up.AddRule(hospital.RuleSeven()); err != nil {
+		t.Fatal(err)
+	}
+	if !up.IsUpwardOnly() {
+		t.Error("rule 7 only: upward-only ontology")
+	}
+	full := hospital.NewOntology(hospital.Options{})
+	if full.IsUpwardOnly() {
+		t.Error("rule 8 navigates downward: not upward-only")
+	}
+}
+
+func TestCompileHospital(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{WithRuleNine: true, WithConstraints: true})
+	comp, err := o.Compile(core.CompileOptions{ReferentialNCs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extensional dimensional data present.
+	if !comp.Instance.ContainsAtom(dl.A("UnitWard", dl.C("Standard"), dl.C("W1"))) {
+		t.Error("UnitWard(Standard, W1) missing from compiled instance")
+	}
+	if !comp.Instance.ContainsAtom(dl.A("Ward", dl.C("W1"))) {
+		t.Error("Ward(W1) missing")
+	}
+	if !comp.Instance.ContainsAtom(dl.A("MonthDay", dl.C("2005-09"), dl.C("Sep/5"))) {
+		t.Error("MonthDay(2005-09, Sep/5) missing")
+	}
+	// Categorical data copied.
+	if comp.Instance.Relation("PatientWard").Len() != 6 {
+		t.Errorf("PatientWard = %d, want 6", comp.Instance.Relation("PatientWard").Len())
+	}
+	// Program contents: 3 rules, 1 EGD, intensive NC + referential NCs.
+	if len(comp.Program.TGDs) != 3 {
+		t.Errorf("TGDs = %d, want 3", len(comp.Program.TGDs))
+	}
+	if len(comp.Program.EGDs) != 1 {
+		t.Errorf("EGDs = %d, want 1", len(comp.Program.EGDs))
+	}
+	refNCs := 0
+	for _, nc := range comp.Program.NCs {
+		if strings.HasPrefix(nc.ID, "ref-") {
+			refNCs++
+		}
+	}
+	// PatientWard 2 + PatientUnit 2 + WorkingSchedules 2 + Shifts 2 +
+	// DischargePatients 2 + Thermometer 1 = 11 categorical positions.
+	if refNCs != 11 {
+		t.Errorf("referential NCs = %d, want 11", refNCs)
+	}
+	// Metadata.
+	if comp.Directions["r7"] != core.Upward || comp.Directions["r8"] != core.Downward {
+		t.Errorf("Directions = %v", comp.Directions)
+	}
+	if comp.Forms["r9"] != core.Form10 {
+		t.Errorf("Forms = %v", comp.Forms)
+	}
+}
+
+func TestCompiledOntologyIsWeaklySticky(t *testing.T) {
+	// Section III / experiment C3: the compiled MD ontology falls in
+	// WS Datalog±.
+	o := hospital.NewOntology(hospital.Options{WithRuleNine: true, WithConstraints: true})
+	comp, err := o.Compile(core.CompileOptions{ReferentialNCs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Report.WeaklySticky {
+		t.Fatalf("hospital MD ontology must be weakly sticky: %s", comp.Report.WSWitness)
+	}
+	if comp.Report.Sticky {
+		t.Error("rule (7)'s marked ward join makes it non-sticky")
+	}
+}
+
+func TestCompileTransitiveRollups(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{})
+	comp, err := o.Compile(core.CompileOptions{TransitiveRollups: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tgd := range comp.Program.TGDs {
+		if len(tgd.Head) == 1 && tgd.Head[0].Pred == "InstitutionWard" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transitive rollup rule InstitutionWard missing")
+	}
+	// Chasing the compiled program materializes the composition.
+	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Instance.ContainsAtom(dl.A("InstitutionWard", dl.C("H1"), dl.C("W1"))) {
+		t.Error("InstitutionWard(H1, W1) must be derivable")
+	}
+}
+
+func TestSeparabilityHeuristic(t *testing.T) {
+	// EGD (6) equates thermometer types, which are non-categorical:
+	// not separable by the paper's categorical-head argument.
+	o := hospital.NewOntology(hospital.Options{WithConstraints: true})
+	sep, reason := o.SeparabilityHeuristic()
+	if sep {
+		t.Errorf("EGD (6) has non-categorical head variables: %s", reason)
+	}
+	// An EGD equating ward values (categorical) is separable.
+	o2 := hospital.NewOntology(hospital.Options{})
+	egd := dl.NewEGD("same-ward", dl.V("w"), dl.V("w2"), []dl.Atom{
+		dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p")),
+		dl.A("PatientWard", dl.V("w2"), dl.V("d"), dl.V("p")),
+	})
+	if err := o2.AddEGD(egd); err != nil {
+		t.Fatal(err)
+	}
+	sep2, reason2 := o2.SeparabilityHeuristic()
+	if !sep2 {
+		t.Errorf("categorical-head EGD must be separable: %s", reason2)
+	}
+	// Form-(10) rules void the argument.
+	o3 := hospital.NewOntology(hospital.Options{WithRuleNine: true})
+	if err := o3.AddEGD(egd); err != nil {
+		t.Fatal(err)
+	}
+	if sep3, _ := o3.SeparabilityHeuristic(); sep3 {
+		t.Error("form-(10) rules make separability application-dependent")
+	}
+}
+
+func TestOntologySummary(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{WithRuleNine: true, WithConstraints: true})
+	s := o.Summary()
+	for _, want := range []string{"Hospital", "Time", "PatientWard", "r7", "upward", "r8", "downward", "e6", "intensive-closed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestChaseCompiledHospitalExamples(t *testing.T) {
+	// End-to-end: chase the compiled ontology and verify the paper's
+	// Examples 1/5/6 data generation.
+	o := hospital.NewOntology(hospital.Options{WithRuleNine: true})
+	comp, err := o.Compile(core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated || !res.Consistent() {
+		t.Fatalf("chase failed: saturated=%v violations=%v", res.Saturated, res.Violations)
+	}
+	// Example 1: Tom in Standard on Sep/5 and Sep/6 (upward).
+	for _, day := range []string{"Sep/5", "Sep/6"} {
+		if !res.Instance.ContainsAtom(dl.A("PatientUnit", dl.C("Standard"), dl.C(day), dl.C(hospital.TomWaits))) {
+			t.Errorf("PatientUnit(Standard, %s, Tom Waits) missing", day)
+		}
+	}
+	// Example 5: Mark gets shifts in W1 and W2 on Sep/9 (downward).
+	markShifts := 0
+	for _, tup := range res.Instance.Relation("Shifts").Tuples() {
+		if tup[2] == dl.C("Mark") {
+			markShifts++
+		}
+	}
+	if markShifts != 2 {
+		t.Errorf("Mark shifts = %d, want 2 (W1 and W2)", markShifts)
+	}
+	// Example 6: only Elvis needs an invented unit (Tom's and Lou's
+	// discharges are satisfied by upward-derived PatientUnit data).
+	if res.NullsCreated < 3 { // 2 shifts nulls + 1 unit null
+		t.Errorf("NullsCreated = %d, want >= 3", res.NullsCreated)
+	}
+	elvisFound := false
+	for _, tup := range res.Instance.Relation("PatientUnit").Tuples() {
+		if tup[2] == dl.C(hospital.ElvisCostello) {
+			elvisFound = true
+			if !tup[0].IsNull() {
+				t.Errorf("Elvis's unit must be a fresh null, got %v", tup[0])
+			}
+		}
+	}
+	if !elvisFound {
+		t.Error("rule (9) must derive a PatientUnit tuple for Elvis")
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+)
+
+// RuleForm tags a dimensional rule with the paper's syntactic form.
+type RuleForm uint8
+
+const (
+	// Form4 is the general dimensional rule (4): categorical-relation
+	// head atoms, existential variables only at non-categorical
+	// positions, navigation driven by parent-child atoms in the body.
+	Form4 RuleForm = iota
+	// Form10 is the downward rule with incomplete categorical data
+	// (10): parent-child atoms may occur in the head and existential
+	// variables may stand for unknown category members (rule (9) in
+	// the paper).
+	Form10
+)
+
+// String names the form.
+func (f RuleForm) String() string {
+	if f == Form10 {
+		return "form-(10)"
+	}
+	return "form-(4)"
+}
+
+// Direction classifies the dimensional navigation a rule performs.
+type Direction uint8
+
+const (
+	// DirectionNone: no level change (pure join/copy).
+	DirectionNone Direction = iota
+	// Upward navigation: data at a lower category generates data at a
+	// higher category (rule (7)).
+	Upward
+	// Downward navigation: data at a higher category generates data
+	// at lower categories (rules (8) and (9)).
+	Downward
+	// Both: the rule navigates upward and downward simultaneously.
+	Both
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Upward:
+		return "upward"
+	case Downward:
+		return "downward"
+	case Both:
+		return "both"
+	default:
+		return "none"
+	}
+}
+
+// RuleForm validates a dimensional rule against forms (4) and (10) and
+// returns its form. Checks applied:
+//
+//   - every atom's predicate must be known (categorical relation,
+//     parent-child, or category predicate);
+//   - join variables (shared between body atoms) may occur in
+//     categorical-relation atoms only at categorical positions — the
+//     condition Section III uses to place the ontology in WS Datalog±;
+//   - for form (4): head atoms are categorical relations and
+//     existential variables occupy only non-categorical positions;
+//   - parent-child atoms in the head, or existential variables at
+//     categorical positions, make it form (10).
+func (o *Ontology) RuleForm(t *datalog.TGD) (RuleForm, error) {
+	for _, a := range t.Body {
+		if o.kindOf(a) == kindUnknown {
+			return Form4, fmt.Errorf("core: rule %s: unknown predicate %s in body", t.ID, a.Pred)
+		}
+	}
+	headHasRollup := false
+	for _, a := range t.Head {
+		switch o.kindOf(a) {
+		case kindCategoricalRel:
+		case kindRollup:
+			headHasRollup = true
+		default:
+			return Form4, fmt.Errorf("core: rule %s: head atom %s is neither a categorical relation nor a parent-child predicate", t.ID, a)
+		}
+	}
+	if err := o.checkJoinVariables(t); err != nil {
+		return Form4, err
+	}
+	// Locate existential variables at categorical positions.
+	exAtCategorical := false
+	ex := map[datalog.Term]bool{}
+	for _, v := range t.ExistentialVars() {
+		ex[v] = true
+	}
+	for _, a := range t.Head {
+		rel, isRel := o.relations[a.Pred]
+		for i, tm := range a.Args {
+			if !tm.IsVar() || !ex[tm] {
+				continue
+			}
+			if isRel && rel.Attrs[i].IsCategorical() {
+				exAtCategorical = true
+			}
+			if !isRel { // rollup atom in head: positions are categorical
+				exAtCategorical = true
+			}
+		}
+	}
+	if headHasRollup || exAtCategorical {
+		return Form10, nil
+	}
+	return Form4, nil
+}
+
+// checkJoinVariables enforces the WS-enabling condition: variables
+// occurring in more than one body atom must appear, within
+// categorical-relation atoms, only at categorical positions.
+func (o *Ontology) checkJoinVariables(t *datalog.TGD) error {
+	occurrences := map[datalog.Term]int{}
+	for _, a := range t.Body {
+		seenHere := map[datalog.Term]bool{}
+		for _, tm := range a.Args {
+			if tm.IsVar() && !seenHere[tm] {
+				seenHere[tm] = true
+				occurrences[tm]++
+			}
+		}
+	}
+	for _, a := range t.Body {
+		rel, isRel := o.relations[a.Pred]
+		if !isRel {
+			continue
+		}
+		for i, tm := range a.Args {
+			if !tm.IsVar() || occurrences[tm] < 2 {
+				continue
+			}
+			if !rel.Attrs[i].IsCategorical() {
+				return fmt.Errorf("core: rule %s: join variable %s occurs at non-categorical position %s[%d] (%s)",
+					t.ID, tm, a.Pred, i, rel.Attrs[i].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// NavigationDirection analyses which way a dimensional rule navigates,
+// per the paper's criterion below rule (4): with a body parent-child
+// atom D(parent, child), the rule navigates upward when the child
+// variable joins a body categorical relation and the parent variable
+// reaches the head, downward in the symmetric case. Parent-child atoms
+// in the head (form (10)) always navigate downward.
+func (o *Ontology) NavigationDirection(t *datalog.TGD) Direction {
+	inBodyRel := map[datalog.Term]bool{}
+	for _, a := range t.Body {
+		if o.kindOf(a) != kindCategoricalRel {
+			continue
+		}
+		for _, tm := range a.Args {
+			if tm.IsVar() {
+				inBodyRel[tm] = true
+			}
+		}
+	}
+	inHead := map[datalog.Term]bool{}
+	for _, a := range t.Head {
+		for _, tm := range a.Args {
+			if tm.IsVar() {
+				inHead[tm] = true
+			}
+		}
+	}
+	var up, down bool
+	for _, a := range t.Body {
+		if o.kindOf(a) != kindRollup || len(a.Args) != 2 {
+			continue
+		}
+		parent, child := a.Args[0], a.Args[1]
+		if child.IsVar() && inBodyRel[child] && parent.IsVar() && inHead[parent] {
+			up = true
+		}
+		if parent.IsVar() && inBodyRel[parent] && child.IsVar() && inHead[child] {
+			down = true
+		}
+	}
+	for _, a := range t.Head {
+		if o.kindOf(a) == kindRollup {
+			down = true
+		}
+	}
+	switch {
+	case up && down:
+		return Both
+	case up:
+		return Upward
+	case down:
+		return Downward
+	default:
+		return DirectionNone
+	}
+}
+
+// IsUpwardOnly reports whether every dimensional rule navigates upward
+// (or not at all) — the class of MD ontologies for which Section IV
+// offers first-order rewriting instead of the chase.
+func (o *Ontology) IsUpwardOnly() bool {
+	for _, t := range o.rules {
+		switch o.NavigationDirection(t) {
+		case Downward, Both:
+			return false
+		}
+	}
+	return true
+}

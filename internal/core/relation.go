@@ -1,0 +1,153 @@
+// Package core implements the paper's primary contribution: the
+// extended Hurtado–Mendelzon multidimensional model of Section III —
+// categorical relations attached to dimension categories, dimensional
+// rules (TGD forms (4) and (10)) enabling upward and downward
+// navigation, dimensional constraints (EGD form (2) and negative-
+// constraint form (3)), referential constraints (form (1)) — and its
+// compilation into a Datalog± program plus extensional instance, with
+// the weak-stickiness classification of the result.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// Attribute is one attribute of a categorical relation. Categorical
+// attributes name the dimension and category they take members from;
+// non-categorical attributes leave both empty.
+type Attribute struct {
+	Name      string
+	Dimension string
+	Category  string
+}
+
+// Cat builds a categorical attribute.
+func Cat(name, dimension, category string) Attribute {
+	return Attribute{Name: name, Dimension: dimension, Category: category}
+}
+
+// NonCat builds a non-categorical attribute.
+func NonCat(name string) Attribute { return Attribute{Name: name} }
+
+// IsCategorical reports whether the attribute takes category members.
+func (a Attribute) IsCategorical() bool { return a.Category != "" }
+
+// String renders the attribute, annotating categorical ones.
+func (a Attribute) String() string {
+	if a.IsCategorical() {
+		return fmt.Sprintf("%s: %s.%s", a.Name, a.Dimension, a.Category)
+	}
+	return a.Name
+}
+
+// CategoricalRelation is the schema of a categorical relation: a named
+// relation whose attributes are split into categorical ones (linked to
+// dimension categories) and non-categorical ones, written
+// R(ē; ā) in the paper — e.g. PatientWard(Ward, Day; Patient).
+type CategoricalRelation struct {
+	Name  string
+	Attrs []Attribute
+}
+
+// NewCategoricalRelation builds a relation schema.
+func NewCategoricalRelation(name string, attrs ...Attribute) *CategoricalRelation {
+	return &CategoricalRelation{Name: name, Attrs: attrs}
+}
+
+// Arity returns the number of attributes.
+func (r *CategoricalRelation) Arity() int { return len(r.Attrs) }
+
+// CategoricalPositions returns the indices of categorical attributes.
+func (r *CategoricalRelation) CategoricalPositions() []int {
+	var out []int
+	for i, a := range r.Attrs {
+		if a.IsCategorical() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AttrIndex returns the index of the named attribute, or -1.
+func (r *CategoricalRelation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// StorageSchema converts to the storage schema (attribute names only).
+func (r *CategoricalRelation) StorageSchema() storage.Schema {
+	attrs := make([]string, len(r.Attrs))
+	for i, a := range r.Attrs {
+		attrs[i] = a.Name
+	}
+	return storage.Schema{Name: r.Name, Attrs: attrs}
+}
+
+// Validate checks the schema: non-empty name, unique attribute names.
+func (r *CategoricalRelation) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("core: categorical relation with empty name")
+	}
+	if len(r.Attrs) == 0 {
+		return fmt.Errorf("core: relation %s has no attributes", r.Name)
+	}
+	seen := map[string]bool{}
+	for _, a := range r.Attrs {
+		if a.Name == "" {
+			return fmt.Errorf("core: relation %s has an unnamed attribute", r.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("core: relation %s: duplicate attribute %s", r.Name, a.Name)
+		}
+		seen[a.Name] = true
+		if a.IsCategorical() && a.Dimension == "" {
+			return fmt.Errorf("core: relation %s: attribute %s has a category but no dimension", r.Name, a.Name)
+		}
+	}
+	return nil
+}
+
+// String renders the schema in the paper's R(ē; ā) style:
+// PatientWard(Ward: Hospital.Ward, Day: Time.Day; Patient).
+func (r *CategoricalRelation) String() string {
+	var cat, non []string
+	for _, a := range r.Attrs {
+		if a.IsCategorical() {
+			cat = append(cat, a.String())
+		} else {
+			non = append(non, a.String())
+		}
+	}
+	inner := strings.Join(cat, ", ")
+	if len(non) > 0 {
+		inner += "; " + strings.Join(non, ", ")
+	}
+	return r.Name + "(" + inner + ")"
+}
+
+// ReferentialNC builds the form-(1) negative constraint tying one
+// categorical attribute to its category predicate:
+//
+//	⊥ ← R(x0,...,xn), ¬K(xi)
+func (r *CategoricalRelation) ReferentialNC(pos int) (*datalog.NC, error) {
+	if pos < 0 || pos >= len(r.Attrs) || !r.Attrs[pos].IsCategorical() {
+		return nil, fmt.Errorf("core: relation %s: position %d is not categorical", r.Name, pos)
+	}
+	args := make([]datalog.Term, len(r.Attrs))
+	for i := range args {
+		args[i] = datalog.V(fmt.Sprintf("x%d", i))
+	}
+	return datalog.NewNC(
+		fmt.Sprintf("ref-%s-%s", r.Name, r.Attrs[pos].Name),
+		datalog.Pos(datalog.Atom{Pred: r.Name, Args: args}),
+		datalog.Neg(datalog.A(r.Attrs[pos].Category, args[pos])),
+	), nil
+}

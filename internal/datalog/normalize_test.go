@@ -1,0 +1,85 @@
+package datalog
+
+import "testing"
+
+func TestNormalizeHeadsSplitsIndependentHeads(t *testing.T) {
+	p := NewProgram()
+	p.AddTGD(NewTGD("multi",
+		[]Atom{A("H1", V("x")), A("H2", V("x"), V("y"))},
+		[]Atom{A("B", V("x"), V("y"))}))
+	n := p.NormalizeHeads()
+	if len(n.TGDs) != 2 {
+		t.Fatalf("TGDs = %d, want 2", len(n.TGDs))
+	}
+	for _, tgd := range n.TGDs {
+		if len(tgd.Head) != 1 {
+			t.Errorf("rule %s still has %d head atoms", tgd.ID, len(tgd.Head))
+		}
+	}
+	if n.TGDs[0].ID != "multi#0" || n.TGDs[1].ID != "multi#1" {
+		t.Errorf("split IDs = %s, %s", n.TGDs[0].ID, n.TGDs[1].ID)
+	}
+	// Original untouched.
+	if len(p.TGDs) != 1 || len(p.TGDs[0].Head) != 2 {
+		t.Error("NormalizeHeads must not mutate the receiver")
+	}
+}
+
+func TestNormalizeHeadsKeepsSharedExistentials(t *testing.T) {
+	// Rule (9): the two head atoms share existential u and must stay
+	// one rule.
+	p := NewProgram()
+	p.AddTGD(NewTGD("r9",
+		[]Atom{
+			A("InstitutionUnit", V("i"), V("u")),
+			A("PatientUnit", V("u"), V("d"), V("p")),
+		},
+		[]Atom{A("DischargePatients", V("i"), V("d"), V("p"))}))
+	n := p.NormalizeHeads()
+	if len(n.TGDs) != 1 || len(n.TGDs[0].Head) != 2 {
+		t.Errorf("rule (9) must stay intact: %v", n.TGDs)
+	}
+}
+
+func TestNormalizeHeadsSplitsUnsharedExistentials(t *testing.T) {
+	// Each head atom has its own existential: splitting is sound
+	// (each split rule invents its own null).
+	p := NewProgram()
+	p.AddTGD(NewTGD("two-ex",
+		[]Atom{
+			A("H1", V("x"), V("z1")),
+			A("H2", V("x"), V("z2")),
+		},
+		[]Atom{A("B", V("x"))}))
+	n := p.NormalizeHeads()
+	if len(n.TGDs) != 2 {
+		t.Errorf("unshared existentials must split: %v", n.TGDs)
+	}
+}
+
+func TestNormalizeHeadsCarriesConstraints(t *testing.T) {
+	p := NewProgram()
+	p.AddTGD(NewTGD("single", []Atom{A("H", V("x"))}, []Atom{A("B", V("x"))}))
+	p.AddEGD(NewEGD("e", V("x"), V("y"), []Atom{A("P", V("x"), V("y"))}))
+	p.AddNC(NewDenial("c", A("Bad", V("x"))))
+	n := p.NormalizeHeads()
+	if len(n.TGDs) != 1 || len(n.EGDs) != 1 || len(n.NCs) != 1 {
+		t.Errorf("normalize lost formulas: %d/%d/%d", len(n.TGDs), len(n.EGDs), len(n.NCs))
+	}
+}
+
+func TestNormalizeRepeatedExistentialInOneAtom(t *testing.T) {
+	// z occurs twice in ONE head atom only: no cross-atom sharing,
+	// split is allowed.
+	p := NewProgram()
+	p.AddTGD(NewTGD("rep",
+		[]Atom{
+			A("H1", V("z"), V("z")),
+			A("H2", V("x")),
+		},
+		[]Atom{A("B", V("x"))}))
+	n := p.NormalizeHeads()
+	if len(n.TGDs) != 2 {
+		t.Errorf("within-atom repetition must still split: %v", n.TGDs)
+	}
+}

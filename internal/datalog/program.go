@@ -1,0 +1,237 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Program is a Datalog± program: a set of TGDs, EGDs and negative
+// constraints. Extensional data is kept separately (storage.Instance).
+type Program struct {
+	TGDs []*TGD
+	EGDs []*EGD
+	NCs  []*NC
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{} }
+
+// AddTGD appends a TGD.
+func (p *Program) AddTGD(t *TGD) { p.TGDs = append(p.TGDs, t) }
+
+// AddEGD appends an EGD.
+func (p *Program) AddEGD(e *EGD) { p.EGDs = append(p.EGDs, e) }
+
+// AddNC appends a negative constraint.
+func (p *Program) AddNC(n *NC) { p.NCs = append(p.NCs, n) }
+
+// Validate checks every rule and constraint, and arity consistency
+// across all predicate occurrences.
+func (p *Program) Validate() error {
+	if len(p.TGDs) == 0 && len(p.EGDs) == 0 && len(p.NCs) == 0 {
+		return ErrEmptyProgram
+	}
+	arities := map[string]int{}
+	check := func(where string, a Atom) error {
+		if prev, ok := arities[a.Pred]; ok && prev != len(a.Args) {
+			return fmt.Errorf("%s: predicate %s used with arity %d and %d", where, a.Pred, prev, len(a.Args))
+		}
+		arities[a.Pred] = len(a.Args)
+		return nil
+	}
+	for _, t := range p.TGDs {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		for _, a := range append(CloneAtoms(t.Body), t.Head...) {
+			if err := check("tgd "+t.ID, a); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range p.EGDs {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		for _, a := range e.Body {
+			if err := check("egd "+e.ID, a); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range p.NCs {
+		if err := n.Validate(); err != nil {
+			return err
+		}
+		for _, l := range n.Body {
+			if err := check("nc "+n.ID, l.Atom); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Predicates returns every predicate name occurring in the program with
+// its arity, sorted by name.
+func (p *Program) Predicates() []PredicateInfo {
+	seen := map[string]int{}
+	add := func(a Atom) { seen[a.Pred] = len(a.Args) }
+	for _, t := range p.TGDs {
+		for _, a := range t.Body {
+			add(a)
+		}
+		for _, a := range t.Head {
+			add(a)
+		}
+	}
+	for _, e := range p.EGDs {
+		for _, a := range e.Body {
+			add(a)
+		}
+	}
+	for _, n := range p.NCs {
+		for _, l := range n.Body {
+			add(l.Atom)
+		}
+	}
+	out := make([]PredicateInfo, 0, len(seen))
+	for name, ar := range seen {
+		out = append(out, PredicateInfo{Name: name, Arity: ar})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PredicateInfo is a predicate name with its arity.
+type PredicateInfo struct {
+	Name  string
+	Arity int
+}
+
+// String renders the predicate as name/arity.
+func (pi PredicateInfo) String() string { return fmt.Sprintf("%s/%d", pi.Name, pi.Arity) }
+
+// IDBPredicates returns the names of predicates that appear in some TGD
+// head (intensional predicates).
+func (p *Program) IDBPredicates() map[string]bool {
+	out := map[string]bool{}
+	for _, t := range p.TGDs {
+		for _, a := range t.Head {
+			out[a.Pred] = true
+		}
+	}
+	return out
+}
+
+// TGDsByHeadPred indexes TGDs by the predicates of their head atoms.
+// A rule with several head atoms is listed under each head predicate.
+func (p *Program) TGDsByHeadPred() map[string][]*TGD {
+	out := map[string][]*TGD{}
+	for _, t := range p.TGDs {
+		listed := map[string]bool{}
+		for _, a := range t.Head {
+			if !listed[a.Pred] {
+				listed[a.Pred] = true
+				out[a.Pred] = append(out[a.Pred], t)
+			}
+		}
+	}
+	return out
+}
+
+// NormalizeHeads splits TGDs with conjunctive heads into single-head
+// rules where this preserves semantics — the paper's footnote 2 ("a
+// rule with a conjunction in the head can be transformed into a set of
+// rules with single atoms in heads"). Splitting is sound only when the
+// head atoms share no existential variable: rule (9)'s two head atoms
+// share the invented unit and must fire together, so such rules are
+// kept intact. The receiver is not modified.
+func (p *Program) NormalizeHeads() *Program {
+	out := NewProgram()
+	for _, t := range p.TGDs {
+		if len(t.Head) == 1 || sharesExistential(t) {
+			out.AddTGD(&TGD{ID: t.ID, Body: CloneAtoms(t.Body), Head: CloneAtoms(t.Head)})
+			continue
+		}
+		for i, h := range t.Head {
+			out.AddTGD(&TGD{
+				ID:   fmt.Sprintf("%s#%d", t.ID, i),
+				Body: CloneAtoms(t.Body),
+				Head: []Atom{h.Clone()},
+			})
+		}
+	}
+	for _, e := range p.EGDs {
+		out.AddEGD(e)
+	}
+	for _, n := range p.NCs {
+		out.AddNC(n)
+	}
+	return out
+}
+
+// sharesExistential reports whether any existential variable occurs in
+// more than one head atom.
+func sharesExistential(t *TGD) bool {
+	ex := map[Term]bool{}
+	for _, v := range t.ExistentialVars() {
+		ex[v] = true
+	}
+	if len(ex) == 0 {
+		return false
+	}
+	seen := map[Term]bool{}
+	for _, h := range t.Head {
+		inThisAtom := map[Term]bool{}
+		for _, tm := range h.Args {
+			if tm.IsVar() && ex[tm] && !inThisAtom[tm] {
+				inThisAtom[tm] = true
+				if seen[tm] {
+					return true
+				}
+				seen[tm] = true
+			}
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the program (rules are copied; term slices are
+// fresh).
+func (p *Program) Clone() *Program {
+	out := NewProgram()
+	for _, t := range p.TGDs {
+		out.AddTGD(&TGD{ID: t.ID, Body: CloneAtoms(t.Body), Head: CloneAtoms(t.Head)})
+	}
+	for _, e := range p.EGDs {
+		out.AddEGD(&EGD{ID: e.ID, Body: CloneAtoms(e.Body), Left: e.Left, Right: e.Right})
+	}
+	for _, n := range p.NCs {
+		lits := make([]Literal, len(n.Body))
+		for i, l := range n.Body {
+			lits[i] = Literal{Atom: l.Atom.Clone(), Negated: l.Negated}
+		}
+		out.AddNC(&NC{ID: n.ID, Body: lits, Conds: append([]Comparison(nil), n.Conds...)})
+	}
+	return out
+}
+
+// String renders the full program, one formula per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, t := range p.TGDs {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	for _, e := range p.EGDs {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	for _, n := range p.NCs {
+		b.WriteString(n.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

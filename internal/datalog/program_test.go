@@ -1,0 +1,110 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func hospitalProgram() *Program {
+	p := NewProgram()
+	p.AddTGD(ruleSeven())
+	p.AddTGD(ruleEight())
+	p.AddEGD(egdSix())
+	p.AddNC(NewNC("c5",
+		Pos(A("PatientUnit", V("u"), V("d"), V("p"))),
+		Neg(A("Unit", V("u")))))
+	return p
+}
+
+func TestProgramValidate(t *testing.T) {
+	if err := hospitalProgram().Validate(); err != nil {
+		t.Fatalf("hospital program must validate: %v", err)
+	}
+	if err := NewProgram().Validate(); err != ErrEmptyProgram {
+		t.Errorf("empty program: got %v, want ErrEmptyProgram", err)
+	}
+}
+
+func TestProgramValidateArityConflict(t *testing.T) {
+	p := NewProgram()
+	p.AddTGD(NewTGD("a", []Atom{A("H", V("x"))}, []Atom{A("P", V("x"))}))
+	p.AddTGD(NewTGD("b", []Atom{A("H", V("x"), V("y"))}, []Atom{A("Q", V("x"), V("y"))}))
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("arity conflict must be reported, got %v", err)
+	}
+}
+
+func TestProgramPredicates(t *testing.T) {
+	preds := hospitalProgram().Predicates()
+	byName := map[string]int{}
+	for _, pi := range preds {
+		byName[pi.Name] = pi.Arity
+	}
+	want := map[string]int{
+		"PatientUnit":      3,
+		"PatientWard":      3,
+		"UnitWard":         2,
+		"Shifts":           4,
+		"WorkingSchedules": 4,
+		"Thermometer":      3,
+		"Unit":             1,
+	}
+	for name, ar := range want {
+		if byName[name] != ar {
+			t.Errorf("predicate %s arity = %d, want %d", name, byName[name], ar)
+		}
+	}
+	// Sorted by name.
+	for i := 1; i < len(preds); i++ {
+		if preds[i-1].Name >= preds[i].Name {
+			t.Errorf("Predicates not sorted: %v before %v", preds[i-1], preds[i])
+		}
+	}
+	if got := (PredicateInfo{Name: "P", Arity: 2}).String(); got != "P/2" {
+		t.Errorf("PredicateInfo.String = %q", got)
+	}
+}
+
+func TestProgramIDBPredicates(t *testing.T) {
+	idb := hospitalProgram().IDBPredicates()
+	if !idb["PatientUnit"] || !idb["Shifts"] {
+		t.Errorf("IDB must contain PatientUnit and Shifts: %v", idb)
+	}
+	if idb["PatientWard"] || idb["UnitWard"] {
+		t.Errorf("EDB-only predicates must not be IDB: %v", idb)
+	}
+}
+
+func TestProgramTGDsByHeadPred(t *testing.T) {
+	p := hospitalProgram()
+	p.AddTGD(ruleNine()) // two head atoms: InstitutionUnit, PatientUnit
+	byHead := p.TGDsByHeadPred()
+	if len(byHead["PatientUnit"]) != 2 {
+		t.Errorf("PatientUnit derivable by rules (7) and (9): got %d", len(byHead["PatientUnit"]))
+	}
+	if len(byHead["InstitutionUnit"]) != 1 {
+		t.Errorf("InstitutionUnit derivable by rule (9): got %d", len(byHead["InstitutionUnit"]))
+	}
+}
+
+func TestProgramCloneIsDeep(t *testing.T) {
+	p := hospitalProgram()
+	c := p.Clone()
+	c.TGDs[0].Head[0].Args[0] = C("mutated")
+	c.EGDs[0].Left = V("mutated")
+	if p.TGDs[0].Head[0].Args[0] == C("mutated") {
+		t.Error("Clone must deep-copy TGD atoms")
+	}
+	if p.EGDs[0].Left == V("mutated") {
+		t.Error("Clone must copy EGDs")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := hospitalProgram().String()
+	for _, want := range []string{"PatientUnit", "⊥ <-", "t = t2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("program String missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// TGD is a tuple-generating dependency
+//
+//	∃z̄ H1(...), ..., Hk(...) ← B1(...), ..., Bn(...)
+//
+// where z̄ are the head variables not occurring in the body (the
+// existential variables). Plain Datalog rules are TGDs without
+// existential variables. A TGD with several head atoms is kept as one
+// formula because the paper's downward-navigation rules of form (10)
+// need joint heads sharing existential variables (e.g. rule (9):
+// ∃u InstitutionUnit(i,u), PatientUnit(u,d;p) ← DischargePatients(i,d;p)).
+type TGD struct {
+	// ID is an optional human-readable name used in diagnostics and
+	// chase provenance ("rule (7)", "r-shifts", ...).
+	ID   string
+	Body []Atom
+	Head []Atom
+}
+
+// NewTGD builds a TGD with the given name.
+func NewTGD(id string, head []Atom, body []Atom) *TGD {
+	return &TGD{ID: id, Head: head, Body: body}
+}
+
+// Vars returns the distinct variables of the rule (body then head
+// order of first occurrence).
+func (t *TGD) Vars() []Term {
+	seen := map[Term]bool{}
+	var out []Term
+	for _, as := range [][]Atom{t.Body, t.Head} {
+		for _, a := range as {
+			for _, tm := range a.Args {
+				if tm.IsVar() && !seen[tm] {
+					seen[tm] = true
+					out = append(out, tm)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// UniversalVars returns the body variables.
+func (t *TGD) UniversalVars() []Term { return VarsOfAtoms(t.Body) }
+
+// ExistentialVars returns the head variables that do not occur in the
+// body, in order of first occurrence in the head.
+func (t *TGD) ExistentialVars() []Term {
+	inBody := map[Term]bool{}
+	for _, v := range VarsOfAtoms(t.Body) {
+		inBody[v] = true
+	}
+	var out []Term
+	for _, v := range VarsOfAtoms(t.Head) {
+		if !inBody[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FrontierVars returns the body variables that also occur in the head.
+func (t *TGD) FrontierVars() []Term {
+	inHead := map[Term]bool{}
+	for _, v := range VarsOfAtoms(t.Head) {
+		inHead[v] = true
+	}
+	var out []Term
+	for _, v := range VarsOfAtoms(t.Body) {
+		if inHead[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsExistential reports whether the rule has existential head variables.
+func (t *TGD) IsExistential() bool { return len(t.ExistentialVars()) > 0 }
+
+// IsLinear reports whether the body has a single atom.
+func (t *TGD) IsLinear() bool { return len(t.Body) == 1 }
+
+// Validate checks structural sanity: non-empty body and head, no
+// nulls in the rule, every head variable either existential or from
+// the body (trivially true), and no constants in existential
+// positions (vacuous, kept for clarity).
+func (t *TGD) Validate() error {
+	if len(t.Body) == 0 {
+		return fmt.Errorf("tgd %s: empty body", t.ID)
+	}
+	if len(t.Head) == 0 {
+		return fmt.Errorf("tgd %s: empty head", t.ID)
+	}
+	for _, as := range [][]Atom{t.Body, t.Head} {
+		for _, a := range as {
+			if a.Pred == "" {
+				return fmt.Errorf("tgd %s: atom with empty predicate", t.ID)
+			}
+			for _, tm := range a.Args {
+				if tm.IsNull() {
+					return fmt.Errorf("tgd %s: labeled null %s in rule", t.ID, tm)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the TGD as "H1, ... <- B1, ...", prefixing existential
+// variables with ∃.
+func (t *TGD) String() string {
+	var b strings.Builder
+	if ex := t.ExistentialVars(); len(ex) > 0 {
+		b.WriteString("∃")
+		b.WriteString(TermsString(ex))
+		b.WriteByte(' ')
+	}
+	b.WriteString(AtomsString(t.Head))
+	b.WriteString(" <- ")
+	b.WriteString(AtomsString(t.Body))
+	return b.String()
+}
+
+// EGD is an equality-generating dependency
+//
+//	x = y ← B1(...), ..., Bn(...)
+//
+// where x and y are body variables. The paper uses EGDs as dimensional
+// constraints of form (2), e.g. "all thermometers in a unit are of the
+// same type".
+type EGD struct {
+	ID    string
+	Body  []Atom
+	Left  Term
+	Right Term
+}
+
+// NewEGD builds an EGD.
+func NewEGD(id string, left, right Term, body []Atom) *EGD {
+	return &EGD{ID: id, Left: left, Right: right, Body: body}
+}
+
+// Validate checks that both sides are variables occurring in the body.
+func (e *EGD) Validate() error {
+	if len(e.Body) == 0 {
+		return fmt.Errorf("egd %s: empty body", e.ID)
+	}
+	bodyVars := map[Term]bool{}
+	for _, v := range VarsOfAtoms(e.Body) {
+		bodyVars[v] = true
+	}
+	for _, side := range []Term{e.Left, e.Right} {
+		if !side.IsVar() {
+			return fmt.Errorf("egd %s: head term %s is not a variable", e.ID, side)
+		}
+		if !bodyVars[side] {
+			return fmt.Errorf("egd %s: head variable %s not in body", e.ID, side)
+		}
+	}
+	return nil
+}
+
+// String renders the EGD as "x = y <- B1, ...".
+func (e *EGD) String() string {
+	return fmt.Sprintf("%s = %s <- %s", e.Left, e.Right, AtomsString(e.Body))
+}
+
+// NC is a negative constraint
+//
+//	⊥ ← L1, ..., Ln
+//
+// whose body is a conjunction of literals; negated literals are allowed
+// to express the paper's referential constraints of form (1)
+// (⊥ ← R(ē;ā), ¬K(e)) and are evaluated under closed-world assumption
+// on the extensional instance.
+type NC struct {
+	ID   string
+	Body []Literal
+	// Conds are built-in comparisons further restricting the body
+	// match; the paper's "intensive care closed since August 2005"
+	// constraint needs an ordering condition on the month member.
+	Conds []Comparison
+}
+
+// NewNC builds a negative constraint from literals.
+func NewNC(id string, body ...Literal) *NC { return &NC{ID: id, Body: body} }
+
+// WithCond appends a comparison condition and returns the constraint.
+func (n *NC) WithCond(op CompOp, l, r Term) *NC {
+	n.Conds = append(n.Conds, Comparison{Op: op, L: l, R: r})
+	return n
+}
+
+// NewDenial builds a purely positive negative constraint (form (3)).
+func NewDenial(id string, body ...Atom) *NC {
+	lits := make([]Literal, len(body))
+	for i, a := range body {
+		lits[i] = Pos(a)
+	}
+	return &NC{ID: id, Body: lits}
+}
+
+// PositiveBody returns the positive atoms of the constraint body.
+func (n *NC) PositiveBody() []Atom {
+	var out []Atom
+	for _, l := range n.Body {
+		if !l.Negated {
+			out = append(out, l.Atom)
+		}
+	}
+	return out
+}
+
+// NegativeBody returns the atoms under negation.
+func (n *NC) NegativeBody() []Atom {
+	var out []Atom
+	for _, l := range n.Body {
+		if l.Negated {
+			out = append(out, l.Atom)
+		}
+	}
+	return out
+}
+
+// Validate checks body sanity and safety: every variable of a negated
+// atom must occur in some positive atom.
+func (n *NC) Validate() error {
+	if len(n.Body) == 0 {
+		return fmt.Errorf("nc %s: empty body", n.ID)
+	}
+	if len(n.PositiveBody()) == 0 {
+		return fmt.Errorf("nc %s: no positive atoms (unsafe)", n.ID)
+	}
+	posVars := map[Term]bool{}
+	for _, v := range VarsOfAtoms(n.PositiveBody()) {
+		posVars[v] = true
+	}
+	for _, a := range n.NegativeBody() {
+		for _, v := range a.Vars() {
+			if !posVars[v] {
+				return fmt.Errorf("nc %s: variable %s of negated atom %s not bound by a positive atom", n.ID, v, a)
+			}
+		}
+	}
+	for _, c := range n.Conds {
+		for _, t := range []Term{c.L, c.R} {
+			if t.IsVar() && !posVars[t] {
+				return fmt.Errorf("nc %s: variable %s of condition %s not bound by a positive atom", n.ID, t, c)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the NC as "⊥ <- L1, ...".
+func (n *NC) String() string {
+	parts := make([]string, 0, len(n.Body)+len(n.Conds))
+	for _, l := range n.Body {
+		parts = append(parts, l.String())
+	}
+	for _, c := range n.Conds {
+		parts = append(parts, c.String())
+	}
+	return "⊥ <- " + strings.Join(parts, ", ")
+}
+
+// ErrEmptyProgram is returned when validating a program with no rules
+// and no constraints.
+var ErrEmptyProgram = errors.New("datalog: empty program")

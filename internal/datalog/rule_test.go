@@ -1,0 +1,185 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+// ruleSeven is the paper's upward-navigation rule (7):
+// PatientUnit(u,d;p) <- PatientWard(w,d;p), UnitWard(u,w).
+func ruleSeven() *TGD {
+	return NewTGD("r7",
+		[]Atom{A("PatientUnit", V("u"), V("d"), V("p"))},
+		[]Atom{
+			A("PatientWard", V("w"), V("d"), V("p")),
+			A("UnitWard", V("u"), V("w")),
+		})
+}
+
+// ruleEight is the paper's downward-navigation rule (8):
+// ∃z Shifts(w,d;n,z) <- WorkingSchedules(u,d;n,t), UnitWard(u,w).
+func ruleEight() *TGD {
+	return NewTGD("r8",
+		[]Atom{A("Shifts", V("w"), V("d"), V("n"), V("z"))},
+		[]Atom{
+			A("WorkingSchedules", V("u"), V("d"), V("n"), V("t")),
+			A("UnitWard", V("u"), V("w")),
+		})
+}
+
+// ruleNine is the paper's rule (9) with an existential categorical
+// variable and a conjunctive head:
+// ∃u InstitutionUnit(i,u), PatientUnit(u,d;p) <- DischargePatients(i,d;p).
+func ruleNine() *TGD {
+	return NewTGD("r9",
+		[]Atom{
+			A("InstitutionUnit", V("i"), V("u")),
+			A("PatientUnit", V("u"), V("d"), V("p")),
+		},
+		[]Atom{A("DischargePatients", V("i"), V("d"), V("p"))})
+}
+
+func TestTGDExistentialVars(t *testing.T) {
+	if ex := ruleSeven().ExistentialVars(); len(ex) != 0 {
+		t.Errorf("rule (7) has no existential vars, got %v", ex)
+	}
+	if ex := ruleEight().ExistentialVars(); len(ex) != 1 || ex[0] != V("z") {
+		t.Errorf("rule (8) existential vars = %v, want [z]", ex)
+	}
+	if ex := ruleNine().ExistentialVars(); len(ex) != 1 || ex[0] != V("u") {
+		t.Errorf("rule (9) existential vars = %v, want [u]", ex)
+	}
+}
+
+func TestTGDFrontierAndUniversal(t *testing.T) {
+	r8 := ruleEight()
+	uni := r8.UniversalVars()
+	if len(uni) != 5 { // u, d, n, t, w
+		t.Errorf("universal vars = %v, want 5 vars", uni)
+	}
+	fr := r8.FrontierVars()
+	// w, d, n appear in head; u and t do not.
+	want := map[Term]bool{V("w"): true, V("d"): true, V("n"): true}
+	if len(fr) != len(want) {
+		t.Fatalf("frontier = %v, want w,d,n", fr)
+	}
+	for _, v := range fr {
+		if !want[v] {
+			t.Errorf("unexpected frontier var %v", v)
+		}
+	}
+}
+
+func TestTGDFlags(t *testing.T) {
+	if ruleSeven().IsExistential() {
+		t.Error("rule (7) is not existential")
+	}
+	if !ruleEight().IsExistential() {
+		t.Error("rule (8) is existential")
+	}
+	if ruleSeven().IsLinear() {
+		t.Error("rule (7) has a two-atom body")
+	}
+	if !ruleNine().IsLinear() {
+		t.Error("rule (9) has a single body atom")
+	}
+}
+
+func TestTGDValidate(t *testing.T) {
+	if err := ruleSeven().Validate(); err != nil {
+		t.Errorf("rule (7) must validate: %v", err)
+	}
+	bad := NewTGD("b1", nil, []Atom{A("B", V("x"))})
+	if err := bad.Validate(); err == nil {
+		t.Error("empty head must fail validation")
+	}
+	bad2 := NewTGD("b2", []Atom{A("H", V("x"))}, nil)
+	if err := bad2.Validate(); err == nil {
+		t.Error("empty body must fail validation")
+	}
+	bad3 := NewTGD("b3", []Atom{A("H", N("1"))}, []Atom{A("B", V("x"))})
+	if err := bad3.Validate(); err == nil {
+		t.Error("null in rule must fail validation")
+	}
+}
+
+func TestTGDString(t *testing.T) {
+	s := ruleEight().String()
+	if !strings.Contains(s, "∃z") {
+		t.Errorf("String must show existential prefix, got %q", s)
+	}
+	if !strings.Contains(s, "Shifts(w, d, n, z) <- WorkingSchedules(u, d, n, t), UnitWard(u, w)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// egdSix is the paper's EGD (6): all thermometers used in a unit are of
+// the same type.
+func egdSix() *EGD {
+	return NewEGD("e6", V("t"), V("t2"), []Atom{
+		A("Thermometer", V("w"), V("t"), V("n")),
+		A("Thermometer", V("w2"), V("t2"), V("n2")),
+		A("UnitWard", V("u"), V("w")),
+		A("UnitWard", V("u"), V("w2")),
+	})
+}
+
+func TestEGDValidate(t *testing.T) {
+	if err := egdSix().Validate(); err != nil {
+		t.Errorf("EGD (6) must validate: %v", err)
+	}
+	bad := NewEGD("b", V("x"), C("k"), []Atom{A("P", V("x"))})
+	if err := bad.Validate(); err == nil {
+		t.Error("constant head side must fail validation")
+	}
+	bad2 := NewEGD("b2", V("x"), V("y"), []Atom{A("P", V("x"))})
+	if err := bad2.Validate(); err == nil {
+		t.Error("head variable missing from body must fail validation")
+	}
+	bad3 := NewEGD("b3", V("x"), V("x"), nil)
+	if err := bad3.Validate(); err == nil {
+		t.Error("empty body must fail validation")
+	}
+}
+
+func TestEGDString(t *testing.T) {
+	if got := egdSix().String(); !strings.HasPrefix(got, "t = t2 <- Thermometer") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNCValidateAndAccessors(t *testing.T) {
+	// Paper constraint (5): ⊥ <- PatientUnit(u,d;p), not Unit(u).
+	nc := NewNC("c5",
+		Pos(A("PatientUnit", V("u"), V("d"), V("p"))),
+		Neg(A("Unit", V("u"))))
+	if err := nc.Validate(); err != nil {
+		t.Errorf("constraint (5) must validate: %v", err)
+	}
+	if got := len(nc.PositiveBody()); got != 1 {
+		t.Errorf("positive body size = %d, want 1", got)
+	}
+	if got := len(nc.NegativeBody()); got != 1 {
+		t.Errorf("negative body size = %d, want 1", got)
+	}
+	unsafe := NewNC("u",
+		Pos(A("P", V("x"))),
+		Neg(A("Q", V("y"))))
+	if err := unsafe.Validate(); err == nil {
+		t.Error("negated variable not bound positively must fail validation")
+	}
+	onlyNeg := NewNC("n", Neg(A("Q", V("y"))))
+	if err := onlyNeg.Validate(); err == nil {
+		t.Error("NC with no positive atoms must fail validation")
+	}
+}
+
+func TestNCString(t *testing.T) {
+	nc := NewDenial("c",
+		A("PatientWard", V("w"), V("d"), V("p")),
+		A("UnitWard", C("Intensive"), V("w")))
+	got := nc.String()
+	if !strings.HasPrefix(got, "⊥ <- PatientWard") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,105 @@
+package datalog
+
+import "testing"
+
+func TestSubstApplyChains(t *testing.T) {
+	s := NewSubst()
+	s.Bind("x", V("y"))
+	s.Bind("y", C("a"))
+	if got := s.Apply(V("x")); got != C("a") {
+		t.Errorf("Apply(x) = %v, want a (chain resolution)", got)
+	}
+	if got := s.Apply(V("z")); got != V("z") {
+		t.Errorf("Apply(z) = %v, want z (unbound)", got)
+	}
+	if got := s.Apply(C("k")); got != C("k") {
+		t.Errorf("Apply on constants must be identity, got %v", got)
+	}
+}
+
+func TestSubstApplyCycleTerminates(t *testing.T) {
+	s := NewSubst()
+	s.Bind("x", V("y"))
+	s.Bind("y", V("x"))
+	got := s.Apply(V("x")) // must terminate; result is one of the two vars
+	if !got.IsVar() {
+		t.Errorf("cycle resolution returned non-var %v", got)
+	}
+}
+
+func TestSubstApplyAtom(t *testing.T) {
+	s := NewSubst()
+	s.Bind("w", C("W1"))
+	a := s.ApplyAtom(A("PatientWard", V("w"), V("d"), C("Tom")))
+	want := A("PatientWard", C("W1"), V("d"), C("Tom"))
+	if !a.Equal(want) {
+		t.Errorf("ApplyAtom = %v, want %v", a, want)
+	}
+}
+
+func TestSubstCloneIsolation(t *testing.T) {
+	s := NewSubst()
+	s.Bind("x", C("a"))
+	c := s.Clone()
+	c.Bind("x", C("b"))
+	if s.Apply(V("x")) != C("a") {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestSubstCompose(t *testing.T) {
+	s := NewSubst()
+	s.Bind("x", V("y"))
+	u := NewSubst()
+	u.Bind("y", C("a"))
+	u.Bind("z", C("b"))
+	comp := s.Compose(u)
+	if comp.Apply(V("x")) != C("a") {
+		t.Errorf("compose: x -> %v, want a", comp.Apply(V("x")))
+	}
+	if comp.Apply(V("z")) != C("b") {
+		t.Errorf("compose: z -> %v, want b (bindings of second kept)", comp.Apply(V("z")))
+	}
+}
+
+func TestSubstRestrict(t *testing.T) {
+	s := NewSubst()
+	s.Bind("x", C("a"))
+	s.Bind("y", C("b"))
+	r := s.Restrict([]Term{V("x"), V("missing"), C("const")})
+	if len(r) != 1 {
+		t.Fatalf("Restrict kept %d bindings, want 1", len(r))
+	}
+	if r.Apply(V("x")) != C("a") {
+		t.Error("Restrict lost binding for x")
+	}
+}
+
+func TestSubstIsGroundOn(t *testing.T) {
+	s := NewSubst()
+	s.Bind("x", C("a"))
+	s.Bind("y", V("z"))
+	if !s.IsGroundOn([]Term{V("x")}) {
+		t.Error("x is ground")
+	}
+	if s.IsGroundOn([]Term{V("y")}) {
+		t.Error("y resolves to a variable, not ground")
+	}
+	if s.IsGroundOn([]Term{V("w")}) {
+		t.Error("unbound variable is not ground")
+	}
+}
+
+func TestSubstKeyAndString(t *testing.T) {
+	s := NewSubst()
+	s.Bind("x", C("a"))
+	s.Bind("y", N("1"))
+	k1 := s.Key([]Term{V("x"), V("y")})
+	k2 := s.Key([]Term{V("y"), V("x")})
+	if k1 == k2 {
+		t.Error("Key must be order-sensitive on the variable list")
+	}
+	if got, want := s.String(), "{x->a, y->⊥1}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,191 @@
+// Package datalog implements the core Datalog± language used by the
+// multidimensional ontologies of Milani, Bertossi and Ariyan (ICDE 2014):
+// terms, atoms, tuple-generating dependencies (TGDs) with existential
+// heads, equality-generating dependencies (EGDs), negative constraints,
+// substitutions and unification.
+//
+// The package is purely syntactic: evaluation lives in the chase, qa and
+// rewrite packages, and extensional data lives in the storage package.
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of terms in Datalog±.
+type TermKind uint8
+
+const (
+	// KindConst is a constant from the underlying domain.
+	KindConst TermKind = iota
+	// KindVar is a variable (universally or existentially quantified,
+	// depending on the enclosing rule).
+	KindVar
+	// KindNull is a labeled null, invented by the chase for existential
+	// variables. Nulls behave like constants during matching (two nulls
+	// are equal iff they have the same label) but are not returned in
+	// certain answers.
+	KindNull
+)
+
+// Term is a constant, variable or labeled null. Terms are small immutable
+// values and are comparable, so they can be used as map keys.
+type Term struct {
+	Kind TermKind
+	Name string
+}
+
+// C returns a constant term.
+func C(name string) Term { return Term{Kind: KindConst, Name: name} }
+
+// V returns a variable term.
+func V(name string) Term { return Term{Kind: KindVar, Name: name} }
+
+// N returns a labeled null term.
+func N(label string) Term { return Term{Kind: KindNull, Name: label} }
+
+// IsConst reports whether t is a constant.
+func (t Term) IsConst() bool { return t.Kind == KindConst }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.Kind == KindVar }
+
+// IsNull reports whether t is a labeled null.
+func (t Term) IsNull() bool { return t.Kind == KindNull }
+
+// IsGround reports whether t contains no variables (constants and nulls
+// are both ground in the chase sense).
+func (t Term) IsGround() bool { return t.Kind != KindVar }
+
+// String renders the term: constants that need quoting are double-quoted,
+// variables are bare identifiers, nulls are rendered as ⊥label.
+func (t Term) String() string {
+	switch t.Kind {
+	case KindConst:
+		if needsQuote(t.Name) {
+			return strconv.Quote(t.Name)
+		}
+		return t.Name
+	case KindVar:
+		return t.Name
+	case KindNull:
+		return "⊥" + t.Name
+	default:
+		return fmt.Sprintf("?badterm(%d,%s)", t.Kind, t.Name)
+	}
+}
+
+// needsQuote reports whether a constant name must be quoted to be
+// re-parseable (it contains characters outside the bare-identifier set
+// or could be confused with a variable, which start with a lowercase
+// letter in queries but are explicitly marked in our surface syntax).
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				// Leading digit is fine for numeric constants only.
+				if !isNumeric(s) {
+					return true
+				}
+				return false
+			}
+		case r == '.' || r == '/' || r == ':' || r == '-':
+			// Common in the paper's data ("Sep/5-12:10", "37.5").
+			if !isNumeric(s) {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+// Compare orders terms: first by kind (consts < vars < nulls), then by
+// name, numerically when both names are numeric constants. It returns
+// -1, 0 or 1.
+func (t Term) Compare(u Term) int {
+	if t.Kind != u.Kind {
+		if t.Kind < u.Kind {
+			return -1
+		}
+		return 1
+	}
+	if t.Kind == KindConst {
+		if c, ok := compareNumeric(t.Name, u.Name); ok {
+			return c
+		}
+	}
+	return strings.Compare(t.Name, u.Name)
+}
+
+func compareNumeric(a, b string) (int, bool) {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA != nil || errB != nil {
+		return 0, false
+	}
+	switch {
+	case fa < fb:
+		return -1, true
+	case fa > fb:
+		return 1, true
+	default:
+		return 0, true
+	}
+}
+
+// TermsString renders a comma-separated term list.
+func TermsString(ts []Term) string {
+	var b strings.Builder
+	for i, t := range ts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// CloneTerms returns a copy of the slice (terms themselves are values).
+func CloneTerms(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// Counter hands out fresh names with a prefix; it is used for fresh
+// nulls during the chase and fresh variables during rule renaming. The
+// zero value is ready to use. Counter is not safe for concurrent use.
+type Counter struct {
+	prefix string
+	next   int
+}
+
+// NewCounter returns a counter producing names prefix0, prefix1, ...
+func NewCounter(prefix string) *Counter { return &Counter{prefix: prefix} }
+
+// Next returns the next fresh name.
+func (c *Counter) Next() string {
+	s := c.prefix + strconv.Itoa(c.next)
+	c.next++
+	return s
+}
+
+// FreshNull returns a fresh labeled null.
+func (c *Counter) FreshNull() Term { return N(c.Next()) }
+
+// FreshVar returns a fresh variable.
+func (c *Counter) FreshVar() Term { return V(c.Next()) }

@@ -1,0 +1,125 @@
+package datalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermKinds(t *testing.T) {
+	c := C("W1")
+	v := V("x")
+	n := N("0")
+	if !c.IsConst() || c.IsVar() || c.IsNull() {
+		t.Errorf("C(W1) kind flags wrong: %+v", c)
+	}
+	if !v.IsVar() || v.IsConst() || v.IsNull() {
+		t.Errorf("V(x) kind flags wrong: %+v", v)
+	}
+	if !n.IsNull() || n.IsConst() || n.IsVar() {
+		t.Errorf("N(0) kind flags wrong: %+v", n)
+	}
+	if !c.IsGround() || v.IsGround() || !n.IsGround() {
+		t.Errorf("groundness wrong: c=%v v=%v n=%v", c.IsGround(), v.IsGround(), n.IsGround())
+	}
+}
+
+func TestTermEqualityAsMapKey(t *testing.T) {
+	m := map[Term]int{}
+	m[C("a")] = 1
+	m[V("a")] = 2
+	m[N("a")] = 3
+	if len(m) != 3 {
+		t.Fatalf("terms with same name but different kinds must be distinct keys, got %d entries", len(m))
+	}
+	if m[C("a")] != 1 || m[V("a")] != 2 || m[N("a")] != 3 {
+		t.Fatalf("map lookups wrong: %v", m)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{C("W1"), "W1"},
+		{C("Tom Waits"), `"Tom Waits"`},
+		{C("Sep/5-12:10"), `"Sep/5-12:10"`},
+		{C("38.2"), "38.2"},
+		{C(""), `""`},
+		{C("123"), "123"},
+		{V("x"), "x"},
+		{N("7"), "⊥7"},
+	}
+	for _, tc := range cases {
+		if got := tc.term.String(); got != tc.want {
+			t.Errorf("String(%+v) = %q, want %q", tc.term, got, tc.want)
+		}
+	}
+}
+
+func TestTermCompare(t *testing.T) {
+	cases := []struct {
+		a, b Term
+		want int
+	}{
+		{C("a"), C("b"), -1},
+		{C("b"), C("a"), 1},
+		{C("a"), C("a"), 0},
+		{C("2"), C("10"), -1}, // numeric, not lexicographic
+		{C("10"), C("2"), 1},
+		{C("1.5"), C("1.50"), 0},
+		{C("z"), V("a"), -1}, // consts before vars
+		{V("z"), N("a"), -1}, // vars before nulls
+		{C("Sep/5-11:45"), C("Sep/5-12:15"), -1},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestTermCompareAntisymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		x, y := C(a), C(b)
+		return x.Compare(y) == -y.Compare(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("n")
+	if got := c.Next(); got != "n0" {
+		t.Errorf("first Next = %q, want n0", got)
+	}
+	if got := c.Next(); got != "n1" {
+		t.Errorf("second Next = %q, want n1", got)
+	}
+	nu := c.FreshNull()
+	if !nu.IsNull() || nu.Name != "n2" {
+		t.Errorf("FreshNull = %v, want ⊥n2", nu)
+	}
+	va := c.FreshVar()
+	if !va.IsVar() || va.Name != "n3" {
+		t.Errorf("FreshVar = %v, want var n3", va)
+	}
+}
+
+func TestTermsString(t *testing.T) {
+	got := TermsString([]Term{C("W1"), V("x"), N("2")})
+	want := "W1, x, ⊥2"
+	if got != want {
+		t.Errorf("TermsString = %q, want %q", got, want)
+	}
+}
+
+func TestCloneTermsIndependence(t *testing.T) {
+	orig := []Term{C("a"), V("x")}
+	cl := CloneTerms(orig)
+	cl[0] = C("b")
+	if orig[0] != C("a") {
+		t.Error("CloneTerms must not share backing array effects")
+	}
+}

@@ -1,0 +1,370 @@
+// Package eval implements bottom-up evaluation of plain Datalog
+// programs (TGDs without existential variables) with stratified
+// negation and built-in comparisons, using semi-naive iteration over
+// storage instances.
+//
+// The quality framework of the paper (Section V) defines contextual
+// predicates, quality predicates P_i and quality versions S^q through
+// plain Datalog rules over the chased ontology — this package is the
+// engine that computes them. It also evaluates the unions of
+// conjunctive queries produced by the FO rewriting of Section IV.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// Rule is a plain Datalog rule with one head atom, a positive body,
+// optional safe negated atoms (stratified), and optional built-in
+// comparisons:
+//
+//	Head ← B1, ..., Bn, not N1, ..., not Nk, c1, ..., cm
+type Rule struct {
+	ID      string
+	Head    datalog.Atom
+	Body    []datalog.Atom
+	Negated []datalog.Atom
+	Conds   []datalog.Comparison
+}
+
+// NewRule builds a positive rule.
+func NewRule(id string, head datalog.Atom, body ...datalog.Atom) *Rule {
+	return &Rule{ID: id, Head: head, Body: body}
+}
+
+// WithNegated appends a negated atom and returns the rule.
+func (r *Rule) WithNegated(a datalog.Atom) *Rule {
+	r.Negated = append(r.Negated, a)
+	return r
+}
+
+// WithCond appends a comparison and returns the rule.
+func (r *Rule) WithCond(op datalog.CompOp, l, rt datalog.Term) *Rule {
+	r.Conds = append(r.Conds, datalog.Comparison{Op: op, L: l, R: rt})
+	return r
+}
+
+// Validate checks safety: every head variable, negated-atom variable
+// and comparison variable must occur in the positive body.
+func (r *Rule) Validate() error {
+	if len(r.Body) == 0 {
+		return fmt.Errorf("eval: rule %s has empty body", r.ID)
+	}
+	bodyVars := map[datalog.Term]bool{}
+	for _, v := range datalog.VarsOfAtoms(r.Body) {
+		bodyVars[v] = true
+	}
+	for _, v := range r.Head.Vars() {
+		if !bodyVars[v] {
+			return fmt.Errorf("eval: rule %s: head variable %s not bound in body (existential rules belong to the chase, not eval)", r.ID, v)
+		}
+	}
+	for _, n := range r.Negated {
+		for _, v := range n.Vars() {
+			if !bodyVars[v] {
+				return fmt.Errorf("eval: rule %s: negated variable %s unsafe", r.ID, v)
+			}
+		}
+	}
+	for _, c := range r.Conds {
+		for _, t := range []datalog.Term{c.L, c.R} {
+			if t.IsVar() && !bodyVars[t] {
+				return fmt.Errorf("eval: rule %s: condition variable %s unsafe", r.ID, t)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the rule.
+func (r *Rule) String() string {
+	q := datalog.Query{Head: r.Head, Body: r.Body, Negated: r.Negated, Conds: r.Conds}
+	return q.String()
+}
+
+// Program is a set of plain Datalog rules.
+type Program struct {
+	Rules []*Rule
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{} }
+
+// Add appends rules.
+func (p *Program) Add(rules ...*Rule) { p.Rules = append(p.Rules, rules...) }
+
+// Validate validates every rule.
+func (p *Program) Validate() error {
+	for _, r := range p.Rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stratify partitions the rules into strata such that negation never
+// crosses within a stratum: the stratum of a head predicate is at
+// least the stratum of every positive body predicate, and strictly
+// greater than the stratum of every negated predicate. It returns an
+// error when the program has recursion through negation.
+func (p *Program) Stratify() ([][]*Rule, error) {
+	stratum := map[string]int{}
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	// Iterate the constraints to a fixpoint; n*|rules| iterations
+	// suffice for a stratifiable program, one more pass detects cycles.
+	limit := len(p.Rules)*len(idb) + len(p.Rules) + 1
+	for i := 0; i < limit; i++ {
+		changed := false
+		for _, r := range p.Rules {
+			h := stratum[r.Head.Pred]
+			for _, b := range r.Body {
+				if idb[b.Pred] && stratum[b.Pred] > h {
+					h = stratum[b.Pred]
+				}
+			}
+			for _, n := range r.Negated {
+				if idb[n.Pred] && stratum[n.Pred]+1 > h {
+					h = stratum[n.Pred] + 1
+				}
+			}
+			if h > len(idb) {
+				return nil, fmt.Errorf("eval: recursion through negation involving %s", r.Head.Pred)
+			}
+			if h != stratum[r.Head.Pred] {
+				stratum[r.Head.Pred] = h
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	max := 0
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	out := make([][]*Rule, max+1)
+	for _, r := range p.Rules {
+		s := stratum[r.Head.Pred]
+		out[s] = append(out[s], r)
+	}
+	return out, nil
+}
+
+// Eval computes the program's least fixpoint over a copy of db and
+// returns the resulting instance (EDB plus derived IDB atoms). The
+// input instance is not modified.
+func Eval(p *Program, db *storage.Instance) (*storage.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	out := db.Clone()
+	for _, rules := range strata {
+		if len(rules) == 0 {
+			continue
+		}
+		if err := evalStratum(rules, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// evalStratum runs semi-naive iteration for one stratum, mutating db.
+func evalStratum(rules []*Rule, db *storage.Instance) error {
+	idb := map[string]bool{}
+	for _, r := range rules {
+		idb[r.Head.Pred] = true
+	}
+
+	// Round 0: full naive pass.
+	delta, err := fullPass(rules, db)
+	if err != nil {
+		return err
+	}
+	// Subsequent rounds: a rule re-fires only with at least one body
+	// atom matching the previous round's delta.
+	for len(delta) > 0 {
+		var next []datalog.Atom
+		for _, r := range rules {
+			derived, err := deltaPass(r, db, delta, idb)
+			if err != nil {
+				return err
+			}
+			next = append(next, derived...)
+		}
+		delta = next
+	}
+	return nil
+}
+
+// fullPass applies every rule against the full instance once,
+// returning newly inserted atoms.
+func fullPass(rules []*Rule, db *storage.Instance) ([]datalog.Atom, error) {
+	var added []datalog.Atom
+	for _, r := range rules {
+		var derr error
+		db.MatchConjunction(r.Body, datalog.NewSubst(), func(s datalog.Subst) bool {
+			ok, err := ruleFilters(r, s, db)
+			if err != nil {
+				derr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+			atom := s.ApplyAtom(r.Head)
+			isNew, err := db.InsertAtom(atom)
+			if err != nil {
+				derr = err
+				return false
+			}
+			if isNew {
+				added = append(added, atom)
+			}
+			return true
+		})
+		if derr != nil {
+			return nil, derr
+		}
+	}
+	return added, nil
+}
+
+// deltaPass applies one rule requiring some IDB body atom to match an
+// atom of the delta, returning newly inserted atoms.
+func deltaPass(r *Rule, db *storage.Instance, delta []datalog.Atom, idb map[string]bool) ([]datalog.Atom, error) {
+	var added []datalog.Atom
+	deltaByPred := map[string][]datalog.Atom{}
+	for _, a := range delta {
+		deltaByPred[a.Pred] = append(deltaByPred[a.Pred], a)
+	}
+	for i, pivot := range r.Body {
+		if !idb[pivot.Pred] {
+			continue
+		}
+		for _, fact := range deltaByPred[pivot.Pred] {
+			s, ok := datalog.Match(pivot, fact, datalog.NewSubst())
+			if !ok {
+				continue
+			}
+			rest := make([]datalog.Atom, 0, len(r.Body)-1)
+			rest = append(rest, r.Body[:i]...)
+			rest = append(rest, r.Body[i+1:]...)
+			var derr error
+			db.MatchConjunction(rest, s, func(s2 datalog.Subst) bool {
+				ok, err := ruleFilters(r, s2, db)
+				if err != nil {
+					derr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+				atom := s2.ApplyAtom(r.Head)
+				isNew, err := db.InsertAtom(atom)
+				if err != nil {
+					derr = err
+					return false
+				}
+				if isNew {
+					added = append(added, atom)
+				}
+				return true
+			})
+			if derr != nil {
+				return nil, derr
+			}
+		}
+	}
+	return added, nil
+}
+
+// ruleFilters checks the rule's negated atoms (closed world) and
+// comparisons under a complete body match.
+func ruleFilters(r *Rule, s datalog.Subst, db *storage.Instance) (bool, error) {
+	for _, n := range r.Negated {
+		if db.ContainsAtom(s.ApplyAtom(n)) {
+			return false, nil
+		}
+	}
+	for _, c := range r.Conds {
+		ok, err := c.Eval(s)
+		if err != nil {
+			return false, fmt.Errorf("eval: rule %s: %w", r.ID, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EvalQuery evaluates a conjunctive query (with optional negation and
+// comparisons, both under closed-world assumption) directly over an
+// instance, returning all answers including those containing labeled
+// nulls. Certain-answer filtering is the caller's concern (see qa).
+func EvalQuery(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	answers := datalog.NewAnswerSet()
+	ansVars := q.Head.Args
+	var derr error
+	db.MatchConjunction(q.Body, datalog.NewSubst(), func(s datalog.Subst) bool {
+		for _, n := range q.Negated {
+			if db.ContainsAtom(s.ApplyAtom(n)) {
+				return true
+			}
+		}
+		for _, c := range q.Conds {
+			ok, err := c.Eval(s)
+			if err != nil {
+				derr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		terms := make([]datalog.Term, len(ansVars))
+		for i, v := range ansVars {
+			terms[i] = s.Apply(v)
+		}
+		answers.Add(datalog.Answer{Terms: terms})
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	return answers, nil
+}
+
+// EvalUCQ evaluates a union of conjunctive queries, unioning the
+// answer sets. All queries must share the head arity.
+func EvalUCQ(qs []*datalog.Query, db *storage.Instance) (*datalog.AnswerSet, error) {
+	answers := datalog.NewAnswerSet()
+	for _, q := range qs {
+		as, err := EvalQuery(q, db)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range as.All() {
+			answers.Add(a)
+		}
+	}
+	return answers, nil
+}

@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	dl "repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// graphValue generates a random edge relation for closure programs.
+type graphValue struct {
+	DB *storage.Instance
+}
+
+func (graphValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	db := storage.NewInstance()
+	nodes := 2 + r.Intn(6)
+	edges := 1 + r.Intn(12)
+	for i := 0; i < edges; i++ {
+		a := fmt.Sprintf("n%d", r.Intn(nodes))
+		b := fmt.Sprintf("n%d", r.Intn(nodes))
+		db.MustInsert("Edge", dl.C(a), dl.C(b))
+	}
+	return reflect.ValueOf(graphValue{DB: db})
+}
+
+// naiveEval is a reference implementation: apply every rule against
+// the full instance until nothing changes (no delta optimization).
+// Used to cross-check the semi-naive engine.
+func naiveEval(p *Program, db *storage.Instance) (*storage.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	out := db.Clone()
+	for _, rules := range strata {
+		for {
+			changed := false
+			for _, r := range rules {
+				var derr error
+				out.MatchConjunction(r.Body, dl.NewSubst(), func(s dl.Subst) bool {
+					ok, err := ruleFilters(r, s, out)
+					if err != nil {
+						derr = err
+						return false
+					}
+					if !ok {
+						return true
+					}
+					isNew, err := out.InsertAtom(s.ApplyAtom(r.Head))
+					if err != nil {
+						derr = err
+						return false
+					}
+					if isNew {
+						changed = true
+					}
+					return true
+				})
+				if derr != nil {
+					return nil, derr
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func TestQuickSemiNaiveMatchesNaive(t *testing.T) {
+	f := func(gv graphValue) bool {
+		p := NewProgram()
+		p.Add(NewRule("base", dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("x"), dl.V("y"))))
+		p.Add(NewRule("step", dl.A("Reach", dl.V("x"), dl.V("z")),
+			dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("y"), dl.V("z"))))
+		fast, err := Eval(p, gv.DB)
+		if err != nil {
+			return false
+		}
+		slow, err := naiveEval(p, gv.DB)
+		if err != nil {
+			return false
+		}
+		return fast.Equal(slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSemiNaiveMatchesNaiveWithNegation(t *testing.T) {
+	f := func(gv graphValue) bool {
+		p := NewProgram()
+		p.Add(NewRule("base", dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("x"), dl.V("y"))))
+		p.Add(NewRule("step", dl.A("Reach", dl.V("x"), dl.V("z")),
+			dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("y"), dl.V("z"))))
+		p.Add(NewRule("n1", dl.A("Node", dl.V("x")), dl.A("Edge", dl.V("x"), dl.V("y"))))
+		p.Add(NewRule("n2", dl.A("Node", dl.V("y")), dl.A("Edge", dl.V("x"), dl.V("y"))))
+		p.Add(NewRule("sink", dl.A("Sink", dl.V("x")), dl.A("Node", dl.V("x"))).
+			WithNegated(dl.A("Edge", dl.V("x"), dl.V("x"))))
+		fast, err := Eval(p, gv.DB)
+		if err != nil {
+			return false
+		}
+		slow, err := naiveEval(p, gv.DB)
+		if err != nil {
+			return false
+		}
+		return fast.Equal(slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClosureContainsEdges(t *testing.T) {
+	// Reach ⊇ Edge and Reach is transitively closed.
+	f := func(gv graphValue) bool {
+		p := NewProgram()
+		p.Add(NewRule("base", dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("x"), dl.V("y"))))
+		p.Add(NewRule("step", dl.A("Reach", dl.V("x"), dl.V("z")),
+			dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("y"), dl.V("z"))))
+		out, err := Eval(p, gv.DB)
+		if err != nil {
+			return false
+		}
+		reach := out.Relation("Reach")
+		for _, e := range gv.DB.Relation("Edge").Tuples() {
+			if !reach.Contains(e) {
+				return false
+			}
+		}
+		// Closure: Reach ∘ Edge ⊆ Reach.
+		for _, rt := range reach.Tuples() {
+			for _, e := range gv.DB.Relation("Edge").Tuples() {
+				if rt[1] == e[0] && !reach.Contains([]dl.Term{rt[0], e[1]}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

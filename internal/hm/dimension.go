@@ -1,0 +1,303 @@
+package hm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dimension is a dimension instance: members assigned to categories,
+// and a child-parent rollup relation between members of adjacent
+// categories, paralleling the schema DAG.
+type Dimension struct {
+	schema       *DimensionSchema
+	categoryOf   map[string]string   // member -> its category
+	membersByCat map[string][]string // category -> members, insertion order
+	up           map[string][]string // member -> adjacent parent members
+	down         map[string][]string // member -> adjacent child members
+}
+
+// NewDimension creates an empty instance over the schema.
+func NewDimension(schema *DimensionSchema) *Dimension {
+	return &Dimension{
+		schema:       schema,
+		categoryOf:   map[string]string{},
+		membersByCat: map[string][]string{},
+		up:           map[string][]string{},
+		down:         map[string][]string{},
+	}
+}
+
+// Schema returns the dimension schema.
+func (d *Dimension) Schema() *DimensionSchema { return d.schema }
+
+// Name returns the dimension name.
+func (d *Dimension) Name() string { return d.schema.Name() }
+
+// AddMember places a member in a category. A member name is unique
+// across the dimension (HM members belong to exactly one category).
+func (d *Dimension) AddMember(category, member string) error {
+	if !d.schema.HasCategory(category) {
+		return fmt.Errorf("hm: %s: unknown category %s", d.Name(), category)
+	}
+	if member == "" {
+		return fmt.Errorf("hm: %s: empty member name", d.Name())
+	}
+	if prev, ok := d.categoryOf[member]; ok {
+		return fmt.Errorf("hm: %s: member %s already in category %s", d.Name(), member, prev)
+	}
+	d.categoryOf[member] = category
+	d.membersByCat[category] = append(d.membersByCat[category], member)
+	return nil
+}
+
+// MustAddMember panics on error.
+func (d *Dimension) MustAddMember(category, member string) {
+	if err := d.AddMember(category, member); err != nil {
+		panic(err)
+	}
+}
+
+// AddRollup records that child member rolls up to parent member. Both
+// members must exist and their categories must be adjacent in the
+// schema.
+func (d *Dimension) AddRollup(child, parent string) error {
+	cc, ok := d.categoryOf[child]
+	if !ok {
+		return fmt.Errorf("hm: %s: unknown member %s", d.Name(), child)
+	}
+	pc, ok := d.categoryOf[parent]
+	if !ok {
+		return fmt.Errorf("hm: %s: unknown member %s", d.Name(), parent)
+	}
+	adjacent := false
+	for _, p := range d.schema.Parents(cc) {
+		if p == pc {
+			adjacent = true
+			break
+		}
+	}
+	if !adjacent {
+		return fmt.Errorf("hm: %s: no schema edge %s -> %s for rollup %s -> %s", d.Name(), cc, pc, child, parent)
+	}
+	for _, p := range d.up[child] {
+		if p == parent {
+			return fmt.Errorf("hm: %s: rollup %s -> %s already declared", d.Name(), child, parent)
+		}
+	}
+	d.up[child] = append(d.up[child], parent)
+	d.down[parent] = append(d.down[parent], child)
+	return nil
+}
+
+// MustAddRollup panics on error.
+func (d *Dimension) MustAddRollup(child, parent string) {
+	if err := d.AddRollup(child, parent); err != nil {
+		panic(err)
+	}
+}
+
+// CategoryOf returns the category of a member.
+func (d *Dimension) CategoryOf(member string) (string, bool) {
+	c, ok := d.categoryOf[member]
+	return c, ok
+}
+
+// MembersOf returns the members of a category in insertion order.
+func (d *Dimension) MembersOf(category string) []string {
+	out := make([]string, len(d.membersByCat[category]))
+	copy(out, d.membersByCat[category])
+	return out
+}
+
+// MemberCount returns the total number of members.
+func (d *Dimension) MemberCount() int { return len(d.categoryOf) }
+
+// ParentsOf returns the adjacent parent members of member.
+func (d *Dimension) ParentsOf(member string) []string {
+	out := make([]string, len(d.up[member]))
+	copy(out, d.up[member])
+	return out
+}
+
+// ChildrenOf returns the adjacent child members of member.
+func (d *Dimension) ChildrenOf(member string) []string {
+	out := make([]string, len(d.down[member]))
+	copy(out, d.down[member])
+	return out
+}
+
+// RollupAll returns every member of the target category reachable from
+// member by following rollups upward; sorted for determinism. It is
+// the transitive rollup relation of the HM model.
+func (d *Dimension) RollupAll(member, targetCategory string) []string {
+	startCat, ok := d.categoryOf[member]
+	if !ok {
+		return nil
+	}
+	if startCat == targetCategory {
+		return []string{member}
+	}
+	seen := map[string]bool{member: true}
+	queue := []string{member}
+	var out []string
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		for _, p := range d.up[m] {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if d.categoryOf[p] == targetCategory {
+				out = append(out, p)
+			}
+			queue = append(queue, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RollupOne returns the unique member of the target category the
+// member rolls up to. It errors when there is none or more than one
+// (non-strict instance).
+func (d *Dimension) RollupOne(member, targetCategory string) (string, error) {
+	all := d.RollupAll(member, targetCategory)
+	switch len(all) {
+	case 0:
+		return "", fmt.Errorf("hm: %s: member %s does not roll up to category %s", d.Name(), member, targetCategory)
+	case 1:
+		return all[0], nil
+	default:
+		return "", fmt.Errorf("hm: %s: member %s rolls up to %d members of %s (non-strict)", d.Name(), member, len(all), targetCategory)
+	}
+}
+
+// DrilldownAll returns every member of the target category from which
+// member is reachable upward (the inverse transitive rollup), sorted.
+func (d *Dimension) DrilldownAll(member, targetCategory string) []string {
+	startCat, ok := d.categoryOf[member]
+	if !ok {
+		return nil
+	}
+	if startCat == targetCategory {
+		return []string{member}
+	}
+	seen := map[string]bool{member: true}
+	queue := []string{member}
+	var out []string
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		for _, c := range d.down[m] {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			if d.categoryOf[c] == targetCategory {
+				out = append(out, c)
+			}
+			queue = append(queue, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Violation describes a failed integrity check on the instance.
+type Violation struct {
+	Check  string // "strictness" | "homogeneity"
+	Member string
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: member %s: %s", v.Check, v.Member, v.Detail)
+}
+
+// CheckStrictness verifies that every member rolls up to at most one
+// member in each ancestor category (the HM strictness condition that
+// makes rollup functional and summarization sound).
+func (d *Dimension) CheckStrictness() []Violation {
+	var out []Violation
+	levels := d.schema.Levels()
+	for member, cat := range d.categoryOf {
+		for _, target := range d.schema.Categories() {
+			if target == cat || !d.schema.IsAncestor(cat, target) {
+				continue
+			}
+			if levels[target] <= levels[cat] {
+				continue
+			}
+			if ups := d.RollupAll(member, target); len(ups) > 1 {
+				out = append(out, Violation{
+					Check:  "strictness",
+					Member: member,
+					Detail: fmt.Sprintf("rolls up to %d members of %s: %v", len(ups), target, ups),
+				})
+			}
+		}
+	}
+	sortViolations(out)
+	return out
+}
+
+// CheckHomogeneity verifies that every member has at least one parent
+// in every adjacent parent category (no partial rollups), the HM
+// covering condition.
+func (d *Dimension) CheckHomogeneity() []Violation {
+	var out []Violation
+	for member, cat := range d.categoryOf {
+		for _, pcat := range d.schema.Parents(cat) {
+			found := false
+			for _, p := range d.up[member] {
+				if d.categoryOf[p] == pcat {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, Violation{
+					Check:  "homogeneity",
+					Member: member,
+					Detail: fmt.Sprintf("no parent in category %s", pcat),
+				})
+			}
+		}
+	}
+	sortViolations(out)
+	return out
+}
+
+// Summarizable reports whether rollup from one category to another is
+// summarizable: every member of from reaches exactly one member of to.
+// Under HM this is equivalent to strictness plus homogeneity along the
+// paths between the two categories.
+func (d *Dimension) Summarizable(from, to string) bool {
+	if !d.schema.IsAncestor(from, to) || from == to {
+		return false
+	}
+	for _, m := range d.membersByCat[from] {
+		if len(d.RollupAll(m, to)) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate runs the structural checks: schema validity and rollup
+// integrity are enforced on insertion, so this checks only that the
+// instance is non-trivially usable.
+func (d *Dimension) Validate() error {
+	return d.schema.Validate()
+}
+
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Member != vs[j].Member {
+			return vs[i].Member < vs[j].Member
+		}
+		return vs[i].Detail < vs[j].Detail
+	})
+}

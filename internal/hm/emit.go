@@ -1,0 +1,134 @@
+package hm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// RollupPredName names the parent-child predicate for a (child,
+// parent) category pair, following the paper's convention of parent
+// category first: UnitWard(u, w) holds when ward w belongs to unit u,
+// MonthDay(m, d) when day d falls in month m.
+func RollupPredName(child, parent string) string { return parent + child }
+
+// CategoryPredName names the unary category predicate; the paper uses
+// the bare category name: Ward(·), Unit(·).
+func CategoryPredName(category string) string { return category }
+
+// EmitAtoms writes the dimension instance into a storage instance as
+// the ontology's extensional dimensional data:
+//
+//   - one unary fact Category(member) per member (the K predicates),
+//   - one binary fact ParentChild(parentMember, childMember) per
+//     rollup edge (the O predicates).
+func (d *Dimension) EmitAtoms(db *storage.Instance) error {
+	for _, cat := range d.schema.Categories() {
+		if _, err := db.CreateRelation(CategoryPredName(cat), "member"); err != nil {
+			return err
+		}
+		for _, m := range d.membersByCat[cat] {
+			if _, err := db.Insert(CategoryPredName(cat), datalog.C(m)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range d.schema.Edges() {
+		child, parent := e[0], e[1]
+		pred := RollupPredName(child, parent)
+		if _, err := db.CreateRelation(pred, strings.ToLower(parent), strings.ToLower(child)); err != nil {
+			return err
+		}
+	}
+	for member, cat := range d.categoryOf {
+		for _, p := range d.up[member] {
+			pcat := d.categoryOf[p]
+			pred := RollupPredName(cat, pcat)
+			if _, err := db.Insert(pred, datalog.C(p), datalog.C(member)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TransitiveRollupProgram returns plain Datalog rules defining the
+// transitive rollup predicate RollupPredName(child, ancestor) for
+// every non-adjacent ancestor pair, composed from the adjacent
+// predicates. Categorical relations can then navigate across several
+// levels in one join.
+func (d *Dimension) TransitiveRollupProgram() []*datalog.TGD {
+	var out []*datalog.TGD
+	cats := d.schema.Categories()
+	for _, child := range cats {
+		for _, anc := range cats {
+			if child == anc || !d.schema.IsAncestor(child, anc) {
+				continue
+			}
+			adjacent := false
+			for _, p := range d.schema.Parents(child) {
+				if p == anc {
+					adjacent = true
+					break
+				}
+			}
+			if adjacent {
+				continue
+			}
+			// child -> mid -> ... -> anc: compose via each adjacent
+			// parent of child that still reaches anc.
+			for _, mid := range d.schema.Parents(child) {
+				if !d.schema.IsAncestor(mid, anc) {
+					continue
+				}
+				id := fmt.Sprintf("rollup-%s-%s-%s-via-%s", d.Name(), child, anc, mid)
+				out = append(out, datalog.NewTGD(id,
+					[]datalog.Atom{datalog.A(RollupPredName(child, anc), datalog.V("a"), datalog.V("c"))},
+					[]datalog.Atom{
+						datalog.A(RollupPredName(child, mid), datalog.V("m"), datalog.V("c")),
+						datalog.A(RollupPredName(mid, anc), datalog.V("a"), datalog.V("m")),
+					}))
+			}
+		}
+	}
+	return out
+}
+
+// DOT renders the dimension (schema and optionally the instance
+// members) in Graphviz DOT format; used to regenerate the dimension
+// half of the paper's Figure 1.
+func (d *Dimension) DOT(withMembers bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", d.Name())
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [shape=box];\n")
+	for _, cat := range d.schema.Categories() {
+		fmt.Fprintf(&b, "  %q [style=bold];\n", cat)
+	}
+	for _, e := range d.schema.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q;\n", e[0], e[1])
+	}
+	if withMembers {
+		members := make([]string, 0, len(d.categoryOf))
+		for m := range d.categoryOf {
+			members = append(members, m)
+		}
+		sort.Strings(members)
+		for _, m := range members {
+			fmt.Fprintf(&b, "  %q [shape=ellipse];\n", "m:"+m)
+			fmt.Fprintf(&b, "  %q -> %q [style=dotted, arrowhead=none];\n", "m:"+m, d.categoryOf[m])
+		}
+		for _, m := range members {
+			ups := append([]string(nil), d.up[m]...)
+			sort.Strings(ups)
+			for _, p := range ups {
+				fmt.Fprintf(&b, "  %q -> %q;\n", "m:"+m, "m:"+p)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

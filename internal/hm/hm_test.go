@@ -1,0 +1,399 @@
+package hm
+
+import (
+	"strings"
+	"testing"
+
+	dl "repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// hospitalSchema builds the Hospital dimension of Fig. 1:
+// Ward -> Unit -> Institution -> AllHospital.
+func hospitalSchema(t *testing.T) *DimensionSchema {
+	t.Helper()
+	s := NewDimensionSchema("Hospital")
+	for _, c := range []string{"Ward", "Unit", "Institution", "AllHospital"} {
+		if err := s.AddCategory(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"Ward", "Unit"}, {"Unit", "Institution"}, {"Institution", "AllHospital"}} {
+		if err := s.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// hospitalDim builds the Hospital instance of Fig. 1: wards W1..W4,
+// units Standard/Intensive/Terminal, institutions H1/H2.
+func hospitalDim(t *testing.T) *Dimension {
+	t.Helper()
+	d := NewDimension(hospitalSchema(t))
+	for _, m := range []string{"W1", "W2", "W3", "W4"} {
+		d.MustAddMember("Ward", m)
+	}
+	for _, m := range []string{"Standard", "Intensive", "Terminal"} {
+		d.MustAddMember("Unit", m)
+	}
+	d.MustAddMember("Institution", "H1")
+	d.MustAddMember("Institution", "H2")
+	d.MustAddMember("AllHospital", "allHospital")
+	d.MustAddRollup("W1", "Standard")
+	d.MustAddRollup("W2", "Standard")
+	d.MustAddRollup("W3", "Intensive")
+	d.MustAddRollup("W4", "Terminal")
+	d.MustAddRollup("Standard", "H1")
+	d.MustAddRollup("Intensive", "H1")
+	d.MustAddRollup("Terminal", "H2")
+	d.MustAddRollup("H1", "allHospital")
+	d.MustAddRollup("H2", "allHospital")
+	return d
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := hospitalSchema(t)
+	if s.Name() != "Hospital" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if got := s.Categories(); len(got) != 4 || got[0] != "Ward" {
+		t.Errorf("Categories = %v", got)
+	}
+	if !s.HasCategory("Unit") || s.HasCategory("ICU") {
+		t.Error("HasCategory wrong")
+	}
+	if got := s.Parents("Ward"); len(got) != 1 || got[0] != "Unit" {
+		t.Errorf("Parents(Ward) = %v", got)
+	}
+	if got := s.Children("Unit"); len(got) != 1 || got[0] != "Ward" {
+		t.Errorf("Children(Unit) = %v", got)
+	}
+	if got := s.Bottoms(); len(got) != 1 || got[0] != "Ward" {
+		t.Errorf("Bottoms = %v", got)
+	}
+	if got := s.Tops(); len(got) != 1 || got[0] != "AllHospital" {
+		t.Errorf("Tops = %v", got)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	s := NewDimensionSchema("D")
+	if err := s.AddCategory(""); err == nil {
+		t.Error("empty category must fail")
+	}
+	s.MustAddCategory("A")
+	if err := s.AddCategory("A"); err == nil {
+		t.Error("duplicate category must fail")
+	}
+	if err := s.AddEdge("A", "Z"); err == nil {
+		t.Error("edge to unknown category must fail")
+	}
+	if err := s.AddEdge("A", "A"); err == nil {
+		t.Error("self edge must fail")
+	}
+	s.MustAddCategory("B")
+	s.MustAddEdge("A", "B")
+	if err := s.AddEdge("A", "B"); err == nil {
+		t.Error("duplicate edge must fail")
+	}
+	if err := s.AddEdge("B", "A"); err == nil {
+		t.Error("cycle must be rejected")
+	}
+	// Rejected edge must have been rolled back.
+	if got := s.Parents("B"); len(got) != 0 {
+		t.Errorf("rollback failed: Parents(B) = %v", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	if err := NewDimensionSchema("E").Validate(); err == nil {
+		t.Error("empty schema must fail validation")
+	}
+}
+
+func TestSchemaIsAncestorAndLevels(t *testing.T) {
+	s := hospitalSchema(t)
+	if !s.IsAncestor("Ward", "Institution") {
+		t.Error("Institution is an ancestor of Ward")
+	}
+	if !s.IsAncestor("Ward", "Ward") {
+		t.Error("a category is its own ancestor (reflexive)")
+	}
+	if s.IsAncestor("Institution", "Ward") {
+		t.Error("Ward is not an ancestor of Institution")
+	}
+	lv := s.Levels()
+	want := map[string]int{"Ward": 0, "Unit": 1, "Institution": 2, "AllHospital": 3}
+	for c, l := range want {
+		if lv[c] != l {
+			t.Errorf("level(%s) = %d, want %d", c, lv[c], l)
+		}
+	}
+	if s.Height() != 3 {
+		t.Errorf("Height = %d, want 3", s.Height())
+	}
+}
+
+func TestSchemaDAGMultiParent(t *testing.T) {
+	// Time-style lattice: Time -> Day -> Month -> Year and Day -> Week.
+	s := NewDimensionSchema("Time")
+	for _, c := range []string{"Time", "Day", "Week", "Month", "Year"} {
+		s.MustAddCategory(c)
+	}
+	s.MustAddEdge("Time", "Day")
+	s.MustAddEdge("Day", "Week")
+	s.MustAddEdge("Day", "Month")
+	s.MustAddEdge("Month", "Year")
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Parents("Day"); len(got) != 2 {
+		t.Errorf("Parents(Day) = %v, want Week and Month", got)
+	}
+	lv := s.Levels()
+	if lv["Week"] != 2 || lv["Year"] != 3 {
+		t.Errorf("levels = %v", lv)
+	}
+}
+
+func TestDimensionMembers(t *testing.T) {
+	d := hospitalDim(t)
+	if got, _ := d.CategoryOf("W1"); got != "Ward" {
+		t.Errorf("CategoryOf(W1) = %q", got)
+	}
+	if _, ok := d.CategoryOf("nope"); ok {
+		t.Error("unknown member must not resolve")
+	}
+	if got := d.MembersOf("Unit"); len(got) != 3 {
+		t.Errorf("MembersOf(Unit) = %v", got)
+	}
+	if d.MemberCount() != 10 {
+		t.Errorf("MemberCount = %d, want 10", d.MemberCount())
+	}
+	if err := d.AddMember("Ward", "W1"); err == nil {
+		t.Error("duplicate member must fail")
+	}
+	if err := d.AddMember("ICU", "X"); err == nil {
+		t.Error("unknown category must fail")
+	}
+	if err := d.AddMember("Ward", ""); err == nil {
+		t.Error("empty member must fail")
+	}
+}
+
+func TestDimensionRollupErrors(t *testing.T) {
+	d := hospitalDim(t)
+	if err := d.AddRollup("W1", "H1"); err == nil {
+		t.Error("non-adjacent rollup Ward->Institution must fail")
+	}
+	if err := d.AddRollup("W1", "Standard"); err == nil {
+		t.Error("duplicate rollup must fail")
+	}
+	if err := d.AddRollup("nope", "Standard"); err == nil {
+		t.Error("unknown child must fail")
+	}
+	if err := d.AddRollup("W1", "nope"); err == nil {
+		t.Error("unknown parent must fail")
+	}
+}
+
+func TestDimensionNavigation(t *testing.T) {
+	d := hospitalDim(t)
+	if got := d.ParentsOf("W1"); len(got) != 1 || got[0] != "Standard" {
+		t.Errorf("ParentsOf(W1) = %v", got)
+	}
+	if got := d.ChildrenOf("Standard"); len(got) != 2 {
+		t.Errorf("ChildrenOf(Standard) = %v", got)
+	}
+	// Transitive rollup: W1 -> H1 (via Standard).
+	if got := d.RollupAll("W1", "Institution"); len(got) != 1 || got[0] != "H1" {
+		t.Errorf("RollupAll(W1, Institution) = %v", got)
+	}
+	one, err := d.RollupOne("W2", "Institution")
+	if err != nil || one != "H1" {
+		t.Errorf("RollupOne(W2, Institution) = %q, %v", one, err)
+	}
+	// Same category: identity.
+	if got := d.RollupAll("W1", "Ward"); len(got) != 1 || got[0] != "W1" {
+		t.Errorf("RollupAll same category = %v", got)
+	}
+	// Drilldown: Standard unit has wards W1, W2 (Example 2).
+	if got := d.DrilldownAll("Standard", "Ward"); len(got) != 2 || got[0] != "W1" || got[1] != "W2" {
+		t.Errorf("DrilldownAll(Standard, Ward) = %v", got)
+	}
+	// H1 hosts wards of Standard and Intensive: W1, W2, W3.
+	if got := d.DrilldownAll("H1", "Ward"); len(got) != 3 {
+		t.Errorf("DrilldownAll(H1, Ward) = %v", got)
+	}
+	if got := d.RollupAll("unknown", "Unit"); got != nil {
+		t.Errorf("unknown member rollup = %v, want nil", got)
+	}
+}
+
+func TestDimensionRollupOneErrors(t *testing.T) {
+	d := hospitalDim(t)
+	// W5 with no rollup: error (no target).
+	d.MustAddMember("Ward", "W5")
+	if _, err := d.RollupOne("W5", "Unit"); err == nil {
+		t.Error("member with no rollup must error")
+	}
+	// Non-strict: W5 in two units.
+	d.MustAddRollup("W5", "Standard")
+	d.MustAddRollup("W5", "Intensive")
+	if _, err := d.RollupOne("W5", "Unit"); err == nil {
+		t.Error("non-strict rollup must error")
+	}
+}
+
+func TestStrictnessCheck(t *testing.T) {
+	d := hospitalDim(t)
+	if vs := d.CheckStrictness(); len(vs) != 0 {
+		t.Fatalf("Fig. 1 instance is strict, got %v", vs)
+	}
+	// Make W1 also roll into Intensive: W1 reaches two units but
+	// still one institution (both under H1).
+	d.MustAddRollup("W1", "Intensive")
+	vs := d.CheckStrictness()
+	if len(vs) == 0 {
+		t.Fatal("strictness violation expected")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Member == "W1" && strings.Contains(v.Detail, "Unit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations = %v, want W1/Unit", vs)
+	}
+}
+
+func TestHomogeneityCheck(t *testing.T) {
+	d := hospitalDim(t)
+	if vs := d.CheckHomogeneity(); len(vs) != 0 {
+		t.Fatalf("Fig. 1 instance is homogeneous, got %v", vs)
+	}
+	d.MustAddMember("Ward", "W9") // no rollup at all
+	vs := d.CheckHomogeneity()
+	if len(vs) != 1 || vs[0].Member != "W9" {
+		t.Errorf("violations = %v, want W9 missing Unit parent", vs)
+	}
+	if !strings.Contains(vs[0].String(), "homogeneity") {
+		t.Errorf("violation String = %q", vs[0].String())
+	}
+}
+
+func TestSummarizable(t *testing.T) {
+	d := hospitalDim(t)
+	if !d.Summarizable("Ward", "Unit") {
+		t.Error("Ward->Unit is summarizable in Fig. 1")
+	}
+	if !d.Summarizable("Ward", "Institution") {
+		t.Error("Ward->Institution is summarizable")
+	}
+	if d.Summarizable("Unit", "Ward") {
+		t.Error("downward direction is not summarizable")
+	}
+	if d.Summarizable("Ward", "Ward") {
+		t.Error("same category is not a rollup")
+	}
+	d.MustAddMember("Ward", "W9") // breaks totality
+	if d.Summarizable("Ward", "Unit") {
+		t.Error("uncovered member must break summarizability")
+	}
+}
+
+func TestEmitAtoms(t *testing.T) {
+	d := hospitalDim(t)
+	db := storage.NewInstance()
+	if err := d.EmitAtoms(db); err != nil {
+		t.Fatal(err)
+	}
+	// Category predicates.
+	if !db.ContainsAtom(dl.A("Ward", dl.C("W1"))) {
+		t.Error("Ward(W1) missing")
+	}
+	if !db.ContainsAtom(dl.A("Unit", dl.C("Standard"))) {
+		t.Error("Unit(Standard) missing")
+	}
+	// Parent-child predicates, parent first (paper convention).
+	if !db.ContainsAtom(dl.A("UnitWard", dl.C("Standard"), dl.C("W1"))) {
+		t.Error("UnitWard(Standard, W1) missing")
+	}
+	if !db.ContainsAtom(dl.A("InstitutionUnit", dl.C("H1"), dl.C("Standard"))) {
+		t.Error("InstitutionUnit(H1, Standard) missing")
+	}
+	if db.Relation("UnitWard").Len() != 4 {
+		t.Errorf("UnitWard = %d rollups, want 4", db.Relation("UnitWard").Len())
+	}
+	// Empty rollup relations still created (schema completeness).
+	if db.Relation("AllHospitalInstitution") == nil {
+		t.Error("AllHospitalInstitution relation must exist")
+	}
+}
+
+func TestTransitiveRollupProgram(t *testing.T) {
+	d := hospitalDim(t)
+	tgds := d.TransitiveRollupProgram()
+	// Non-adjacent ancestor pairs: Ward->Institution, Ward->AllHospital,
+	// Unit->AllHospital; each with one via-rule (linear hierarchy).
+	if len(tgds) != 3 {
+		t.Fatalf("rules = %d, want 3:\n%v", len(tgds), tgds)
+	}
+	found := false
+	for _, tgd := range tgds {
+		if tgd.Head[0].Pred == "InstitutionWard" {
+			found = true
+			if len(tgd.Body) != 2 {
+				t.Errorf("composition body = %v", tgd.Body)
+			}
+		}
+	}
+	if !found {
+		t.Error("InstitutionWard composition rule missing")
+	}
+}
+
+func TestRollupPredNaming(t *testing.T) {
+	if RollupPredName("Ward", "Unit") != "UnitWard" {
+		t.Errorf("RollupPredName = %q, want UnitWard", RollupPredName("Ward", "Unit"))
+	}
+	if RollupPredName("Day", "Month") != "MonthDay" {
+		t.Errorf("RollupPredName = %q, want MonthDay", RollupPredName("Day", "Month"))
+	}
+	if CategoryPredName("Ward") != "Ward" {
+		t.Error("CategoryPredName must be the bare category name")
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	d := hospitalDim(t)
+	dot := d.DOT(false)
+	for _, want := range []string{"digraph \"Hospital\"", `"Ward" -> "Unit"`, "rankdir=BT"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Contains(dot, "m:W1") {
+		t.Error("members must not appear without withMembers")
+	}
+	full := d.DOT(true)
+	for _, want := range []string{`"m:W1" -> "m:Standard"`, `"m:W1" -> "Ward"`} {
+		if !strings.Contains(full, want) {
+			t.Errorf("DOT(with members) missing %q", want)
+		}
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := hospitalSchema(t)
+	if got := s.String(); !strings.Contains(got, "Ward -> Unit") {
+		t.Errorf("String = %q", got)
+	}
+	lone := NewDimensionSchema("L")
+	lone.MustAddCategory("Only")
+	if got := lone.String(); !strings.Contains(got, "Only") {
+		t.Errorf("String = %q", got)
+	}
+}

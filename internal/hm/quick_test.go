@@ -1,0 +1,177 @@
+package hm
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func newTestInstance() *storage.Instance { return storage.NewInstance() }
+
+// dimValue generates a random three-level dimension instance with
+// arbitrary (possibly non-strict, possibly partial) rollups — the
+// checks must classify it, and navigation must stay dual regardless.
+type dimValue struct {
+	D *Dimension
+}
+
+func (dimValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	s := NewDimensionSchema("G")
+	s.MustAddCategory("L0")
+	s.MustAddCategory("L1")
+	s.MustAddCategory("L2")
+	s.MustAddEdge("L0", "L1")
+	s.MustAddEdge("L1", "L2")
+	d := NewDimension(s)
+	n0 := 2 + r.Intn(5)
+	n1 := 1 + r.Intn(3)
+	n2 := 1 + r.Intn(2)
+	for i := 0; i < n0; i++ {
+		d.MustAddMember("L0", fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n1; i++ {
+		d.MustAddMember("L1", fmt.Sprintf("b%d", i))
+	}
+	for i := 0; i < n2; i++ {
+		d.MustAddMember("L2", fmt.Sprintf("c%d", i))
+	}
+	// Random rollups: each L0 member gets 0..2 parents; each L1
+	// member 0..1.
+	for i := 0; i < n0; i++ {
+		for k := 0; k <= r.Intn(3); k++ {
+			parent := fmt.Sprintf("b%d", r.Intn(n1))
+			// Ignore duplicate errors.
+			_ = d.AddRollup(fmt.Sprintf("a%d", i), parent)
+		}
+	}
+	for i := 0; i < n1; i++ {
+		if r.Intn(2) == 0 {
+			_ = d.AddRollup(fmt.Sprintf("b%d", i), fmt.Sprintf("c%d", r.Intn(n2)))
+		}
+	}
+	return reflect.ValueOf(dimValue{D: d})
+}
+
+func TestQuickRollupDrilldownDuality(t *testing.T) {
+	// m' ∈ RollupAll(m, cat') ⟺ m ∈ DrilldownAll(m', cat(m)).
+	f := func(dv dimValue) bool {
+		d := dv.D
+		for _, m := range d.MembersOf("L0") {
+			for _, target := range []string{"L1", "L2"} {
+				for _, up := range d.RollupAll(m, target) {
+					found := false
+					for _, down := range d.DrilldownAll(up, "L0") {
+						if down == m {
+							found = true
+						}
+					}
+					if !found {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStrictnessMatchesRollupCount(t *testing.T) {
+	// No strictness violations ⟺ every member reaches ≤1 member of
+	// every ancestor category.
+	f := func(dv dimValue) bool {
+		d := dv.D
+		violations := len(d.CheckStrictness()) > 0
+		manual := false
+		for _, lvl := range []string{"L0", "L1"} {
+			for _, m := range d.MembersOf(lvl) {
+				for _, target := range []string{"L1", "L2"} {
+					if lvl == target || !d.Schema().IsAncestor(lvl, target) {
+						continue
+					}
+					if len(d.RollupAll(m, target)) > 1 {
+						manual = true
+					}
+				}
+			}
+		}
+		return violations == manual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSummarizableImpliesUniqueRollup(t *testing.T) {
+	f := func(dv dimValue) bool {
+		d := dv.D
+		if !d.Summarizable("L0", "L2") {
+			return true
+		}
+		for _, m := range d.MembersOf("L0") {
+			if _, err := d.RollupOne(m, "L2"); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHomogeneityMatchesParentPresence(t *testing.T) {
+	f := func(dv dimValue) bool {
+		d := dv.D
+		violations := len(d.CheckHomogeneity()) > 0
+		manual := false
+		for _, lvl := range []string{"L0", "L1"} {
+			for _, m := range d.MembersOf(lvl) {
+				if len(d.ParentsOf(m)) == 0 {
+					manual = true
+				}
+			}
+		}
+		return violations == manual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEmitAtomsCardinality(t *testing.T) {
+	// EmitAtoms writes exactly one category fact per member and one
+	// rollup fact per rollup edge.
+	f := func(dv dimValue) bool {
+		d := dv.D
+		db := newTestInstance()
+		if err := d.EmitAtoms(db); err != nil {
+			return false
+		}
+		members := 0
+		for _, cat := range d.Schema().Categories() {
+			members += db.Relation(CategoryPredName(cat)).Len()
+		}
+		if members != d.MemberCount() {
+			return false
+		}
+		edges := 0
+		for _, m := range d.MembersOf("L0") {
+			edges += len(d.ParentsOf(m))
+		}
+		for _, m := range d.MembersOf("L1") {
+			edges += len(d.ParentsOf(m))
+		}
+		return db.Relation(RollupPredName("L0", "L1")).Len()+
+			db.Relation(RollupPredName("L1", "L2")).Len() == edges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package hm implements the Hurtado–Mendelzon (HM) multidimensional
+// data model that the paper extends (Section II): dimension schemas
+// (directed acyclic graphs of categories), dimension instances (members
+// with a child-parent rollup relation paralleling the category DAG),
+// transitive rollups, and the classic integrity checks — strictness,
+// homogeneity and summarizability — from Hurtado, Gutierrez and
+// Mendelzon (TODS 2005).
+package hm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DimensionSchema is a DAG of categories connected by a child-parent
+// relation, e.g. Ward → Unit → Institution in the paper's Hospital
+// dimension.
+type DimensionSchema struct {
+	name       string
+	categories []string
+	catSet     map[string]bool
+	parents    map[string][]string // child category -> adjacent parent categories
+	children   map[string][]string // parent category -> adjacent child categories
+}
+
+// NewDimensionSchema creates an empty schema.
+func NewDimensionSchema(name string) *DimensionSchema {
+	return &DimensionSchema{
+		name:     name,
+		catSet:   map[string]bool{},
+		parents:  map[string][]string{},
+		children: map[string][]string{},
+	}
+}
+
+// Name returns the dimension name.
+func (s *DimensionSchema) Name() string { return s.name }
+
+// AddCategory declares a category. Re-declaring is an error.
+func (s *DimensionSchema) AddCategory(cat string) error {
+	if cat == "" {
+		return fmt.Errorf("hm: %s: empty category name", s.name)
+	}
+	if s.catSet[cat] {
+		return fmt.Errorf("hm: %s: category %s already declared", s.name, cat)
+	}
+	s.catSet[cat] = true
+	s.categories = append(s.categories, cat)
+	return nil
+}
+
+// MustAddCategory panics on error; for static schema construction.
+func (s *DimensionSchema) MustAddCategory(cat string) {
+	if err := s.AddCategory(cat); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdge declares that child's members roll up to parent's members
+// (child ≺ parent, adjacent in the hierarchy).
+func (s *DimensionSchema) AddEdge(child, parent string) error {
+	if !s.catSet[child] {
+		return fmt.Errorf("hm: %s: unknown category %s", s.name, child)
+	}
+	if !s.catSet[parent] {
+		return fmt.Errorf("hm: %s: unknown category %s", s.name, parent)
+	}
+	if child == parent {
+		return fmt.Errorf("hm: %s: self-edge on %s", s.name, child)
+	}
+	for _, p := range s.parents[child] {
+		if p == parent {
+			return fmt.Errorf("hm: %s: edge %s -> %s already declared", s.name, child, parent)
+		}
+	}
+	s.parents[child] = append(s.parents[child], parent)
+	s.children[parent] = append(s.children[parent], child)
+	if s.hasCycle() {
+		// Roll back the offending edge.
+		s.parents[child] = s.parents[child][:len(s.parents[child])-1]
+		s.children[parent] = s.children[parent][:len(s.children[parent])-1]
+		return fmt.Errorf("hm: %s: edge %s -> %s creates a cycle", s.name, child, parent)
+	}
+	return nil
+}
+
+// MustAddEdge panics on error.
+func (s *DimensionSchema) MustAddEdge(child, parent string) {
+	if err := s.AddEdge(child, parent); err != nil {
+		panic(err)
+	}
+}
+
+// Categories returns the categories in declaration order.
+func (s *DimensionSchema) Categories() []string {
+	out := make([]string, len(s.categories))
+	copy(out, s.categories)
+	return out
+}
+
+// HasCategory reports whether cat is declared.
+func (s *DimensionSchema) HasCategory(cat string) bool { return s.catSet[cat] }
+
+// Parents returns the adjacent parent categories of cat.
+func (s *DimensionSchema) Parents(cat string) []string {
+	out := make([]string, len(s.parents[cat]))
+	copy(out, s.parents[cat])
+	return out
+}
+
+// Children returns the adjacent child categories of cat.
+func (s *DimensionSchema) Children(cat string) []string {
+	out := make([]string, len(s.children[cat]))
+	copy(out, s.children[cat])
+	return out
+}
+
+// Edges returns all (child, parent) pairs, sorted.
+func (s *DimensionSchema) Edges() [][2]string {
+	var out [][2]string
+	for child, ps := range s.parents {
+		for _, p := range ps {
+			out = append(out, [2]string{child, p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func (s *DimensionSchema) hasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(c string) bool {
+		color[c] = gray
+		for _, p := range s.parents[c] {
+			switch color[p] {
+			case gray:
+				return true
+			case white:
+				if visit(p) {
+					return true
+				}
+			}
+		}
+		color[c] = black
+		return false
+	}
+	for _, c := range s.categories {
+		if color[c] == white && visit(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bottoms returns the categories with no children (the base levels).
+func (s *DimensionSchema) Bottoms() []string {
+	var out []string
+	for _, c := range s.categories {
+		if len(s.children[c]) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Tops returns the categories with no parents.
+func (s *DimensionSchema) Tops() []string {
+	var out []string
+	for _, c := range s.categories {
+		if len(s.parents[c]) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsAncestor reports whether ancestor is reachable from cat by
+// following child-parent edges upward (strictly above, or equal when
+// cat == ancestor).
+func (s *DimensionSchema) IsAncestor(cat, ancestor string) bool {
+	if cat == ancestor {
+		return true
+	}
+	seen := map[string]bool{cat: true}
+	queue := []string{cat}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, p := range s.parents[c] {
+			if p == ancestor {
+				return true
+			}
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return false
+}
+
+// Levels assigns each category its level: bottoms are level 0 and a
+// parent's level is one more than the maximum level of its children.
+// Levels orient the paper's dimensional navigation (upward = toward
+// higher levels).
+func (s *DimensionSchema) Levels() map[string]int {
+	level := map[string]int{}
+	var visit func(string) int
+	visit = func(c string) int {
+		if l, ok := level[c]; ok {
+			return l
+		}
+		max := 0
+		for _, ch := range s.children[c] {
+			if l := visit(ch) + 1; l > max {
+				max = l
+			}
+		}
+		level[c] = max
+		return max
+	}
+	for _, c := range s.categories {
+		visit(c)
+	}
+	return level
+}
+
+// Height returns the maximum level.
+func (s *DimensionSchema) Height() int {
+	h := 0
+	for _, l := range s.Levels() {
+		if l > h {
+			h = l
+		}
+	}
+	return h
+}
+
+// Validate checks structural sanity: at least one category and
+// acyclicity (maintained incrementally, re-checked here).
+func (s *DimensionSchema) Validate() error {
+	if len(s.categories) == 0 {
+		return fmt.Errorf("hm: %s: no categories", s.name)
+	}
+	if s.hasCycle() {
+		return fmt.Errorf("hm: %s: category graph has a cycle", s.name)
+	}
+	return nil
+}
+
+// String renders the schema as "Name: child -> parent, ...".
+func (s *DimensionSchema) String() string {
+	var parts []string
+	for _, e := range s.Edges() {
+		parts = append(parts, e[0]+" -> "+e[1])
+	}
+	if len(parts) == 0 {
+		return s.name + ": " + strings.Join(s.Categories(), ", ")
+	}
+	return s.name + ": " + strings.Join(parts, ", ")
+}

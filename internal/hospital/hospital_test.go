@@ -1,0 +1,118 @@
+package hospital
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestHospitalDimensionIntegrity(t *testing.T) {
+	d := HospitalDimension()
+	if vs := d.CheckStrictness(); len(vs) != 0 {
+		t.Errorf("Hospital must be strict: %v", vs)
+	}
+	if vs := d.CheckHomogeneity(); len(vs) != 0 {
+		t.Errorf("Hospital must be homogeneous: %v", vs)
+	}
+	// Fig. 1 rollups.
+	for member, want := range map[string]string{
+		"W1": "Standard", "W2": "Standard", "W3": "Intensive", "W4": "Terminal",
+	} {
+		got, err := d.RollupOne(member, "Unit")
+		if err != nil || got != want {
+			t.Errorf("RollupOne(%s, Unit) = %q (%v), want %q", member, got, err, want)
+		}
+	}
+	// Standard's wards (Example 2).
+	if got := d.DrilldownAll("Standard", "Ward"); len(got) != 2 {
+		t.Errorf("Standard wards = %v, want W1 and W2", got)
+	}
+}
+
+func TestTimeDimensionIntegrity(t *testing.T) {
+	d := TimeDimension()
+	if vs := d.CheckStrictness(); len(vs) != 0 {
+		t.Errorf("Time must be strict: %v", vs)
+	}
+	if vs := d.CheckHomogeneity(); len(vs) != 0 {
+		t.Errorf("Time must be homogeneous: %v", vs)
+	}
+	// Each measurement time rolls to its day, days to sortable months.
+	day, err := d.RollupOne("Sep/5-12:10", "Day")
+	if err != nil || day != "Sep/5" {
+		t.Errorf("time rollup = %q (%v), want Sep/5", day, err)
+	}
+	month, err := d.RollupOne("Sep/5", "Month")
+	if err != nil || month != "2005-09" {
+		t.Errorf("day rollup = %q (%v), want 2005-09", month, err)
+	}
+	if m, err := d.RollupOne("Oct/5", "Month"); err != nil || m != "2005-10" {
+		t.Errorf("Oct/5 rollup = %q (%v), want 2005-10", m, err)
+	}
+}
+
+func TestOntologyOptionCombos(t *testing.T) {
+	plain := NewOntology(Options{})
+	if len(plain.Rules()) != 2 || len(plain.EGDs()) != 0 || len(plain.NCs()) != 0 {
+		t.Errorf("plain: rules/egds/ncs = %d/%d/%d", len(plain.Rules()), len(plain.EGDs()), len(plain.NCs()))
+	}
+	if plain.Relation("DischargePatients") != nil {
+		t.Error("Table V must be absent without WithRuleNine")
+	}
+	full := NewOntology(Options{WithRuleNine: true, WithConstraints: true})
+	if len(full.Rules()) != 3 || len(full.EGDs()) != 1 || len(full.NCs()) != 1 {
+		t.Errorf("full: rules/egds/ncs = %d/%d/%d", len(full.Rules()), len(full.EGDs()), len(full.NCs()))
+	}
+	if full.Data().Relation("DischargePatients").Len() != 3 {
+		t.Error("Table V must have 3 rows")
+	}
+	if full.Data().Relation("Thermometer").Len() != 3 {
+		t.Error("Thermometer data must load with constraints")
+	}
+}
+
+func TestFixtureCompilesCleanly(t *testing.T) {
+	for _, opts := range []Options{
+		{},
+		{WithRuleNine: true},
+		{WithConstraints: true},
+		{WithRuleNine: true, WithConstraints: true},
+	} {
+		o := NewOntology(opts)
+		comp, err := o.Compile(core.CompileOptions{ReferentialNCs: true, TransitiveRollups: true})
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if !comp.Report.WeaklySticky {
+			t.Errorf("opts %+v: not WS: %s", opts, comp.Report.WSWitness)
+		}
+	}
+}
+
+func TestTableConstants(t *testing.T) {
+	if len(MeasurementsRows) != 6 {
+		t.Errorf("Table I rows = %d, want 6", len(MeasurementsRows))
+	}
+	if len(QualityRows) != 2 {
+		t.Errorf("Table II rows = %d, want 2", len(QualityRows))
+	}
+	// Table II is a prefix of Table I (tuples 1-2), as in the paper.
+	for i, row := range QualityRows {
+		if row != MeasurementsRows[i] {
+			t.Errorf("QualityRows[%d] = %v, want %v", i, row, MeasurementsRows[i])
+		}
+	}
+}
+
+func TestDoctorQueryShape(t *testing.T) {
+	q := DoctorQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Conds) != 3 {
+		t.Errorf("conds = %d, want 3 (patient + time window)", len(q.Conds))
+	}
+	if q.Body[0].Pred != "Measurements" {
+		t.Errorf("query over %s, want Measurements", q.Body[0].Pred)
+	}
+}

@@ -1,0 +1,92 @@
+package hospital
+
+import (
+	"repro/internal/datalog"
+	"repro/internal/eval"
+	"repro/internal/quality"
+)
+
+// Quality predicate and contextual predicate names of Example 7.
+const (
+	MeasurementC   = "Measurement_c"  // contextual copy of Measurements
+	TakenByNurse   = "TakenByNurse"   // P_1: who took the measurement, with certification
+	TakenWithTherm = "TakenWithTherm" // P_2: thermometer brand used
+	MeasurementX   = "Measurement_x"  // Measurement' — the expanded contextual relation
+	MeasurementsQ  = "Measurements_q" // the quality version (Table II)
+)
+
+// QualityContext assembles the paper's Example 7 context around the
+// running-example ontology:
+//
+//	Measurement_c(t,p,v)    ← Measurements(t,p,v)
+//	TakenByNurse(t,p,n,y)   ← WorkingSchedules(u,d,n,y), DayTime(d,t),
+//	                          PatientUnit(u,d,p)
+//	TakenWithTherm(t,p,B1)  ← PatientUnit(Standard,d,p), DayTime(d,t)
+//	Measurement_x(t,p,v,y,b)← Measurement_c(t,p,v), TakenByNurse(t,p,n,y),
+//	                          TakenWithTherm(t,p,b)
+//	Measurements_q(t,p,v)   ← Measurement_x(t,p,v,y,b), y=cert., b=B1
+//
+// The TakenWithTherm rule encodes the institutional guideline of
+// Example 1 ("temperatures in the standard care unit are taken with
+// brand B1 thermometers") at the PatientUnit level, exactly as the
+// paper does; answering through it triggers upward navigation via
+// dimensional rule (7).
+func QualityContext(opts Options) (*quality.Context, error) {
+	o := NewOntology(opts)
+	ctx := quality.NewContext(o)
+
+	t, p, v, n, y, b := datalog.V("t"), datalog.V("p"), datalog.V("v"), datalog.V("n"), datalog.V("y"), datalog.V("b")
+	u, d := datalog.V("u"), datalog.V("d")
+
+	if err := ctx.AddMapping(eval.NewRule("map-measurements",
+		datalog.A(MeasurementC, t, p, v),
+		datalog.A("Measurements", t, p, v))); err != nil {
+		return nil, err
+	}
+	if err := ctx.AddQualityRule(eval.NewRule("taken-by-nurse",
+		datalog.A(TakenByNurse, t, p, n, y),
+		datalog.A("WorkingSchedules", u, d, n, y),
+		datalog.A("DayTime", d, t),
+		datalog.A("PatientUnit", u, d, p))); err != nil {
+		return nil, err
+	}
+	if err := ctx.AddQualityRule(eval.NewRule("taken-with-therm",
+		datalog.A(TakenWithTherm, t, p, datalog.C("B1")),
+		datalog.A("PatientUnit", datalog.C("Standard"), d, p),
+		datalog.A("DayTime", d, t))); err != nil {
+		return nil, err
+	}
+	if err := ctx.AddQualityRule(eval.NewRule("measurement-expanded",
+		datalog.A(MeasurementX, t, p, v, y, b),
+		datalog.A(MeasurementC, t, p, v),
+		datalog.A(TakenByNurse, t, p, n, y),
+		datalog.A(TakenWithTherm, t, p, b))); err != nil {
+		return nil, err
+	}
+	versionRule := eval.NewRule("measurements-q",
+		datalog.A(MeasurementsQ, t, p, v),
+		datalog.A(MeasurementX, t, p, v, y, b)).
+		WithCond(datalog.OpEq, y, datalog.C("cert.")).
+		WithCond(datalog.OpEq, b, datalog.C("B1"))
+	if err := ctx.DefineQualityVersion("Measurements", MeasurementsQ, versionRule); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// DoctorQuery is the doctor's request of Examples 1 and 7: Tom Waits'
+// body temperatures on September 5 taken around noon —
+//
+//	Q(t,p,v) ← Measurements(t,p,v), p = "Tom Waits",
+//	           Sep/5-11:45 ≤ t ≤ Sep/5-12:15
+//
+// Clean answering rewrites Measurements to Measurements_q.
+func DoctorQuery() *datalog.Query {
+	q := datalog.NewQuery(
+		datalog.A("Q", datalog.V("t"), datalog.V("p"), datalog.V("v")),
+		datalog.A("Measurements", datalog.V("t"), datalog.V("p"), datalog.V("v")))
+	q.WithCond(datalog.OpEq, datalog.V("p"), datalog.C(TomWaits))
+	q.WithCond(datalog.OpGe, datalog.V("t"), datalog.C("Sep/5-11:45"))
+	q.WithCond(datalog.OpLe, datalog.V("t"), datalog.C("Sep/5-12:15"))
+	return q
+}

@@ -1,0 +1,320 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/eval"
+	"repro/internal/quality"
+	"repro/internal/storage"
+)
+
+// ContextSpec collects the quality-context declarations of a .mdq file
+// (Section V of the paper): contextual mappings, quality predicate
+// rules and quality version definitions, plus the input relations that
+// make up the instance D under assessment.
+//
+// Syntax:
+//
+//	input Measurements(Time, Patient, Value) {
+//	  ("Sep/5-12:10", "Tom Waits", 38.2);
+//	}
+//	mapping m1: Measurement_c(t, p, v) <- Measurements(t, p, v).
+//	quality q1: TakenByNurse(t, p, n, y) <- WorkingSchedules(u, d, n, y),
+//	            DayTime(d, t), PatientUnit(u, d, p).
+//	version Measurements_q of Measurements:
+//	  Measurements_q(t, p, v) <- Measurement_x(t, p, v, y, b),
+//	  y = "cert.", b = B1.
+type ContextSpec struct {
+	// Input is the instance under assessment (the paper's D).
+	Input *storage.Instance
+	// Mappings are the D -> C mapping rules.
+	Mappings []*eval.Rule
+	// QualityRules define contextual/quality predicates P_i.
+	QualityRules []*eval.Rule
+	// Versions lists quality-version definitions in declaration order.
+	Versions []VersionSpec
+}
+
+// VersionSpec is one quality version: the original relation, the
+// version predicate and its defining rules.
+type VersionSpec struct {
+	Original string
+	Pred     string
+	Rules    []*eval.Rule
+}
+
+// HasContext reports whether the file declared any context elements.
+func (f *File) HasContext() bool {
+	c := f.Context
+	return c != nil && (c.Input.TotalTuples() > 0 || len(c.Mappings) > 0 ||
+		len(c.QualityRules) > 0 || len(c.Versions) > 0)
+}
+
+// BuildContext assembles a quality.Context from the file's ontology
+// and context declarations.
+func (f *File) BuildContext() (*quality.Context, error) {
+	if f.Context == nil {
+		return nil, fmt.Errorf("mdq: file declares no quality context")
+	}
+	ctx := quality.NewContext(f.Ontology)
+	for _, r := range f.Context.Mappings {
+		if err := ctx.AddMapping(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range f.Context.QualityRules {
+		if err := ctx.AddQualityRule(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range f.Context.Versions {
+		if err := ctx.DefineQualityVersion(v.Original, v.Pred, v.Rules...); err != nil {
+			return nil, err
+		}
+	}
+	return ctx, nil
+}
+
+// FormatHospitalQualityExample returns the running example extended
+// with the Example 7 quality context in .mdq form: the Table I input,
+// the contextual mapping, the quality predicates and the quality
+// version definition of Measurements_q.
+func FormatHospitalQualityExample() string {
+	return FormatHospitalExample() + hospitalContextMDQ
+}
+
+const hospitalContextMDQ = `
+# ---- Quality context (Example 7 / Figure 2) ----
+
+# The instance D under assessment: Table I.
+input Measurements(Time, Patient, Value) {
+  ("Sep/5-12:10", "Tom Waits", "38.2");
+  ("Sep/6-11:50", "Tom Waits", "37.1");
+  ("Sep/7-12:15", "Tom Waits", "37.7");
+  ("Sep/9-12:00", "Tom Waits", "37.0");
+  ("Sep/6-11:05", "Lou Reed", "37.5");
+  ("Sep/5-12:05", "Lou Reed", "38.0");
+}
+
+# The paper's Time dimension reaches the Time (timestamp) level; the
+# compact example above stops at Day, so the context carries the
+# day-of-time pairs it needs as an auxiliary contextual predicate fed
+# by a mapping over the input timestamps.
+mapping daypart: DayOf(t, d) <- Measurements(t, p, v), Clock(t, d).
+
+# Clock is contextual data: timestamp -> day.
+input Clock(Time, Day) {
+  ("Sep/5-12:10", "Sep/5");
+  ("Sep/6-11:50", "Sep/6");
+  ("Sep/7-12:15", "Sep/7");
+  ("Sep/9-12:00", "Sep/9");
+  ("Sep/6-11:05", "Sep/6");
+  ("Sep/5-12:05", "Sep/5");
+}
+
+quality nurse: TakenByNurse(t, p, n, y) <-
+  WorkingSchedules(u, d, n, y), DayOf(t, d), PatientUnit(u, d, p).
+
+quality therm: TakenWithTherm(t, p) <-
+  PatientUnit(Standard, d, p), DayOf(t, d).
+
+version Measurements_q of Measurements:
+  Measurements_q(t, p, v) <- Measurements(t, p, v),
+  TakenByNurse(t, p, n, y), TakenWithTherm(t, p), y = "cert.".
+`
+
+// ensureContext lazily allocates the spec.
+func (p *parser) ensureContext() *ContextSpec {
+	if p.file.Context == nil {
+		p.file.Context = &ContextSpec{Input: storage.NewInstance()}
+	}
+	return p.file.Context
+}
+
+// parseInput parses an input relation with data:
+// input Name(attr, ...) { (v, ...); ... }
+func (p *parser) parseInput() error {
+	p.next() // 'input'
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var attrs []string
+	for !p.at(tokRParen) {
+		a, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		attrs = append(attrs, a.text)
+		if p.at(tokComma) || p.at(tokSemicolon) {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	spec := p.ensureContext()
+	if _, err := spec.Input.CreateRelation(nameTok.text, attrs...); err != nil {
+		return p.errorf(nameTok, "%v", err)
+	}
+	if !p.at(tokLBrace) {
+		return nil
+	}
+	p.next()
+	for !p.at(tokRBrace) {
+		open, err := p.expect(tokLParen)
+		if err != nil {
+			return err
+		}
+		var values []datalog.Term
+		for !p.at(tokRParen) {
+			v, err := p.name()
+			if err != nil {
+				return err
+			}
+			values = append(values, datalog.C(v))
+			if p.at(tokComma) || p.at(tokSemicolon) {
+				p.next()
+			}
+		}
+		p.next() // ')'
+		if _, err := p.expect(tokSemicolon); err != nil {
+			return err
+		}
+		if _, err := spec.Input.Insert(nameTok.text, values...); err != nil {
+			return p.errorf(open, "%v", err)
+		}
+	}
+	p.next() // '}'
+	return nil
+}
+
+// parseEvalRule parses "id: Head <- items ." into an eval.Rule,
+// shared by mapping and quality statements.
+func (p *parser) parseEvalRule() (*eval.Rule, error) {
+	idTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokImplied); err != nil {
+		return nil, err
+	}
+	items, err := p.parseBody(true, true)
+	if err != nil {
+		return nil, err
+	}
+	rule := &eval.Rule{ID: idTok.text, Head: head}
+	for _, it := range items {
+		switch {
+		case it.comp != nil:
+			rule.Conds = append(rule.Conds, *it.comp)
+		case it.negated:
+			rule.Negated = append(rule.Negated, *it.atom)
+		default:
+			rule.Body = append(rule.Body, *it.atom)
+		}
+	}
+	if err := rule.Validate(); err != nil {
+		return nil, p.errorf(idTok, "%v", err)
+	}
+	return rule, nil
+}
+
+// parseMapping parses "mapping id: Head <- body ."
+func (p *parser) parseMapping() error {
+	p.next() // 'mapping'
+	rule, err := p.parseEvalRule()
+	if err != nil {
+		return err
+	}
+	spec := p.ensureContext()
+	spec.Mappings = append(spec.Mappings, rule)
+	return nil
+}
+
+// parseQualityRule parses "quality id: Head <- body ."
+func (p *parser) parseQualityRule() error {
+	p.next() // 'quality'
+	rule, err := p.parseEvalRule()
+	if err != nil {
+		return err
+	}
+	spec := p.ensureContext()
+	spec.QualityRules = append(spec.QualityRules, rule)
+	return nil
+}
+
+// parseVersion parses
+// "version Pred of Original: Head <- body ."
+func (p *parser) parseVersion() error {
+	p.next() // 'version'
+	predTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expectKeyword("of"); err != nil {
+		return err
+	}
+	origTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	head, err := p.atom()
+	if err != nil {
+		return err
+	}
+	if head.Pred != predTok.text {
+		return p.errorf(predTok, "version rule head is %s, want %s", head.Pred, predTok.text)
+	}
+	if _, err := p.expect(tokImplied); err != nil {
+		return err
+	}
+	items, err := p.parseBody(true, true)
+	if err != nil {
+		return err
+	}
+	rule := &eval.Rule{ID: "version-" + predTok.text, Head: head}
+	for _, it := range items {
+		switch {
+		case it.comp != nil:
+			rule.Conds = append(rule.Conds, *it.comp)
+		case it.negated:
+			rule.Negated = append(rule.Negated, *it.atom)
+		default:
+			rule.Body = append(rule.Body, *it.atom)
+		}
+	}
+	if err := rule.Validate(); err != nil {
+		return p.errorf(predTok, "%v", err)
+	}
+	spec := p.ensureContext()
+	for i := range spec.Versions {
+		v := &spec.Versions[i]
+		if v.Pred == predTok.text {
+			if v.Original != origTok.text {
+				return p.errorf(origTok, "version %s already defined over %s", v.Pred, v.Original)
+			}
+			rule.ID = fmt.Sprintf("version-%s-%d", predTok.text, len(v.Rules))
+			v.Rules = append(v.Rules, rule)
+			return nil
+		}
+	}
+	spec.Versions = append(spec.Versions, VersionSpec{
+		Original: origTok.text,
+		Pred:     predTok.text,
+		Rules:    []*eval.Rule{rule},
+	})
+	return nil
+}

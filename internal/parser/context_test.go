@@ -1,0 +1,138 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	dl "repro/internal/datalog"
+)
+
+func TestParseQualityExample(t *testing.T) {
+	f, err := Parse(FormatHospitalQualityExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasContext() {
+		t.Fatal("context expected")
+	}
+	c := f.Context
+	if c.Input.Relation("Measurements").Len() != 6 {
+		t.Errorf("input Measurements = %d, want 6", c.Input.Relation("Measurements").Len())
+	}
+	if c.Input.Relation("Clock").Len() != 6 {
+		t.Errorf("input Clock = %d, want 6", c.Input.Relation("Clock").Len())
+	}
+	if len(c.Mappings) != 1 || len(c.QualityRules) != 2 || len(c.Versions) != 1 {
+		t.Errorf("mappings/quality/versions = %d/%d/%d", len(c.Mappings), len(c.QualityRules), len(c.Versions))
+	}
+	v := c.Versions[0]
+	if v.Original != "Measurements" || v.Pred != "Measurements_q" || len(v.Rules) != 1 {
+		t.Errorf("version spec = %+v", v)
+	}
+}
+
+func TestQualityExampleDerivesTableII(t *testing.T) {
+	// End to end through the text format: parse, build context,
+	// assess, compare with Table II.
+	f, err := Parse(FormatHospitalQualityExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := f.BuildContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ctx.Assess(f.Context.Input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq := a.Versions["Measurements"]
+	if mq.Len() != 2 {
+		t.Fatalf("quality version = %d tuples, want 2 (Table II)", mq.Len())
+	}
+	for _, row := range [][3]string{
+		{"Sep/5-12:10", "Tom Waits", "38.2"},
+		{"Sep/6-11:50", "Tom Waits", "37.1"},
+	} {
+		if !mq.Contains([]dl.Term{dl.C(row[0]), dl.C(row[1]), dl.C(row[2])}) {
+			t.Errorf("Table II row %v missing", row)
+		}
+	}
+}
+
+func TestVersionAccumulatesRules(t *testing.T) {
+	src := `
+dimension D { category C; member M in C; }
+relation R(A: D.C; V)
+input Orig(A, V) { (M, x); }
+version Orig_q of Orig: Orig_q(a, v) <- Orig(a, v), v = "x".
+version Orig_q of Orig: Orig_q(a, v) <- Orig(a, v), v = "y".
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Context.Versions) != 1 || len(f.Context.Versions[0].Rules) != 2 {
+		t.Fatalf("versions = %+v", f.Context.Versions)
+	}
+	// Conflicting original relation is rejected.
+	bad := src + "version Orig_q of Other: Orig_q(a, v) <- Orig(a, v).\n"
+	if _, err := Parse(bad); err == nil || !strings.Contains(err.Error(), "already defined over") {
+		t.Errorf("conflicting original must fail: %v", err)
+	}
+}
+
+func TestVersionHeadMismatch(t *testing.T) {
+	src := `
+dimension D { category C; member M in C; }
+input Orig(A) { (M); }
+version Orig_q of Orig: Wrong(a) <- Orig(a).
+`
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "head is Wrong") {
+		t.Errorf("head mismatch must fail: %v", err)
+	}
+}
+
+func TestMappingAndQualityValidation(t *testing.T) {
+	base := "dimension D { category C; member M in C; }\n"
+	bad := base + "mapping m: X(z) <- Y(w).\n"
+	if _, err := Parse(bad); err == nil {
+		t.Error("unsafe mapping must fail")
+	}
+	bad2 := base + "quality q: X(z) <- Y(w).\n"
+	if _, err := Parse(bad2); err == nil {
+		t.Error("unsafe quality rule must fail")
+	}
+	ok := base + "mapping m: X(w) <- Y(w), not Z(w), w < 5.\n"
+	f, err := Parse(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Context.Mappings[0]
+	if len(r.Negated) != 1 || len(r.Conds) != 1 {
+		t.Errorf("mapping rule = %+v", r)
+	}
+}
+
+func TestInputArityConflict(t *testing.T) {
+	src := `
+input R(A, B) { (x, y); }
+input R(A) { (z); }
+`
+	if _, err := Parse(src); err == nil {
+		t.Error("input arity conflict must fail")
+	}
+}
+
+func TestBuildContextWithoutDeclarations(t *testing.T) {
+	f, err := Parse("dimension D { category C; member M in C; }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.HasContext() {
+		t.Error("no context declared")
+	}
+	if _, err := f.BuildContext(); err == nil {
+		t.Error("BuildContext without declarations must error")
+	}
+}

@@ -1,0 +1,796 @@
+package parser
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/hm"
+)
+
+// NamedQuery is a query with the name it was declared under.
+type NamedQuery struct {
+	Name  string
+	Query *datalog.Query
+}
+
+// File is a parsed .mdq file: the assembled ontology, its named
+// queries, and the optional quality-context declarations.
+type File struct {
+	Ontology *core.Ontology
+	Queries  []NamedQuery
+	// Context holds the quality-context declarations (input data,
+	// mappings, quality rules, version definitions); nil when the
+	// file declares none.
+	Context *ContextSpec
+}
+
+// QueryByName returns the named query, or nil.
+func (f *File) QueryByName(name string) *datalog.Query {
+	for _, nq := range f.Queries {
+		if nq.Name == name {
+			return nq.Query
+		}
+	}
+	return nil
+}
+
+// Parse parses .mdq source text.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks: toks,
+		file: &File{Ontology: core.NewOntology()},
+		dims: map[string]*hm.Dimension{},
+	}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+// ParseFile reads and parses a .mdq file from disk.
+func ParseFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	file *File
+	// dims holds dimensions being built; they are registered with the
+	// ontology when their block closes.
+	dims map[string]*hm.Dimension
+}
+
+func (p *parser) peek() token         { return p.toks[p.pos] }
+func (p *parser) next() token         { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) errorf(t token, format string, args ...any) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errorf(t, "expected %s, got %s %q", k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(word string) (token, error) {
+	t := p.next()
+	if t.kind != tokIdent || t.text != word {
+		return t, p.errorf(t, "expected %q, got %q", word, t.text)
+	}
+	return t, nil
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(word string) bool {
+	if p.at(tokIdent) && p.peek().text == word {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseFile() error {
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			return nil
+		case t.kind == tokIdent && t.text == "dimension":
+			if err := p.parseDimension(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "relation":
+			if err := p.parseRelation(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "rule":
+			if err := p.parseRule(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "egd":
+			if err := p.parseEGD(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "constraint":
+			if err := p.parseConstraint(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "query":
+			if err := p.parseQuery(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "input":
+			if err := p.parseInput(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "mapping":
+			if err := p.parseMapping(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "quality":
+			if err := p.parseQualityRule(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "version":
+			if err := p.parseVersion(); err != nil {
+				return err
+			}
+		default:
+			return p.errorf(t, "expected a declaration (dimension, relation, rule, egd, constraint, query, input, mapping, quality, version), got %q", t.text)
+		}
+	}
+}
+
+// name parses an identifier or quoted string used as a name (members
+// and data values may need quoting: "Sep/5").
+func (p *parser) name() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent, tokString, tokNumber:
+		return t.text, nil
+	default:
+		return "", p.errorf(t, "expected a name, got %s", t.kind)
+	}
+}
+
+func (p *parser) parseDimension() error {
+	p.next() // 'dimension'
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	schema := hm.NewDimensionSchema(nameTok.text)
+	type rollup struct{ child, parent string }
+	type memberDecl struct{ member, category string }
+	var edges [][2]string
+	var members []memberDecl
+	var rollups []rollup
+	for !p.at(tokRBrace) {
+		t := p.peek()
+		switch {
+		case t.kind == tokIdent && t.text == "category":
+			p.next()
+			for {
+				cat, err := p.name()
+				if err != nil {
+					return err
+				}
+				if err := schema.AddCategory(cat); err != nil {
+					return p.errorf(t, "%v", err)
+				}
+				if !p.at(tokComma) {
+					break
+				}
+				p.next()
+			}
+			if _, err := p.expect(tokSemicolon); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "member":
+			p.next()
+			var ms []string
+			for {
+				m, err := p.name()
+				if err != nil {
+					return err
+				}
+				ms = append(ms, m)
+				if !p.at(tokComma) {
+					break
+				}
+				p.next()
+			}
+			if _, err := p.expectKeyword("in"); err != nil {
+				return err
+			}
+			cat, err := p.name()
+			if err != nil {
+				return err
+			}
+			for _, m := range ms {
+				members = append(members, memberDecl{member: m, category: cat})
+			}
+			if _, err := p.expect(tokSemicolon); err != nil {
+				return err
+			}
+		case t.kind == tokIdent && t.text == "rollup":
+			p.next()
+			child, err := p.name()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokArrow); err != nil {
+				return err
+			}
+			parent, err := p.name()
+			if err != nil {
+				return err
+			}
+			rollups = append(rollups, rollup{child: child, parent: parent})
+			if _, err := p.expect(tokSemicolon); err != nil {
+				return err
+			}
+		case t.kind == tokIdent || t.kind == tokString:
+			// "Child -> Parent;" category edge.
+			child, err := p.name()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokArrow); err != nil {
+				return err
+			}
+			parent, err := p.name()
+			if err != nil {
+				return err
+			}
+			edges = append(edges, [2]string{child, parent})
+			if _, err := p.expect(tokSemicolon); err != nil {
+				return err
+			}
+		default:
+			return p.errorf(t, "expected category, member, rollup, an edge, or '}', got %q", t.text)
+		}
+	}
+	p.next() // '}'
+	for _, e := range edges {
+		if err := schema.AddEdge(e[0], e[1]); err != nil {
+			return p.errorf(nameTok, "%v", err)
+		}
+	}
+	dim := hm.NewDimension(schema)
+	for _, m := range members {
+		if err := dim.AddMember(m.category, m.member); err != nil {
+			return p.errorf(nameTok, "%v", err)
+		}
+	}
+	for _, r := range rollups {
+		if err := dim.AddRollup(r.child, r.parent); err != nil {
+			return p.errorf(nameTok, "%v", err)
+		}
+	}
+	if err := p.file.Ontology.AddDimension(dim); err != nil {
+		return p.errorf(nameTok, "%v", err)
+	}
+	p.dims[nameTok.text] = dim
+	return nil
+}
+
+func (p *parser) parseRelation() error {
+	p.next() // 'relation'
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var attrs []core.Attribute
+	for !p.at(tokRParen) {
+		attrTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if p.at(tokColon) {
+			p.next()
+			dimTok, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokDot); err != nil {
+				return err
+			}
+			catTok, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			attrs = append(attrs, core.Cat(attrTok.text, dimTok.text, catTok.text))
+		} else {
+			attrs = append(attrs, core.NonCat(attrTok.text))
+		}
+		if p.at(tokComma) || p.at(tokSemicolon) {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	rel := core.NewCategoricalRelation(nameTok.text, attrs...)
+	if err := p.file.Ontology.AddRelation(rel); err != nil {
+		return p.errorf(nameTok, "%v", err)
+	}
+	// Optional data block.
+	if !p.at(tokLBrace) {
+		return nil
+	}
+	p.next()
+	for !p.at(tokRBrace) {
+		unchecked := false
+		if p.at(tokBang) {
+			p.next()
+			unchecked = true
+		}
+		open, err := p.expect(tokLParen)
+		if err != nil {
+			return err
+		}
+		var values []string
+		for !p.at(tokRParen) {
+			v, err := p.name()
+			if err != nil {
+				return err
+			}
+			values = append(values, v)
+			if p.at(tokComma) || p.at(tokSemicolon) {
+				p.next()
+			}
+		}
+		p.next() // ')'
+		if _, err := p.expect(tokSemicolon); err != nil {
+			return err
+		}
+		if unchecked {
+			err = p.file.Ontology.AddFactUnchecked(nameTok.text, values...)
+		} else {
+			err = p.file.Ontology.AddFact(nameTok.text, values...)
+		}
+		if err != nil {
+			return p.errorf(open, "%v", err)
+		}
+	}
+	p.next() // '}'
+	return nil
+}
+
+// term interprets an argument token in rule/query position: lowercase
+// identifiers are variables; uppercase identifiers, strings and
+// numbers are constants.
+func (p *parser) term() (datalog.Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString, tokNumber:
+		return datalog.C(t.text), nil
+	case tokIdent:
+		r, _ := utf8.DecodeRuneInString(t.text)
+		if unicode.IsLower(r) || t.text == "_" {
+			return datalog.V(t.text), nil
+		}
+		return datalog.C(t.text), nil
+	default:
+		return datalog.Term{}, p.errorf(t, "expected a term, got %s", t.kind)
+	}
+}
+
+// atom parses Pred(t1, t2; t3).
+func (p *parser) atom() (datalog.Atom, error) {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return datalog.Atom{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return datalog.Atom{}, err
+	}
+	var args []datalog.Term
+	for !p.at(tokRParen) {
+		tm, err := p.term()
+		if err != nil {
+			return datalog.Atom{}, err
+		}
+		args = append(args, tm)
+		if p.at(tokComma) || p.at(tokSemicolon) {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	return datalog.Atom{Pred: nameTok.text, Args: args}, nil
+}
+
+func compOpOf(k tokenKind) (datalog.CompOp, bool) {
+	switch k {
+	case tokEq:
+		return datalog.OpEq, true
+	case tokNe:
+		return datalog.OpNe, true
+	case tokLt:
+		return datalog.OpLt, true
+	case tokLe:
+		return datalog.OpLe, true
+	case tokGt:
+		return datalog.OpGt, true
+	case tokGe:
+		return datalog.OpGe, true
+	default:
+		return 0, false
+	}
+}
+
+// bodyItem is one parsed element of a body: an atom, a negated atom,
+// or a comparison.
+type bodyItem struct {
+	atom    *datalog.Atom
+	negated bool
+	comp    *datalog.Comparison
+}
+
+// parseBody parses a comma-separated list of body items terminated by
+// '.' (consumed).
+func (p *parser) parseBody(allowNeg, allowComp bool) ([]bodyItem, error) {
+	var items []bodyItem
+	for {
+		var it bodyItem
+		switch {
+		case p.acceptKeyword("not"):
+			if !allowNeg {
+				return nil, p.errorf(p.peek(), "negated atoms are not allowed here")
+			}
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			it = bodyItem{atom: &a, negated: true}
+		default:
+			// Could be an atom (IDENT '(') or a comparison
+			// (term op term).
+			if p.at(tokIdent) && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokLParen {
+				a, err := p.atom()
+				if err != nil {
+					return nil, err
+				}
+				it = bodyItem{atom: &a}
+			} else {
+				l, err := p.term()
+				if err != nil {
+					return nil, err
+				}
+				opTok := p.next()
+				op, ok := compOpOf(opTok.kind)
+				if !ok {
+					return nil, p.errorf(opTok, "expected a comparison operator, got %s", opTok.kind)
+				}
+				if !allowComp {
+					return nil, p.errorf(opTok, "comparisons are not allowed here")
+				}
+				r, err := p.term()
+				if err != nil {
+					return nil, err
+				}
+				it = bodyItem{comp: &datalog.Comparison{Op: op, L: l, R: r}}
+			}
+		}
+		items = append(items, it)
+		sep := p.next()
+		switch sep.kind {
+		case tokComma:
+			continue
+		case tokDot:
+			return items, nil
+		default:
+			return nil, p.errorf(sep, "expected ',' or '.', got %s", sep.kind)
+		}
+	}
+}
+
+func (p *parser) parseRule() error {
+	p.next() // 'rule'
+	idTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	// Optional 'exists v1, v2' existential declaration.
+	var declared []string
+	if p.acceptKeyword("exists") {
+		for {
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			declared = append(declared, v.text)
+			if !p.at(tokComma) {
+				break
+			}
+			p.next()
+		}
+	}
+	var head []datalog.Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return err
+		}
+		head = append(head, a)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokImplied); err != nil {
+		return err
+	}
+	items, err := p.parseBody(false, false)
+	if err != nil {
+		return err
+	}
+	var body []datalog.Atom
+	for _, it := range items {
+		body = append(body, *it.atom)
+	}
+	tgd := datalog.NewTGD(idTok.text, head, body)
+	if len(declared) > 0 {
+		ex := map[string]bool{}
+		for _, v := range tgd.ExistentialVars() {
+			ex[v.Name] = true
+		}
+		for _, d := range declared {
+			if !ex[d] {
+				return p.errorf(idTok, "declared existential %s also occurs in the body (or not in the head)", d)
+			}
+		}
+		if len(declared) != len(ex) {
+			return p.errorf(idTok, "rule has %d existential variables but %d declared", len(ex), len(declared))
+		}
+	}
+	if err := p.file.Ontology.AddRule(tgd); err != nil {
+		return p.errorf(idTok, "%v", err)
+	}
+	return nil
+}
+
+func (p *parser) parseEGD() error {
+	p.next() // 'egd'
+	idTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	l, err := p.term()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return err
+	}
+	r, err := p.term()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokImplied); err != nil {
+		return err
+	}
+	items, err := p.parseBody(false, false)
+	if err != nil {
+		return err
+	}
+	var body []datalog.Atom
+	for _, it := range items {
+		body = append(body, *it.atom)
+	}
+	egd := datalog.NewEGD(idTok.text, l, r, body)
+	if err := p.file.Ontology.AddEGD(egd); err != nil {
+		return p.errorf(idTok, "%v", err)
+	}
+	return nil
+}
+
+func (p *parser) parseConstraint() error {
+	p.next() // 'constraint'
+	idTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokBang); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokImplied); err != nil {
+		return err
+	}
+	items, err := p.parseBody(true, true)
+	if err != nil {
+		return err
+	}
+	nc := &datalog.NC{ID: idTok.text}
+	for _, it := range items {
+		switch {
+		case it.comp != nil:
+			nc.Conds = append(nc.Conds, *it.comp)
+		case it.negated:
+			nc.Body = append(nc.Body, datalog.Neg(*it.atom))
+		default:
+			nc.Body = append(nc.Body, datalog.Pos(*it.atom))
+		}
+	}
+	if err := p.file.Ontology.AddNC(nc); err != nil {
+		return p.errorf(idTok, "%v", err)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() error {
+	p.next() // 'query'
+	idTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var ansVars []datalog.Term
+	for !p.at(tokRParen) {
+		tm, err := p.term()
+		if err != nil {
+			return err
+		}
+		if !tm.IsVar() {
+			return p.errorf(idTok, "query head arguments must be variables, got %s", tm)
+		}
+		ansVars = append(ansVars, tm)
+		if p.at(tokComma) {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	if _, err := p.expect(tokImplied); err != nil {
+		return err
+	}
+	items, err := p.parseBody(true, true)
+	if err != nil {
+		return err
+	}
+	q := &datalog.Query{Head: datalog.Atom{Pred: idTok.text, Args: ansVars}}
+	for _, it := range items {
+		switch {
+		case it.comp != nil:
+			q.Conds = append(q.Conds, *it.comp)
+		case it.negated:
+			q.Negated = append(q.Negated, *it.atom)
+		default:
+			q.Body = append(q.Body, *it.atom)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return p.errorf(idTok, "%v", err)
+	}
+	for _, existing := range p.file.Queries {
+		if existing.Name == idTok.text {
+			return p.errorf(idTok, "duplicate query name %s", idTok.text)
+		}
+	}
+	p.file.Queries = append(p.file.Queries, NamedQuery{Name: idTok.text, Query: q})
+	return nil
+}
+
+// FormatHospitalExample returns a complete .mdq rendering of the
+// paper's running example; used by the quickstart, tests and as format
+// documentation.
+func FormatHospitalExample() string {
+	return strings.TrimLeft(hospitalMDQ, "\n")
+}
+
+const hospitalMDQ = `
+# The running example of Milani, Bertossi & Ariyan (ICDE 2014):
+# Hospital and Time dimensions (Fig. 1), categorical relations with
+# the data of Tables III-IV, dimensional rules (7) and (8), EGD (6)
+# and the "intensive care closed since August 2005" constraint.
+
+dimension Hospital {
+  category Ward; category Unit; category Institution;
+  Ward -> Unit;
+  Unit -> Institution;
+  member W1, W2, W3, W4 in Ward;
+  member Standard, Intensive, Terminal in Unit;
+  member H1, H2 in Institution;
+  rollup W1 -> Standard;  rollup W2 -> Standard;
+  rollup W3 -> Intensive; rollup W4 -> Terminal;
+  rollup Standard -> H1;  rollup Intensive -> H1;
+  rollup Terminal -> H1;
+}
+
+dimension Time {
+  category Day; category Month;
+  Day -> Month;
+  member "Sep/5", "Sep/6", "Sep/7", "Sep/9" in Day;
+  member "2005-08", "2005-09" in Month;
+  rollup "Sep/5" -> "2005-09"; rollup "Sep/6" -> "2005-09";
+  rollup "Sep/7" -> "2005-09"; rollup "Sep/9" -> "2005-09";
+}
+
+relation PatientWard(Ward: Hospital.Ward, Day: Time.Day; Patient) {
+  (W1, "Sep/5", "Tom Waits");
+  (W2, "Sep/6", "Tom Waits");
+  (W3, "Sep/7", "Tom Waits");
+  (W4, "Sep/9", "Tom Waits");
+}
+
+relation PatientUnit(Unit: Hospital.Unit, Day: Time.Day; Patient)
+
+relation WorkingSchedules(Unit: Hospital.Unit, Day: Time.Day; Nurse, Type) {
+  (Intensive, "Sep/5", Cathy, "cert.");
+  (Standard, "Sep/5", Helen, "cert.");
+  (Standard, "Sep/6", Helen, "cert.");
+  (Terminal, "Sep/5", Susan, "non-c.");
+  (Standard, "Sep/9", Mark, "non-c.");
+}
+
+relation Shifts(Ward: Hospital.Ward, Day: Time.Day; Nurse, Shift) {
+  (W4, "Sep/5", Cathy, night);
+  (W1, "Sep/6", Helen, morning);
+  (W4, "Sep/5", Susan, evening);
+}
+
+relation Thermometer(Ward: Hospital.Ward; ThermType, Nurse) {
+  (W1, Oral, Helen);
+  (W2, Oral, Helen);
+  (W4, Tympanic, Susan);
+}
+
+# Rule (7): upward navigation Ward -> Unit.
+rule r7: PatientUnit(u, d; p) <- PatientWard(w, d; p), UnitWard(u, w).
+
+# Rule (8): downward navigation Unit -> Ward with an invented shift.
+rule r8: exists z Shifts(w, d; n, z) <-
+  WorkingSchedules(u, d; n, t), UnitWard(u, w).
+
+# EGD (6): thermometers within a unit share a type.
+egd e6: t = t2 <- Thermometer(w, t; n), Thermometer(w2, t2; n2),
+  UnitWard(u, w), UnitWard(u, w2).
+
+# Example 1's guideline: intensive care closed since August 2005.
+constraint closed: ! <- PatientWard(w, d; p), UnitWard(Intensive, w),
+  MonthDay(m, d), m >= "2005-08".
+
+# Example 5: when does Mark work in ward W1?
+query marks(d) <- Shifts(W1, d, Mark, s).
+
+# Example 1: Tom Waits' units by day.
+query tomunits(u, d) <- PatientUnit(u, d, "Tom Waits").
+`

@@ -1,0 +1,124 @@
+package qa
+
+import (
+	"strings"
+	"testing"
+
+	dl "repro/internal/datalog"
+	"repro/internal/hospital"
+)
+
+func TestProveExample5Schema(t *testing.T) {
+	// The accepting resolution proof schema for Example 5's Boolean
+	// variant: Shifts(W1, Sep/9, Mark, s) is entailed by rule (8)
+	// from WorkingSchedules and UnitWard facts.
+	prog, db := compiled(t, hospital.Options{})
+	q := dl.NewQuery(dl.A("Q"),
+		dl.A("Shifts", dl.C("W1"), dl.C("Sep/9"), dl.C("Mark"), dl.V("s")))
+	roots, ok, err := Prove(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Example 5 BCQ must be entailed")
+	}
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.IsLeaf() || root.Rule != "r8" {
+		t.Fatalf("root must be a rule-(8) node: %s", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("rule (8) has a two-atom body: %s", root)
+	}
+	rendered := root.String()
+	for _, want := range []string{"WorkingSchedules(Standard", "UnitWard(Standard, W1)", "[rule r8]", "[fact"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("proof missing %q:\n%s", want, rendered)
+		}
+	}
+	if root.Size() != 3 {
+		t.Errorf("Size = %d, want 3", root.Size())
+	}
+}
+
+func TestProveExtensionalLeaf(t *testing.T) {
+	prog, db := compiled(t, hospital.Options{})
+	q := dl.NewQuery(dl.A("Q"),
+		dl.A("Shifts", dl.C("W1"), dl.C("Sep/6"), dl.C("Helen"), dl.C("morning")))
+	roots, ok, err := Prove(prog, db, q, Options{})
+	if err != nil || !ok {
+		t.Fatalf("extensional fact must be provable: %v %v", ok, err)
+	}
+	if !roots[0].IsLeaf() {
+		t.Errorf("direct fact must be a leaf: %s", roots[0])
+	}
+}
+
+func TestProveRejectsAndFails(t *testing.T) {
+	prog, db := compiled(t, hospital.Options{})
+	open := dl.NewQuery(dl.A("Q", dl.V("d")),
+		dl.A("Shifts", dl.C("W1"), dl.V("d"), dl.C("Mark"), dl.V("s")))
+	if _, _, err := Prove(prog, db, open, Options{}); err == nil {
+		t.Error("open queries must be rejected")
+	}
+	no := dl.NewQuery(dl.A("Q"),
+		dl.A("Shifts", dl.C("W5"), dl.V("d"), dl.C("Nobody"), dl.V("s")))
+	_, ok, err := Prove(prog, db, no, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("unentailed BCQ must not prove")
+	}
+}
+
+func TestProvePieceSchema(t *testing.T) {
+	// Example 6's join on the invented unit: the proof resolves both
+	// atoms through one rule-(9) firing, with DischargePatients as
+	// the supporting fact.
+	prog, db := compiled(t, hospital.Options{WithRuleNine: true})
+	q := dl.NewQuery(dl.A("Q"),
+		dl.A("InstitutionUnit", dl.C("H2"), dl.V("u")),
+		dl.A("PatientUnit", dl.V("u"), dl.C("Oct/5"), dl.V("p")))
+	roots, ok, err := Prove(prog, db, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("piece BCQ must be entailed")
+	}
+	rendered := ""
+	for _, r := range roots {
+		rendered += r.String()
+	}
+	if !strings.Contains(rendered, "r9") || !strings.Contains(rendered, "DischargePatients(H2") {
+		t.Errorf("proof must show rule (9) over the discharge fact:\n%s", rendered)
+	}
+}
+
+func TestProveAgreesWithAnswerBool(t *testing.T) {
+	prog, db := compiled(t, hospital.Options{WithRuleNine: true})
+	queries := []*dl.Query{
+		dl.NewQuery(dl.A("Q"), dl.A("PatientUnit", dl.C("Standard"), dl.C("Sep/5"), dl.V("p"))),
+		dl.NewQuery(dl.A("Q"), dl.A("PatientUnit", dl.C("Surgery"), dl.V("d"), dl.V("p"))),
+		dl.NewQuery(dl.A("Q"), dl.A("Shifts", dl.C("W2"), dl.V("d"), dl.C("Mark"), dl.V("s"))),
+		dl.NewQuery(dl.A("Q"),
+			dl.A("InstitutionUnit", dl.C("H2"), dl.V("u")),
+			dl.A("PatientUnit", dl.V("u"), dl.C("Oct/5"), dl.V("p"))),
+	}
+	for i, q := range queries {
+		want, err := AnswerBool(prog, db, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := Prove(prog, db, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("query %d: Prove=%v AnswerBool=%v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package qa implements conjunctive query answering over Datalog± MD
+// ontologies (Section IV of the paper):
+//
+//   - DeterministicWSQAns — the paper's deterministic top-down
+//     backtracking search for accepting resolution proof schemas,
+//     answering Boolean and open conjunctive queries, with sound
+//     piece-unification against existential head variables and
+//     memoization of ground subgoals;
+//   - chase-based certain-answer computation, the executable
+//     counterpart of the non-deterministic WeaklyStickyQAns the paper
+//     builds on, used as the reference oracle in tests and benchmarks.
+//
+// Both engines compute certain answers: answers that hold in every
+// model, i.e. contain no labeled nulls.
+package qa
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// Options configures DeterministicWSQAns.
+type Options struct {
+	// MaxDepth bounds the number of TGD applications along any branch
+	// of the resolution proof schema. 0 derives a default from the
+	// program and query size, which suffices for the level-bounded
+	// dimensional navigation of MD ontologies; recursive programs
+	// (e.g. transitive rollups over deep hierarchies) may need more.
+	MaxDepth int
+	// DisableMemo turns off memoization of ground subgoals (for the
+	// ablation benchmark).
+	DisableMemo bool
+}
+
+func (o Options) maxDepth(prog *datalog.Program, q *datalog.Query) int {
+	if o.MaxDepth > 0 {
+		return o.MaxDepth
+	}
+	return 3*len(prog.TGDs) + len(q.Body) + 4
+}
+
+// Answer runs DeterministicWSQAns on an open (or Boolean) conjunctive
+// query, returning its certain answers. The extensional instance is
+// not modified. Queries with negated atoms are rejected: certain
+// answers under negation are outside the paper's language.
+func Answer(prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts Options) (*datalog.AnswerSet, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Negated) > 0 {
+		return nil, fmt.Errorf("qa: query %s has negated atoms; certain-answer engines accept positive CQs only", q.Head.Pred)
+	}
+	r := &resolver{
+		byHead:   prog.TGDsByHeadPred(),
+		db:       db,
+		fresh:    datalog.NewCounter("κ"),
+		ansVars:  q.Head.Args,
+		conds:    q.Conds,
+		memoFail: map[string]int{},
+		memoOK:   map[string]bool{},
+		useMemo:  !opts.DisableMemo,
+	}
+	answers := datalog.NewAnswerSet()
+	boolean := q.IsBoolean()
+	r.resolve(q.Body, datalog.NewSubst(), opts.maxDepth(prog, q), func(s datalog.Subst) bool {
+		if r.emit(answers, s) && boolean {
+			return false // one proof suffices for a BCQ
+		}
+		return true
+	})
+	return answers, nil
+}
+
+// AnswerBool runs DeterministicWSQAns on a Boolean conjunctive query.
+func AnswerBool(prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts Options) (bool, error) {
+	if !q.IsBoolean() {
+		return false, fmt.Errorf("qa: query %s has answer variables; use Answer", q.Head.Pred)
+	}
+	as, err := Answer(prog, db, q, opts)
+	if err != nil {
+		return false, err
+	}
+	return as.Len() > 0, nil
+}
+
+// resolver carries the state of the top-down search.
+type resolver struct {
+	byHead   map[string][]*datalog.TGD
+	db       *storage.Instance
+	fresh    *datalog.Counter
+	ansVars  []datalog.Term
+	conds    []datalog.Comparison
+	memoFail map[string]int // ground goal key -> max depth at which provability failed
+	memoOK   map[string]bool
+	useMemo  bool
+}
+
+// resolve processes the goal list left to right; goals are always kept
+// fully substituted, and s accumulates the global substitution for
+// answer extraction. onSuccess is invoked per completed proof and
+// returns false to stop the search. resolve reports whether the search
+// ran to exhaustion (false = stopped early by onSuccess).
+func (r *resolver) resolve(goals []datalog.Atom, s datalog.Subst, depth int, onSuccess func(datalog.Subst) bool) bool {
+	if len(goals) == 0 {
+		return onSuccess(s)
+	}
+	g := goals[0]
+	rest := goals[1:]
+
+	// Ground goals have no variable interaction with their siblings:
+	// prove them in isolation (memoizable), then move on.
+	if g.IsGround() {
+		if !r.proveGround(g, depth) {
+			return true
+		}
+		return r.resolve(rest, s, depth, onSuccess)
+	}
+
+	exhausted := true
+
+	// Option 1: match the goal against an extensional fact.
+	r.db.MatchAtom(g, datalog.NewSubst(), func(theta datalog.Subst) bool {
+		if !r.resolve(theta.ApplyAtoms(rest), s.Compose(theta), depth, onSuccess) {
+			exhausted = false
+			return false
+		}
+		return true
+	})
+	if !exhausted {
+		return false
+	}
+
+	// Option 2: resolve the goal through a TGD whose head can produce
+	// it; consumes one unit of depth.
+	if depth > 0 {
+		for _, tgd := range r.byHead[g.Pred] {
+			if !r.applyRule(g, rest, s, tgd, depth-1, onSuccess) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// proveGround decides provability of a single ground atom, with
+// memoization: a ground atom proven once stays proven; a failure is
+// valid for all depth budgets up to the one it was established with.
+func (r *resolver) proveGround(g datalog.Atom, depth int) bool {
+	if r.db.ContainsAtom(g) {
+		return true
+	}
+	key := ""
+	if r.useMemo {
+		key = g.Key()
+		if r.memoOK[key] {
+			return true
+		}
+		if d, failed := r.memoFail[key]; failed && depth <= d {
+			return false
+		}
+	}
+	proven := false
+	if depth > 0 {
+		for _, tgd := range r.byHead[g.Pred] {
+			if !r.applyRule(g, nil, datalog.NewSubst(), tgd, depth-1, func(datalog.Subst) bool {
+				proven = true
+				return false
+			}) {
+				break // stopped early: proof found
+			}
+		}
+	}
+	if r.useMemo {
+		if proven {
+			r.memoOK[key] = true
+		} else if old, ok := r.memoFail[key]; !ok || depth > old {
+			r.memoFail[key] = depth
+		}
+	}
+	return proven
+}
+
+// applyRule resolves goal g via one TGD: it unifies g with each head
+// atom in turn; when existential variables capture shared goal
+// variables, the other goals mentioning them are absorbed into the
+// same piece (they must be co-produced by the same rule firing). It
+// reports whether the search ran to exhaustion.
+func (r *resolver) applyRule(g datalog.Atom, rest []datalog.Atom, s datalog.Subst, tgd *datalog.TGD, depth int, onSuccess func(datalog.Subst) bool) bool {
+	ren := datalog.RenameApart(tgd, r.fresh)
+	exVars := map[datalog.Term]bool{}
+	for _, z := range ren.ExistentialVars() {
+		exVars[z] = true
+	}
+	for _, head := range ren.Head {
+		sigma, ok := datalog.Unify(g, head, datalog.NewSubst())
+		if !ok {
+			continue
+		}
+		if !r.resolvePiece(ren, exVars, sigma, rest, s, depth, onSuccess) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolvePiece grows the piece until no remaining goal mentions an
+// existential marker, then recurses on body + remaining goals.
+func (r *resolver) resolvePiece(ren *datalog.TGD, exVars map[datalog.Term]bool, sigma datalog.Subst, rest []datalog.Atom, s datalog.Subst, depth int, onSuccess func(datalog.Subst) bool) bool {
+	// An existential bound to a constant or null is unsound — the
+	// invented value cannot be a known one.
+	markers := map[datalog.Term]bool{}
+	for z := range exVars {
+		img := sigma.Apply(z)
+		if !img.IsVar() {
+			return true
+		}
+		markers[img] = true
+	}
+	// Find a remaining goal mentioning a marker.
+	pending := -1
+	for i, goal := range rest {
+		ga := sigma.ApplyAtom(goal)
+		for _, tm := range ga.Args {
+			if tm.IsVar() && markers[tm] {
+				pending = i
+				break
+			}
+		}
+		if pending >= 0 {
+			break
+		}
+	}
+	if pending < 0 {
+		// Piece closed. Certain answers must not bind answer or
+		// condition variables to invented values.
+		for _, av := range r.ansVars {
+			if img := sigma.Apply(s.Apply(av)); img.IsVar() && markers[img] {
+				return true
+			}
+		}
+		for _, c := range r.conds {
+			for _, tm := range []datalog.Term{c.L, c.R} {
+				if img := sigma.Apply(s.Apply(tm)); img.IsVar() && markers[img] {
+					return true
+				}
+			}
+		}
+		newGoals := append(sigma.ApplyAtoms(ren.Body), sigma.ApplyAtoms(rest)...)
+		return r.resolve(newGoals, s.Compose(sigma), depth, onSuccess)
+	}
+	// Absorb the pending goal into the piece via some head atom.
+	goal := sigma.ApplyAtom(rest[pending])
+	remaining := make([]datalog.Atom, 0, len(rest)-1)
+	remaining = append(remaining, rest[:pending]...)
+	remaining = append(remaining, rest[pending+1:]...)
+	for _, head := range ren.Head {
+		sigma2, ok := datalog.Unify(goal, sigma.ApplyAtom(head), sigma)
+		if !ok {
+			continue
+		}
+		if !r.resolvePiece(ren, exVars, sigma2, remaining, s, depth, onSuccess) {
+			return false
+		}
+	}
+	return true
+}
+
+// emit evaluates the query conditions and extracts one answer; it
+// reports whether the proof produced a (new or duplicate) certain
+// answer.
+func (r *resolver) emit(answers *datalog.AnswerSet, s datalog.Subst) bool {
+	for _, c := range r.conds {
+		ok, err := c.Eval(s)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	terms := make([]datalog.Term, len(r.ansVars))
+	for i, v := range r.ansVars {
+		t := s.Apply(v)
+		if !t.IsGround() || t.IsNull() {
+			// Not a certain answer.
+			return false
+		}
+		terms[i] = t
+	}
+	answers.Add(datalog.Answer{Terms: terms})
+	return true
+}
+
+// ChaseOptions configures the chase-based oracle.
+type ChaseOptions struct {
+	Chase chase.Options
+	// AllowViolations evaluates the query even when constraints are
+	// violated (data quality workflows inspect violations separately).
+	AllowViolations bool
+}
+
+// CertainAnswersViaChase computes certain answers by chasing the
+// program to saturation and evaluating the query over the result,
+// discarding answers that contain labeled nulls. It is the executable
+// counterpart of the non-deterministic WeaklyStickyQAns and the oracle
+// that DeterministicWSQAns is validated against.
+func CertainAnswersViaChase(prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts ChaseOptions) (*datalog.AnswerSet, error) {
+	if len(q.Negated) > 0 {
+		return nil, fmt.Errorf("qa: query %s has negated atoms; certain-answer engines accept positive CQs only", q.Head.Pred)
+	}
+	res, err := chase.Run(prog, db, opts.Chase)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Saturated {
+		return nil, fmt.Errorf("qa: chase did not saturate (rounds=%d, atoms=%d)", res.Rounds, res.Instance.TotalTuples())
+	}
+	if !res.Consistent() && !opts.AllowViolations {
+		return nil, fmt.Errorf("qa: ontology inconsistent: %d violations, first: %s", len(res.Violations), res.Violations[0])
+	}
+	return evalCertain(q, res.Instance)
+}
+
+// evalCertain evaluates the CQ over a fixed instance and filters
+// non-certain (null-carrying) answers.
+func evalCertain(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	answers := datalog.NewAnswerSet()
+	var derr error
+	db.MatchConjunction(q.Body, datalog.NewSubst(), func(s datalog.Subst) bool {
+		for _, c := range q.Conds {
+			ok, err := c.Eval(s)
+			if err != nil {
+				derr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		terms := make([]datalog.Term, len(q.Head.Args))
+		for i, v := range q.Head.Args {
+			t := s.Apply(v)
+			if t.IsNull() {
+				return true
+			}
+			terms[i] = t
+		}
+		answers.Add(datalog.Answer{Terms: terms})
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	return answers, nil
+}

@@ -1,0 +1,133 @@
+package qa
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	dl "repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// worldValue generates a random two-level navigation world with an
+// upward rule and a downward existential rule, mirroring the paper's
+// two rule patterns, plus a random query from a fixed battery.
+type worldValue struct {
+	DB    *storage.Instance
+	Query *dl.Query
+}
+
+func (worldValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	db := storage.NewInstance()
+	children := []string{"c0", "c1", "c2"}
+	parents := []string{"p0", "p1"}
+	for _, c := range children {
+		db.MustInsert("Up", dl.C(parents[r.Intn(len(parents))]), dl.C(c))
+	}
+	for i := 0; i < 1+r.Intn(8); i++ {
+		db.MustInsert("R0", dl.C(children[r.Intn(len(children))]), dl.C(fmt.Sprintf("v%d", r.Intn(4))))
+	}
+	for i := 0; i < 1+r.Intn(4); i++ {
+		db.MustInsert("S1", dl.C(parents[r.Intn(len(parents))]), dl.C(fmt.Sprintf("w%d", r.Intn(3))))
+	}
+	queries := []*dl.Query{
+		dl.NewQuery(dl.A("Q", dl.V("p"), dl.V("x")), dl.A("R1", dl.V("p"), dl.V("x"))),
+		dl.NewQuery(dl.A("Q", dl.V("x")), dl.A("R1", dl.C("p0"), dl.V("x"))),
+		dl.NewQuery(dl.A("Q", dl.V("c")), dl.A("S0", dl.V("c"), dl.C("w0"), dl.V("z"))),
+		dl.NewQuery(dl.A("Q", dl.V("z")), dl.A("S0", dl.V("c"), dl.V("x"), dl.V("z"))),
+		dl.NewQuery(dl.A("Q"), dl.A("R1", dl.V("p"), dl.V("x")), dl.A("S0", dl.V("c"), dl.V("y"), dl.V("z"))),
+		dl.NewQuery(dl.A("Q", dl.V("x"), dl.V("c")),
+			dl.A("R1", dl.V("p"), dl.V("x")), dl.A("Up", dl.V("p"), dl.V("c"))),
+	}
+	return reflect.ValueOf(worldValue{DB: db, Query: queries[r.Intn(len(queries))]})
+}
+
+func navProgram() *dl.Program {
+	prog := dl.NewProgram()
+	prog.AddTGD(dl.NewTGD("up",
+		[]dl.Atom{dl.A("R1", dl.V("p"), dl.V("x"))},
+		[]dl.Atom{dl.A("R0", dl.V("c"), dl.V("x")), dl.A("Up", dl.V("p"), dl.V("c"))}))
+	prog.AddTGD(dl.NewTGD("down",
+		[]dl.Atom{dl.A("S0", dl.V("c"), dl.V("x"), dl.V("z"))},
+		[]dl.Atom{dl.A("S1", dl.V("p"), dl.V("x")), dl.A("Up", dl.V("p"), dl.V("c"))}))
+	return prog
+}
+
+func TestQuickDetQAMatchesChaseOracle(t *testing.T) {
+	// The central correctness property of Section IV: the
+	// deterministic top-down algorithm computes exactly the certain
+	// answers the chase yields, on random worlds and queries.
+	prog := navProgram()
+	f := func(w worldValue) bool {
+		oracle, err := CertainAnswersViaChase(prog, w.DB, w.Query, ChaseOptions{})
+		if err != nil {
+			return false
+		}
+		det, err := Answer(prog, w.DB, w.Query, Options{})
+		if err != nil {
+			return false
+		}
+		return det.Equal(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDetQAReadOnly(t *testing.T) {
+	prog := navProgram()
+	f := func(w worldValue) bool {
+		before := w.DB.TotalTuples()
+		if _, err := Answer(prog, w.DB, w.Query, Options{}); err != nil {
+			return false
+		}
+		return w.DB.TotalTuples() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMemoInvariance(t *testing.T) {
+	prog := navProgram()
+	f := func(w worldValue) bool {
+		with, err := Answer(prog, w.DB, w.Query, Options{})
+		if err != nil {
+			return false
+		}
+		without, err := Answer(prog, w.DB, w.Query, Options{DisableMemo: true})
+		if err != nil {
+			return false
+		}
+		return with.Equal(without)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMoreDepthNeverLosesAnswers(t *testing.T) {
+	// Answers are monotone in the depth budget.
+	prog := navProgram()
+	f := func(w worldValue) bool {
+		shallow, err := Answer(prog, w.DB, w.Query, Options{MaxDepth: 1})
+		if err != nil {
+			return false
+		}
+		deep, err := Answer(prog, w.DB, w.Query, Options{MaxDepth: 6})
+		if err != nil {
+			return false
+		}
+		for _, a := range shallow.All() {
+			if !deep.Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Package quality implements the paper's contextual data quality
+// framework (Section V, Figure 2): an instance D under assessment is
+// mapped into a context C hosting the multidimensional ontology M,
+// contextual predicates, quality predicates P_i and definitions of
+// quality versions S^q of the original relations. Clean query
+// answering rewrites a query over the original schema into one over
+// the quality versions and answers it over the context — triggering
+// dimensional navigation through the ontology's rules.
+package quality
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/eval"
+	"repro/internal/storage"
+)
+
+// VersionName is the default naming convention for quality versions:
+// the paper's S^q rendered as "<name>_q".
+func VersionName(rel string) string { return rel + "_q" }
+
+// Context assembles the quality-assessment context of Figure 2.
+type Context struct {
+	ontology *core.Ontology
+	compile  core.CompileOptions
+	chaseOpt chase.Options
+
+	// mappings define contextual predicates from the original schema
+	// (the paper's "footprint" step: Measurement_c is a contextual
+	// copy — or expansion — of Measurements).
+	mappings []*eval.Rule
+	// qualityRules define contextual/quality predicates P_i, e.g.
+	// TakenByNurse and TakenWithTherm in Example 7.
+	qualityRules []*eval.Rule
+	// versions maps an original relation name to the predicate name
+	// and rules defining its quality version.
+	versions map[string]*versionDef
+	vorder   []string
+	// externals are additional data sources E_i merged into the
+	// context.
+	externals []*storage.Instance
+}
+
+type versionDef struct {
+	pred  string
+	rules []*eval.Rule
+}
+
+// NewContext creates a context around the MD ontology.
+func NewContext(o *core.Ontology) *Context {
+	return &Context{
+		ontology: o,
+		versions: map[string]*versionDef{},
+	}
+}
+
+// WithCompileOptions sets the ontology compilation options.
+func (c *Context) WithCompileOptions(opts core.CompileOptions) *Context {
+	c.compile = opts
+	return c
+}
+
+// WithChaseOptions sets the chase options used during assessment.
+func (c *Context) WithChaseOptions(opts chase.Options) *Context {
+	c.chaseOpt = opts
+	return c
+}
+
+// AddMapping registers a rule mapping original-schema predicates into
+// contextual predicates.
+func (c *Context) AddMapping(r *eval.Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c.mappings = append(c.mappings, r)
+	return nil
+}
+
+// AddQualityRule registers a rule defining a contextual or quality
+// predicate P_i.
+func (c *Context) AddQualityRule(r *eval.Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	c.qualityRules = append(c.qualityRules, r)
+	return nil
+}
+
+// AddExternalSource merges an external data source E_i into the
+// context at assessment time.
+func (c *Context) AddExternalSource(db *storage.Instance) {
+	c.externals = append(c.externals, db)
+}
+
+// DefineQualityVersion declares the quality version of an original
+// relation: versionPred is the predicate the rules define (use
+// VersionName(rel) by convention).
+func (c *Context) DefineQualityVersion(rel, versionPred string, rules ...*eval.Rule) error {
+	if _, dup := c.versions[rel]; dup {
+		return fmt.Errorf("quality: version of %s already defined", rel)
+	}
+	if len(rules) == 0 {
+		return fmt.Errorf("quality: version of %s needs at least one rule", rel)
+	}
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if r.Head.Pred != versionPred {
+			return fmt.Errorf("quality: rule %s defines %s, want %s", r.ID, r.Head.Pred, versionPred)
+		}
+	}
+	c.versions[rel] = &versionDef{pred: versionPred, rules: rules}
+	c.vorder = append(c.vorder, rel)
+	return nil
+}
+
+// Measure quantifies how much an original relation departs from its
+// quality version, following the paper's "quality is measured in terms
+// of how much D departs from its quality version".
+type Measure struct {
+	Original     int // |D|
+	Quality      int // |D^q|
+	Intersection int // |D ∩ D^q|
+}
+
+// Distance is |D △ D^q| / |D| — 0 means D is already clean, 1 means a
+// fully disjoint quality version of the same size.
+func (m Measure) Distance() float64 {
+	if m.Original == 0 {
+		return 0
+	}
+	sym := (m.Original - m.Intersection) + (m.Quality - m.Intersection)
+	return float64(sym) / float64(m.Original)
+}
+
+// CleanFraction is |D ∩ D^q| / |D| — the share of original tuples that
+// survive quality assessment.
+func (m Measure) CleanFraction() float64 {
+	if m.Original == 0 {
+		return 1
+	}
+	return float64(m.Intersection) / float64(m.Original)
+}
+
+// Assessment is the outcome of mapping an instance through the
+// context.
+type Assessment struct {
+	// Contextual is the full contextual instance: chased ontology
+	// data, the mapped original instance, external sources, quality
+	// predicates and quality versions.
+	Contextual *storage.Instance
+	// Versions holds the computed quality version of each original
+	// relation with a defined version.
+	Versions map[string]*storage.Relation
+	// Measures quantifies the departure of each original relation
+	// from its quality version.
+	Measures map[string]Measure
+	// Violations carries dimensional-constraint violations found
+	// while chasing the ontology.
+	Violations []chase.Violation
+	// versionPred maps original relation names to version predicates
+	// for clean query rewriting.
+	versionPred map[string]string
+}
+
+// Assess runs the full Figure 2 pipeline on the instance under
+// assessment:
+//
+//  1. compile the ontology (dimension predicates + categorical data),
+//  2. merge D and the external sources into the context,
+//  3. chase the dimensional rules (data generation via navigation),
+//  4. evaluate mappings, quality predicates and quality versions,
+//  5. compute departure measures.
+func (c *Context) Assess(d *storage.Instance) (*Assessment, error) {
+	comp, err := c.ontology.Compile(c.compile)
+	if err != nil {
+		return nil, err
+	}
+	merged := comp.Instance
+	if err := storage.Merge(merged, d); err != nil {
+		return nil, err
+	}
+	for _, ext := range c.externals {
+		if err := storage.Merge(merged, ext); err != nil {
+			return nil, err
+		}
+	}
+	chaseRes, err := chase.Run(comp.Program, merged, c.chaseOpt)
+	if err != nil {
+		return nil, err
+	}
+	if !chaseRes.Saturated {
+		return nil, fmt.Errorf("quality: ontology chase did not saturate (rounds=%d)", chaseRes.Rounds)
+	}
+
+	evalProg := eval.NewProgram()
+	evalProg.Add(c.mappings...)
+	evalProg.Add(c.qualityRules...)
+	for _, rel := range c.vorder {
+		evalProg.Add(c.versions[rel].rules...)
+	}
+	final := chaseRes.Instance
+	if len(evalProg.Rules) > 0 {
+		final, err = eval.Eval(evalProg, chaseRes.Instance)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Assessment{
+		Contextual:  final,
+		Versions:    map[string]*storage.Relation{},
+		Measures:    map[string]Measure{},
+		Violations:  chaseRes.Violations,
+		versionPred: map[string]string{},
+	}
+	for _, rel := range c.vorder {
+		def := c.versions[rel]
+		out.versionPred[rel] = def.pred
+		vrel := final.Relation(def.pred)
+		orig := d.Relation(rel)
+		// Expose the version under the original relation's attribute
+		// names (derived relations otherwise get synthetic a0..aN).
+		attrs := []string{}
+		switch {
+		case orig != nil && (vrel == nil || orig.Schema().Arity() == vrel.Schema().Arity()):
+			attrs = orig.Schema().Attrs
+		case vrel != nil:
+			attrs = vrel.Schema().Attrs
+		}
+		renamed := storage.NewRelation(storage.Schema{Name: def.pred, Attrs: attrs})
+		if vrel != nil {
+			for _, tup := range vrel.Tuples() {
+				if _, err := renamed.Insert(tup); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out.Versions[rel] = renamed
+		if orig != nil {
+			out.Measures[rel] = measure(orig, renamed)
+		}
+	}
+	return out, nil
+}
+
+// measure computes |D|, |D^q| and their positional intersection.
+func measure(orig, version *storage.Relation) Measure {
+	m := Measure{Original: orig.Len(), Quality: version.Len()}
+	for _, tup := range version.Tuples() {
+		if orig.Schema().Arity() == len(tup) && orig.Contains(tup) {
+			m.Intersection++
+		}
+	}
+	return m
+}
+
+// RewriteClean rewrites a query over the original schema into the
+// query Q^q over quality versions (the paper's problem (b)): every
+// atom whose predicate has a defined quality version is renamed to the
+// version predicate. Unmapped predicates are left untouched (they
+// resolve against the contextual instance).
+func (a *Assessment) RewriteClean(q *datalog.Query) *datalog.Query {
+	out := q.Clone()
+	for i, atom := range out.Body {
+		if vp, ok := a.versionPred[atom.Pred]; ok {
+			out.Body[i].Pred = vp
+		}
+	}
+	for i, atom := range out.Negated {
+		if vp, ok := a.versionPred[atom.Pred]; ok {
+			out.Negated[i].Pred = vp
+		}
+	}
+	return out
+}
+
+// CleanAnswer answers a query over the original schema with quality
+// semantics: it rewrites the query over the quality versions and
+// evaluates it on the contextual instance, dropping answers that
+// contain labeled nulls (certain answers).
+func (a *Assessment) CleanAnswer(q *datalog.Query) (*datalog.AnswerSet, error) {
+	rq := a.RewriteClean(q)
+	raw, err := eval.EvalQuery(rq, a.Contextual)
+	if err != nil {
+		return nil, err
+	}
+	certain := datalog.NewAnswerSet()
+	for _, ans := range raw.All() {
+		if !ans.HasNull() {
+			certain.Add(ans)
+		}
+	}
+	return certain, nil
+}

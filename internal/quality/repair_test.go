@@ -1,0 +1,110 @@
+package quality_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	dl "repro/internal/datalog"
+	"repro/internal/hospital"
+	"repro/internal/quality"
+)
+
+func TestRepairByDeletionIntensiveClosed(t *testing.T) {
+	// The intensive-closed constraint is violated by the two W3 stays
+	// (Tom Sep/7, Lou Sep/6). Repair deletes exactly those two
+	// PatientWard tuples.
+	o := hospital.NewOntology(hospital.Options{WithConstraints: true})
+	repaired, rep, err := quality.RepairByDeletion(o, core.CompileOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deleted) != 2 {
+		t.Fatalf("deleted = %v, want the two W3 stays", rep.Deleted)
+	}
+	for _, a := range rep.Deleted {
+		if a.Pred != "PatientWard" || a.Args[0] != dl.C("W3") {
+			t.Errorf("unexpected deletion %s", a)
+		}
+	}
+	if len(rep.Remaining) != 0 {
+		t.Errorf("remaining = %v, want none", rep.Remaining)
+	}
+	if repaired.Relation("PatientWard").Len() != 4 {
+		t.Errorf("PatientWard after repair = %d, want 4", repaired.Relation("PatientWard").Len())
+	}
+	// Untouched relations survive intact.
+	if repaired.Relation("WorkingSchedules").Len() != 5 {
+		t.Error("WorkingSchedules must be untouched")
+	}
+	// The ontology itself is unmodified.
+	if o.Data().Relation("PatientWard").Len() != 6 {
+		t.Error("repair must not mutate the ontology")
+	}
+	if !strings.Contains(rep.String(), "2 deletions") {
+		t.Errorf("Repair.String = %q", rep.String())
+	}
+}
+
+func TestRepairLeavesConsistentDataAlone(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{})
+	repaired, rep, err := quality.RepairByDeletion(o, core.CompileOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deleted) != 0 {
+		t.Errorf("consistent ontology: deletions = %v", rep.Deleted)
+	}
+	if repaired.Relation("PatientWard").Len() != 6 {
+		t.Error("nothing must be deleted")
+	}
+}
+
+func TestRepairReportsEGDConflictsAsUnresolved(t *testing.T) {
+	// EGD conflicts are not repaired by deletion; they surface in
+	// Remaining. The thermometers in W1 and W2 (same unit) are given
+	// conflicting constant types.
+	o := hospital.NewOntology(hospital.Options{WithConstraints: true})
+	// Overwrite: stage a conflicting thermometer fact.
+	if err := o.AddFact("Thermometer", "W2", "Tympanic", "Mark"); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := quality.RepairByDeletion(o, core.CompileOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundEGD := false
+	for _, v := range rep.Remaining {
+		if v.Kind == chase.EGDConflict {
+			foundEGD = true
+		}
+	}
+	if !foundEGD {
+		t.Errorf("EGD conflict must remain unresolved: %+v", rep)
+	}
+}
+
+func TestRepairHandlesQuotedConstants(t *testing.T) {
+	// Violation details quote constants with spaces ("Tom Waits");
+	// the repair parser must round-trip them.
+	o := hospital.NewOntology(hospital.Options{})
+	nc := dl.NewDenial("no-tom",
+		dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p")))
+	nc.WithCond(dl.OpEq, dl.V("p"), dl.C(hospital.TomWaits))
+	if err := o.AddNC(nc); err != nil {
+		t.Fatal(err)
+	}
+	repaired, rep, err := quality.RepairByDeletion(o, core.CompileOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deleted) != 4 {
+		t.Fatalf("deleted = %v, want Tom's 4 stays", rep.Deleted)
+	}
+	for _, tup := range repaired.Relation("PatientWard").Tuples() {
+		if tup[2] == dl.C(hospital.TomWaits) {
+			t.Error("Tom's tuples must be gone")
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package sticky
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Marking is the result of the sticky marking procedure: for each TGD
+// (by index into the program), the set of marked body variables, plus
+// the set of marked positions across the program.
+type Marking struct {
+	// MarkedVars[i] is the set of marked variables of prog.TGDs[i].
+	MarkedVars []map[datalog.Term]bool
+	// MarkedPositions holds every body position at which some marked
+	// variable occurs in some rule.
+	MarkedPositions map[datalog.Position]bool
+}
+
+// ComputeMarking runs the sticky marking procedure of Calì–Gottlob–
+// Pieris:
+//
+//  1. For every TGD, mark each body variable that does not occur in
+//     the head.
+//  2. Propagate: if a head variable of some TGD occurs (in the head)
+//     at a marked position — a position where a marked body variable
+//     occurs in some rule — mark it in that TGD's body. Repeat to
+//     fixpoint.
+func ComputeMarking(prog *datalog.Program) *Marking {
+	m := &Marking{
+		MarkedVars:      make([]map[datalog.Term]bool, len(prog.TGDs)),
+		MarkedPositions: map[datalog.Position]bool{},
+	}
+	// Step 1: variables absent from the head.
+	for i, tgd := range prog.TGDs {
+		m.MarkedVars[i] = map[datalog.Term]bool{}
+		inHead := map[datalog.Term]bool{}
+		for _, v := range datalog.VarsOfAtoms(tgd.Head) {
+			inHead[v] = true
+		}
+		for _, v := range tgd.UniversalVars() {
+			if !inHead[v] {
+				m.MarkedVars[i][v] = true
+			}
+		}
+	}
+	recomputePositions := func() {
+		m.MarkedPositions = map[datalog.Position]bool{}
+		for i, tgd := range prog.TGDs {
+			for _, a := range tgd.Body {
+				for j, t := range a.Args {
+					if t.IsVar() && m.MarkedVars[i][t] {
+						m.MarkedPositions[datalog.Position{Pred: a.Pred, Index: j}] = true
+					}
+				}
+			}
+		}
+	}
+	recomputePositions()
+	// Step 2: propagate through heads.
+	for {
+		changed := false
+		for i, tgd := range prog.TGDs {
+			for _, h := range tgd.Head {
+				for j, t := range h.Args {
+					if !t.IsVar() {
+						continue
+					}
+					pos := datalog.Position{Pred: h.Pred, Index: j}
+					if m.MarkedPositions[pos] && !m.MarkedVars[i][t] {
+						// Only universal variables can be marked in a
+						// body; existential head variables have no
+						// body occurrence, so marking them is a no-op,
+						// but we record universals only.
+						if occursInBody(tgd, t) {
+							m.MarkedVars[i][t] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			return m
+		}
+		recomputePositions()
+	}
+}
+
+func occursInBody(tgd *datalog.TGD, v datalog.Term) bool {
+	for _, a := range tgd.Body {
+		for _, t := range a.Args {
+			if t == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bodyOccurrenceCount counts the occurrences (not distinct atoms) of
+// the variable in the TGD body.
+func bodyOccurrenceCount(tgd *datalog.TGD, v datalog.Term) int {
+	n := 0
+	for _, a := range tgd.Body {
+		for _, t := range a.Args {
+			if t == v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Report is the classification result for a program.
+type Report struct {
+	Linear        bool
+	Guarded       bool
+	WeaklyAcyclic bool
+	Sticky        bool
+	WeaklySticky  bool
+	// FiniteRank and InfiniteRank partition the predicate positions.
+	FiniteRank   []datalog.Position
+	InfiniteRank []datalog.Position
+	// StickyWitness and WSWitness name a violating rule/variable when
+	// the respective test fails (empty otherwise).
+	StickyWitness string
+	WSWitness     string
+}
+
+// String summarizes the report.
+func (r *Report) String() string {
+	var classes []string
+	add := func(ok bool, name string) {
+		if ok {
+			classes = append(classes, name)
+		}
+	}
+	add(r.Linear, "linear")
+	add(r.Guarded, "guarded")
+	add(r.WeaklyAcyclic, "weakly-acyclic")
+	add(r.Sticky, "sticky")
+	add(r.WeaklySticky, "weakly-sticky")
+	if len(classes) == 0 {
+		classes = append(classes, "(none)")
+	}
+	return fmt.Sprintf("classes: %s; finite-rank positions: %d, infinite-rank: %d",
+		strings.Join(classes, ", "), len(r.FiniteRank), len(r.InfiniteRank))
+}
+
+// Classify runs every membership test on the program's TGDs.
+func Classify(prog *datalog.Program) *Report {
+	g := BuildDependencyGraph(prog)
+	inf := g.InfiniteRankPositions()
+	marking := ComputeMarking(prog)
+
+	rep := &Report{
+		Linear:        true,
+		Guarded:       true,
+		WeaklyAcyclic: g.WeaklyAcyclic(),
+		Sticky:        true,
+		WeaklySticky:  true,
+		FiniteRank:    g.FiniteRankPositions(),
+		InfiniteRank:  sortedPositionSet(inf),
+	}
+
+	for i, tgd := range prog.TGDs {
+		if len(tgd.Body) != 1 {
+			rep.Linear = false
+		}
+		if !isGuarded(tgd) {
+			rep.Guarded = false
+		}
+		for v := range marking.MarkedVars[i] {
+			occ := bodyOccurrenceCount(tgd, v)
+			if occ <= 1 {
+				continue
+			}
+			// A marked variable occurring more than once breaks
+			// stickiness.
+			if rep.Sticky {
+				rep.Sticky = false
+				rep.StickyWitness = fmt.Sprintf("rule %s: marked variable %s occurs %d times in body", tgd.ID, v, occ)
+			}
+			// Weak stickiness additionally allows it when at least one
+			// occurrence is at a finite-rank position.
+			if !occursAtFiniteRank(tgd, v, inf) {
+				if rep.WeaklySticky {
+					rep.WeaklySticky = false
+					rep.WSWitness = fmt.Sprintf("rule %s: marked variable %s occurs only at infinite-rank positions", tgd.ID, v)
+				}
+			}
+		}
+	}
+	// Sticky implies weakly-sticky by definition; keep consistent even
+	// for edge cases of the witness search.
+	if rep.Sticky {
+		rep.WeaklySticky = true
+		rep.WSWitness = ""
+	}
+	return rep
+}
+
+// isGuarded reports whether some body atom contains every universal
+// variable of the TGD body.
+func isGuarded(tgd *datalog.TGD) bool {
+	vars := tgd.UniversalVars()
+	for _, a := range tgd.Body {
+		has := map[datalog.Term]bool{}
+		for _, t := range a.Args {
+			if t.IsVar() {
+				has[t] = true
+			}
+		}
+		all := true
+		for _, v := range vars {
+			if !has[v] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// occursAtFiniteRank reports whether v occurs in the body at some
+// position of finite rank.
+func occursAtFiniteRank(tgd *datalog.TGD, v datalog.Term, inf map[datalog.Position]bool) bool {
+	for _, a := range tgd.Body {
+		for i, t := range a.Args {
+			if t == v && !inf[datalog.Position{Pred: a.Pred, Index: i}] {
+				return true
+			}
+		}
+	}
+	return false
+}

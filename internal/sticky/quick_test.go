@@ -1,0 +1,124 @@
+package sticky
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	dl "repro/internal/datalog"
+)
+
+// programValue generates small random TGD programs over a fixed
+// predicate pool, existentials included, to stress the classifier's
+// internal consistency.
+type programValue struct {
+	P *dl.Program
+}
+
+func (programValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	preds := []struct {
+		name  string
+		arity int
+	}{{"P", 2}, {"Q", 2}, {"R", 1}, {"S", 3}}
+	vars := []dl.Term{dl.V("x"), dl.V("y"), dl.V("z"), dl.V("w")}
+	mkAtom := func() dl.Atom {
+		p := preds[r.Intn(len(preds))]
+		args := make([]dl.Term, p.arity)
+		for i := range args {
+			args[i] = vars[r.Intn(len(vars))]
+		}
+		return dl.Atom{Pred: p.name, Args: args}
+	}
+	prog := dl.NewProgram()
+	rules := 1 + r.Intn(4)
+	for i := 0; i < rules; i++ {
+		nBody := 1 + r.Intn(2)
+		body := make([]dl.Atom, nBody)
+		for j := range body {
+			body[j] = mkAtom()
+		}
+		head := []dl.Atom{mkAtom()}
+		prog.AddTGD(dl.NewTGD(fmt.Sprintf("g%d", i), head, body))
+	}
+	return reflect.ValueOf(programValue{P: prog})
+}
+
+func TestQuickStickyImpliesWeaklySticky(t *testing.T) {
+	f := func(pv programValue) bool {
+		rep := Classify(pv.P)
+		if rep.Sticky && !rep.WeaklySticky {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWeakAcyclicityMatchesRankPartition(t *testing.T) {
+	// WeaklyAcyclic <=> no infinite-rank positions.
+	f := func(pv programValue) bool {
+		g := BuildDependencyGraph(pv.P)
+		return g.WeaklyAcyclic() == (len(g.InfiniteRankPositions()) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRankPartitionCoversAllPositions(t *testing.T) {
+	f := func(pv programValue) bool {
+		g := BuildDependencyGraph(pv.P)
+		inf := g.InfiniteRankPositions()
+		fin := g.FiniteRankPositions()
+		return len(inf)+len(fin) == len(g.Positions())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLinearImpliesGuarded(t *testing.T) {
+	// A single body atom trivially guards all its variables.
+	f := func(pv programValue) bool {
+		rep := Classify(pv.P)
+		if rep.Linear && !rep.Guarded {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNonWSHasWitness(t *testing.T) {
+	f := func(pv programValue) bool {
+		rep := Classify(pv.P)
+		if !rep.WeaklySticky && rep.WSWitness == "" {
+			return false
+		}
+		if !rep.Sticky && rep.StickyWitness == "" {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClassifyDeterministic(t *testing.T) {
+	f := func(pv programValue) bool {
+		a := Classify(pv.P)
+		b := Classify(pv.P)
+		return a.Sticky == b.Sticky && a.WeaklySticky == b.WeaklySticky &&
+			a.WeaklyAcyclic == b.WeaklyAcyclic && len(a.FiniteRank) == len(b.FiniteRank)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// FormatRelation renders a relation as an aligned text table in the
+// style of the paper's Tables I–V: a header with attribute names, a
+// rule line, and one row per tuple in insertion order.
+//
+//	Measurements
+//	  Time          Patient    Value
+//	  ------------  ---------  -----
+//	  Sep/5-12:10   Tom Waits  38.2
+func FormatRelation(r *Relation) string {
+	return FormatTable(r.Name(), r.Schema().Attrs, renderRows(r.Tuples()))
+}
+
+// FormatRelationSorted is FormatRelation with rows sorted
+// lexicographically, for deterministic output independent of insertion
+// order.
+func FormatRelationSorted(r *Relation) string {
+	return FormatTable(r.Name(), r.Schema().Attrs, renderRows(r.SortedTuples()))
+}
+
+func renderRows(tuples [][]datalog.Term) [][]string {
+	rows := make([][]string, len(tuples))
+	for i, tup := range tuples {
+		row := make([]string, len(tup))
+		for j, t := range tup {
+			// Render constants bare (no quotes) for table display.
+			if t.IsNull() {
+				row[j] = "⊥" + t.Name
+			} else {
+				row[j] = t.Name
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// FormatTable renders a titled, aligned text table.
+func FormatTable(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		b.WriteString("  ")
+		for i, cell := range cells {
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)+2))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	rule := make([]string, len(header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Instance is a database instance: a collection of relations by name.
+// Relations are created explicitly (with attribute names) or implicitly
+// on first insert (with synthesized attribute names).
+type Instance struct {
+	relations map[string]*Relation
+	order     []string // creation order, for deterministic iteration
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{relations: map[string]*Relation{}}
+}
+
+// CreateRelation registers an empty relation. It errors if the name is
+// taken with a different schema.
+func (db *Instance) CreateRelation(name string, attrs ...string) (*Relation, error) {
+	if rel, ok := db.relations[name]; ok {
+		if rel.Schema().Arity() != len(attrs) {
+			return nil, fmt.Errorf("storage: relation %s already exists with arity %d", name, rel.Schema().Arity())
+		}
+		return rel, nil
+	}
+	rel := NewRelation(Schema{Name: name, Attrs: attrs})
+	db.relations[name] = rel
+	db.order = append(db.order, name)
+	return rel, nil
+}
+
+// Relation returns the named relation, or nil if absent.
+func (db *Instance) Relation(name string) *Relation { return db.relations[name] }
+
+// RelationNames returns the relation names in creation order.
+func (db *Instance) RelationNames() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// ensure returns the relation, creating it with synthetic attribute
+// names a0..aN-1 if needed.
+func (db *Instance) ensure(name string, arity int) (*Relation, error) {
+	if rel, ok := db.relations[name]; ok {
+		if rel.Schema().Arity() != arity {
+			return nil, fmt.Errorf("storage: relation %s has arity %d, got tuple of arity %d", name, rel.Schema().Arity(), arity)
+		}
+		return rel, nil
+	}
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("a%d", i)
+	}
+	rel, err := db.CreateRelation(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// Insert adds a ground tuple to the named relation, creating the
+// relation if necessary. It reports whether the tuple was new.
+func (db *Instance) Insert(name string, tuple ...datalog.Term) (bool, error) {
+	rel, err := db.ensure(name, len(tuple))
+	if err != nil {
+		return false, err
+	}
+	return rel.Insert(tuple)
+}
+
+// InsertAtom adds a ground atom as a tuple.
+func (db *Instance) InsertAtom(a datalog.Atom) (bool, error) {
+	if !a.IsGround() {
+		return false, fmt.Errorf("storage: atom %s is not ground", a)
+	}
+	return db.Insert(a.Pred, a.Args...)
+}
+
+// MustInsert inserts and panics on error; for test and example setup
+// where schemas are static.
+func (db *Instance) MustInsert(name string, tuple ...datalog.Term) {
+	if _, err := db.Insert(name, tuple...); err != nil {
+		panic(err)
+	}
+}
+
+// ContainsAtom reports whether the ground atom is present.
+func (db *Instance) ContainsAtom(a datalog.Atom) bool {
+	rel := db.relations[a.Pred]
+	if rel == nil {
+		return false
+	}
+	return rel.Contains(a.Args)
+}
+
+// DeleteAtom removes the ground atom if present.
+func (db *Instance) DeleteAtom(a datalog.Atom) bool {
+	rel := db.relations[a.Pred]
+	if rel == nil {
+		return false
+	}
+	return rel.Delete(a.Args)
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (db *Instance) TotalTuples() int {
+	n := 0
+	for _, rel := range db.relations {
+		n += rel.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the instance.
+func (db *Instance) Clone() *Instance {
+	out := NewInstance()
+	for _, name := range db.order {
+		rel := db.relations[name]
+		out.relations[name] = rel.Clone()
+		out.order = append(out.order, name)
+	}
+	return out
+}
+
+// ReplaceTerm rewrites old to new across all relations, returning the
+// number of modified tuples. Used for EGD enforcement (null merging).
+func (db *Instance) ReplaceTerm(old, new datalog.Term) int {
+	n := 0
+	for _, rel := range db.relations {
+		n += rel.ReplaceTerm(old, new)
+	}
+	return n
+}
+
+// MatchAtom finds all extensions of s that map pattern into a fact of
+// the instance, invoking fn for each; fn returning false stops the
+// enumeration early. It reports whether enumeration ran to completion.
+func (db *Instance) MatchAtom(pattern datalog.Atom, s datalog.Subst, fn func(datalog.Subst) bool) bool {
+	rel := db.relations[pattern.Pred]
+	if rel == nil || rel.Schema().Arity() != len(pattern.Args) {
+		return true
+	}
+	for _, idx := range rel.matchCandidates(pattern, s) {
+		fact := datalog.Atom{Pred: pattern.Pred, Args: rel.tuples[idx]}
+		if ext, ok := datalog.Match(pattern, fact, s); ok {
+			if !fn(ext) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MatchConjunction enumerates the homomorphisms of the positive
+// conjunction body into the instance, extending s. Atoms are matched in
+// a greedy order: at each step the atom with the most arguments already
+// ground under the current substitution is chosen, which lets the
+// per-position indexes prune effectively. fn returning false stops
+// enumeration; the return value reports whether enumeration completed.
+func (db *Instance) MatchConjunction(body []datalog.Atom, s datalog.Subst, fn func(datalog.Subst) bool) bool {
+	remaining := make([]datalog.Atom, len(body))
+	copy(remaining, body)
+	return db.matchRest(remaining, s, fn)
+}
+
+func (db *Instance) matchRest(remaining []datalog.Atom, s datalog.Subst, fn func(datalog.Subst) bool) bool {
+	if len(remaining) == 0 {
+		return fn(s)
+	}
+	// Pick the atom with the highest number of ground arguments under s.
+	best, bestScore := 0, -1
+	for i, a := range remaining {
+		score := 0
+		for _, t := range a.Args {
+			if s.Apply(t).IsGround() {
+				score++
+			}
+		}
+		// Prefer smaller relations on ties to shrink the branching early.
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	chosen := remaining[best]
+	rest := make([]datalog.Atom, 0, len(remaining)-1)
+	rest = append(rest, remaining[:best]...)
+	rest = append(rest, remaining[best+1:]...)
+	return db.MatchAtom(chosen, s, func(ext datalog.Subst) bool {
+		return db.matchRest(rest, ext, fn)
+	})
+}
+
+// HasMatch reports whether the conjunction has at least one
+// homomorphism into the instance extending s.
+func (db *Instance) HasMatch(body []datalog.Atom, s datalog.Subst) bool {
+	found := false
+	db.MatchConjunction(body, s, func(datalog.Subst) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Merge copies every tuple of src into dst, creating relations as
+// needed (attribute names are taken from src when the relation is
+// new). It errors on arity conflicts.
+func Merge(dst, src *Instance) error {
+	for _, name := range src.RelationNames() {
+		rel := src.Relation(name)
+		if _, err := dst.CreateRelation(name, rel.Schema().Attrs...); err != nil {
+			return err
+		}
+		for _, tup := range rel.Tuples() {
+			if _, err := dst.Insert(name, tup...); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Diff returns the tuples of db not present in other, as ground atoms,
+// across all relations of db.
+func (db *Instance) Diff(other *Instance) []datalog.Atom {
+	var out []datalog.Atom
+	for _, name := range db.order {
+		rel := db.relations[name]
+		orel := other.relations[name]
+		for _, tup := range rel.Tuples() {
+			if orel == nil || !orel.Contains(tup) {
+				out = append(out, datalog.Atom{Pred: name, Args: datalog.CloneTerms(tup)})
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether both instances hold exactly the same tuples.
+func (db *Instance) Equal(other *Instance) bool {
+	return len(db.Diff(other)) == 0 && len(other.Diff(db)) == 0
+}
+
+// String renders every relation as a formatted table, sorted by
+// relation name.
+func (db *Instance) String() string {
+	names := make([]string, len(db.order))
+	copy(names, db.order)
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString(FormatRelation(db.relations[name]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	dl "repro/internal/datalog"
+)
+
+// tuplesValue generates a batch of random ground tuples of fixed
+// arity over a small alphabet, so duplicates and index collisions are
+// common.
+type tuplesValue struct {
+	Tuples [][]dl.Term
+}
+
+func (tuplesValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	names := []string{"a", "b", "c", "d"}
+	n := 1 + r.Intn(20)
+	out := make([][]dl.Term, n)
+	for i := range out {
+		tup := make([]dl.Term, 3)
+		for j := range tup {
+			if r.Intn(6) == 0 {
+				tup[j] = dl.N(names[r.Intn(len(names))])
+			} else {
+				tup[j] = dl.C(names[r.Intn(len(names))])
+			}
+		}
+		out[i] = tup
+	}
+	return reflect.ValueOf(tuplesValue{Tuples: out})
+}
+
+func TestQuickInsertContains(t *testing.T) {
+	f := func(tv tuplesValue) bool {
+		rel := NewRelation(Schema{Name: "R", Attrs: []string{"x", "y", "z"}})
+		for _, tup := range tv.Tuples {
+			if _, err := rel.Insert(tup); err != nil {
+				return false
+			}
+		}
+		for _, tup := range tv.Tuples {
+			if !rel.Contains(tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInsertDedupCount(t *testing.T) {
+	f := func(tv tuplesValue) bool {
+		rel := NewRelation(Schema{Name: "R", Attrs: []string{"x", "y", "z"}})
+		distinct := map[string]bool{}
+		for _, tup := range tv.Tuples {
+			added, err := rel.Insert(tup)
+			if err != nil {
+				return false
+			}
+			k := tupleKey(tup)
+			if added == distinct[k] {
+				return false // added iff not seen before
+			}
+			distinct[k] = true
+		}
+		return rel.Len() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeleteRemoves(t *testing.T) {
+	f := func(tv tuplesValue, pick uint8) bool {
+		rel := NewRelation(Schema{Name: "R", Attrs: []string{"x", "y", "z"}})
+		for _, tup := range tv.Tuples {
+			if _, err := rel.Insert(tup); err != nil {
+				return false
+			}
+		}
+		victim := tv.Tuples[int(pick)%len(tv.Tuples)]
+		before := rel.Len()
+		if !rel.Delete(victim) {
+			return false
+		}
+		return !rel.Contains(victim) && rel.Len() == before-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMatchAtomAgreesWithScan(t *testing.T) {
+	// The indexed MatchAtom must return exactly the tuples a brute
+	// force scan+Match finds.
+	f := func(tv tuplesValue, pv uint8) bool {
+		db := NewInstance()
+		for _, tup := range tv.Tuples {
+			if _, err := db.Insert("R", tup...); err != nil {
+				return false
+			}
+		}
+		// Random pattern: mix of constants from the alphabet and vars.
+		r := rand.New(rand.NewSource(int64(pv)))
+		names := []string{"a", "b", "c", "d"}
+		args := make([]dl.Term, 3)
+		for i := range args {
+			if r.Intn(2) == 0 {
+				args[i] = dl.V([]string{"u", "v", "w"}[i])
+			} else {
+				args[i] = dl.C(names[r.Intn(len(names))])
+			}
+		}
+		pattern := dl.Atom{Pred: "R", Args: args}
+
+		indexed := map[string]int{}
+		db.MatchAtom(pattern, dl.NewSubst(), func(s dl.Subst) bool {
+			indexed[s.ApplyAtom(pattern).Key()]++
+			return true
+		})
+		scanned := map[string]int{}
+		for _, tup := range db.Relation("R").Tuples() {
+			fact := dl.Atom{Pred: "R", Args: tup}
+			if s, ok := dl.Match(pattern, fact, dl.NewSubst()); ok {
+				scanned[s.ApplyAtom(pattern).Key()]++
+			}
+		}
+		if len(indexed) != len(scanned) {
+			return false
+		}
+		for k, v := range scanned {
+			if indexed[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneEquality(t *testing.T) {
+	f := func(tv tuplesValue) bool {
+		db := NewInstance()
+		for _, tup := range tv.Tuples {
+			if _, err := db.Insert("R", tup...); err != nil {
+				return false
+			}
+		}
+		clone := db.Clone()
+		if !db.Equal(clone) {
+			return false
+		}
+		// Mutating the clone must not affect the original.
+		clone.MustInsert("R", dl.C("fresh"), dl.C("fresh"), dl.C("fresh"))
+		return !db.ContainsAtom(dl.A("R", dl.C("fresh"), dl.C("fresh"), dl.C("fresh")))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReplaceTermEliminatesOld(t *testing.T) {
+	f := func(tv tuplesValue) bool {
+		db := NewInstance()
+		for _, tup := range tv.Tuples {
+			if _, err := db.Insert("R", tup...); err != nil {
+				return false
+			}
+		}
+		old := dl.N("a")
+		db.ReplaceTerm(old, dl.C("merged"))
+		for _, tup := range db.Relation("R").Tuples() {
+			for _, term := range tup {
+				if term == old {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeSuperset(t *testing.T) {
+	f := func(av, bv tuplesValue) bool {
+		a, b := NewInstance(), NewInstance()
+		for _, tup := range av.Tuples {
+			if _, err := a.Insert("R", tup...); err != nil {
+				return false
+			}
+		}
+		for _, tup := range bv.Tuples {
+			if _, err := b.Insert("R", tup...); err != nil {
+				return false
+			}
+		}
+		if err := Merge(a, b); err != nil {
+			return false
+		}
+		// a now contains everything from b.
+		return len(b.Diff(a)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package storage implements the in-memory relational substrate the
+// ontologies run on: named relations of ground tuples (constants and
+// labeled nulls), per-position hash indexes, homomorphism search for
+// conjunctions, and utilities for diffing and pretty-printing that the
+// experiment harness uses to regenerate the paper's tables.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Schema describes a relation: its name and attribute names. Attribute
+// names are carried for documentation and table printing; matching is
+// positional.
+type Schema struct {
+	Name  string
+	Attrs []string
+}
+
+// Arity returns the number of attributes.
+func (s Schema) Arity() int { return len(s.Attrs) }
+
+// String renders the schema as Name(attr1, ..., attrN).
+func (s Schema) String() string {
+	return s.Name + "(" + strings.Join(s.Attrs, ", ") + ")"
+}
+
+// Relation is a set of ground tuples under a schema, with hash indexes
+// on every position maintained incrementally. Tuples are deduplicated.
+type Relation struct {
+	schema  Schema
+	tuples  [][]datalog.Term
+	keys    map[string]int           // tuple key -> index into tuples
+	indexes []map[datalog.Term][]int // position -> value -> tuple indices
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(schema Schema) *Relation {
+	r := &Relation{
+		schema: schema,
+		keys:   map[string]int{},
+	}
+	r.indexes = make([]map[datalog.Term][]int, schema.Arity())
+	for i := range r.indexes {
+		r.indexes[i] = map[datalog.Term][]int{}
+	}
+	return r
+}
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.schema.Name }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+func tupleKey(tuple []datalog.Term) string {
+	var b strings.Builder
+	for _, t := range tuple {
+		b.WriteByte(byte('0' + t.Kind))
+		b.WriteString(t.Name)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Insert adds a ground tuple. It returns true if the tuple was new, and
+// an error on arity mismatch or non-ground terms.
+func (r *Relation) Insert(tuple []datalog.Term) (bool, error) {
+	if len(tuple) != r.schema.Arity() {
+		return false, fmt.Errorf("storage: %s expects %d attributes, got %d", r.schema.Name, r.schema.Arity(), len(tuple))
+	}
+	for _, t := range tuple {
+		if t.IsVar() {
+			return false, fmt.Errorf("storage: cannot insert non-ground tuple into %s: %v", r.schema.Name, datalog.TermsString(tuple))
+		}
+	}
+	k := tupleKey(tuple)
+	if _, dup := r.keys[k]; dup {
+		return false, nil
+	}
+	idx := len(r.tuples)
+	stored := datalog.CloneTerms(tuple)
+	r.tuples = append(r.tuples, stored)
+	r.keys[k] = idx
+	for pos, t := range stored {
+		r.indexes[pos][t] = append(r.indexes[pos][t], idx)
+	}
+	return true, nil
+}
+
+// Contains reports whether the ground tuple is present.
+func (r *Relation) Contains(tuple []datalog.Term) bool {
+	if len(tuple) != r.schema.Arity() {
+		return false
+	}
+	_, ok := r.keys[tupleKey(tuple)]
+	return ok
+}
+
+// Delete removes a ground tuple if present, reporting whether it was.
+// Deletion rebuilds the relation's indexes; it is intended for
+// low-frequency cleaning operations, not hot loops.
+func (r *Relation) Delete(tuple []datalog.Term) bool {
+	k := tupleKey(tuple)
+	idx, ok := r.keys[k]
+	if !ok {
+		return false
+	}
+	r.tuples = append(r.tuples[:idx], r.tuples[idx+1:]...)
+	r.rebuild()
+	return true
+}
+
+// rebuild reconstructs key and index maps from the tuple slice.
+func (r *Relation) rebuild() {
+	r.keys = make(map[string]int, len(r.tuples))
+	for i := range r.indexes {
+		r.indexes[i] = map[datalog.Term][]int{}
+	}
+	// Deduplicate in place, preserving first occurrence order.
+	dedup := r.tuples[:0]
+	for _, tup := range r.tuples {
+		k := tupleKey(tup)
+		if _, dup := r.keys[k]; dup {
+			continue
+		}
+		idx := len(dedup)
+		dedup = append(dedup, tup)
+		r.keys[k] = idx
+		for pos, t := range tup {
+			r.indexes[pos][t] = append(r.indexes[pos][t], idx)
+		}
+	}
+	r.tuples = dedup
+}
+
+// Tuples returns the tuples in insertion order. The slice and its
+// elements are owned by the relation; callers must not modify them.
+func (r *Relation) Tuples() [][]datalog.Term { return r.tuples }
+
+// SortedTuples returns a copy of the tuples sorted lexicographically,
+// for deterministic display.
+func (r *Relation) SortedTuples() [][]datalog.Term {
+	out := make([][]datalog.Term, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// ReplaceTerm rewrites every occurrence of old with new, deduplicating
+// the result. It returns the number of tuples modified. It is the
+// primitive used when the chase enforces an EGD by merging a labeled
+// null into another term.
+func (r *Relation) ReplaceTerm(old, new datalog.Term) int {
+	changed := 0
+	seen := map[int]bool{}
+	for pos := range r.indexes {
+		for _, idx := range r.indexes[pos][old] {
+			if !seen[idx] {
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return 0
+	}
+	for idx := range seen {
+		tup := r.tuples[idx]
+		for i, t := range tup {
+			if t == old {
+				tup[i] = new
+			}
+		}
+		changed++
+	}
+	r.rebuild()
+	return changed
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.schema)
+	for _, tup := range r.tuples {
+		if _, err := out.Insert(tup); err != nil {
+			// Tuples in a relation are always well-formed.
+			panic("storage: clone insert failed: " + err.Error())
+		}
+	}
+	return out
+}
+
+// matchCandidates returns the indices of tuples that can possibly match
+// the pattern atom under the substitution: it picks the ground argument
+// position with the smallest index bucket, or all tuples when no
+// argument is ground.
+func (r *Relation) matchCandidates(pattern datalog.Atom, s datalog.Subst) []int {
+	best := -1
+	var bestBucket []int
+	for pos, t := range pattern.Args {
+		rt := s.Apply(t)
+		if !rt.IsGround() {
+			continue
+		}
+		bucket := r.indexes[pos][rt]
+		if best == -1 || len(bucket) < len(bestBucket) {
+			best = pos
+			bestBucket = bucket
+		}
+	}
+	if best == -1 {
+		all := make([]int, len(r.tuples))
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return bestBucket
+}
