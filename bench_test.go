@@ -53,23 +53,11 @@ func BenchmarkFig2_ContextPipeline(b *testing.B)       { benchExperiment(b, "F2"
 
 func scalingSetup(b *testing.B, n int) (*datalog.Program, *storage.Instance, *datalog.Query) {
 	b.Helper()
-	spec := gen.ChainSpec{
-		Dim:    gen.DimensionSpec{Name: "S", Levels: 3, Fanout: 8, BaseMembers: 64},
-		Tuples: n,
-		Upward: true,
-		Seed:   42,
-	}
-	o, err := gen.ChainOntology(spec)
+	prog, db, q, err := bench.ScalingWorkload(n)
 	if err != nil {
 		b.Fatal(err)
 	}
-	comp, err := o.Compile(core.CompileOptions{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	q := datalog.NewQuery(datalog.A("Q", datalog.V("c")),
-		datalog.A(gen.UpRelName(2), datalog.V("c"), datalog.C("v0")))
-	return comp.Program, comp.Instance, q
+	return prog, db, q
 }
 
 func BenchmarkScaling_Chase(b *testing.B) {
@@ -82,6 +70,24 @@ func BenchmarkScaling_Chase(b *testing.B) {
 				res, err := chase.Run(prog, db, chase.Options{})
 				if err != nil || !res.Saturated {
 					b.Fatalf("chase failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaling_QA measures chase-based certain-answer computation
+// (chase to saturation + query evaluation over the result), the hot
+// path behind WeaklyStickyQAns and the quality-assessment pipeline.
+func BenchmarkScaling_QA(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			prog, db, q := scalingSetup(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := qa.CertainAnswersViaChase(prog, db, q, qa.ChaseOptions{}); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

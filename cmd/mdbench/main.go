@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	mdbench               # run everything
-//	mdbench -exp T2       # one experiment
-//	mdbench -scale 6400   # extend the C1 scaling sweep
+//	mdbench                          # run everything
+//	mdbench -exp T2                  # one experiment
+//	mdbench -scale 6400              # extend the C1 scaling sweep
+//	mdbench -benchjson BENCH_1.json  # machine-readable perf snapshot
 package main
 
 import (
@@ -23,7 +24,16 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all); one of "+strings.Join(bench.IDs(), ","))
 	scale := flag.String("scale", "", "comma-separated base sizes for an extended C1 scaling sweep")
+	benchJSON := flag.String("benchjson", "", "write the scaling benchmarks (name -> ns/op, allocs/op) to this JSON file; used to track the perf trajectory across PRs")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "mdbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scale != "" {
 		if err := runScale(*scale); err != nil {
@@ -56,6 +66,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mdbench: %d experiments failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+func runBenchJSON(path string) error {
+	results, err := bench.RunPerf([]int{100, 400, 1600})
+	if err != nil {
+		return err
+	}
+	for _, name := range bench.PerfNames(results) {
+		r := results[name]
+		fmt.Printf("%-40s  %12d ns/op  %9d allocs/op  %10d B/op\n",
+			name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if err := bench.WritePerfJSON(path, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func runScale(spec string) error {

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/gen"
+	"repro/internal/qa"
+	"repro/internal/storage"
+)
+
+// PerfResult is one benchmark measurement in machine-readable form.
+type PerfResult struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// ScalingWorkload builds the C1 chain workload used by the scaling
+// benchmarks — the single source of truth for the spec, shared with
+// the root bench_test.go so `go test -bench` numbers and the
+// BENCH_<n>.json snapshots measure the same workload.
+func ScalingWorkload(n int) (*datalog.Program, *storage.Instance, *datalog.Query, error) {
+	spec := gen.ChainSpec{
+		Dim:    gen.DimensionSpec{Name: "S", Levels: 3, Fanout: 8, BaseMembers: 64},
+		Tuples: n,
+		Upward: true,
+		Seed:   42,
+	}
+	o, err := gen.ChainOntology(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	comp, err := o.Compile(core.CompileOptions{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	q := datalog.NewQuery(datalog.A("Q", datalog.V("c")),
+		datalog.A(gen.UpRelName(2), datalog.V("c"), datalog.C("v0")))
+	return comp.Program, comp.Instance, q, nil
+}
+
+// RunPerf measures the chase and chase-based-QA scaling benchmarks at
+// the given base sizes via testing.Benchmark, keyed by the same names
+// `go test -bench` reports, so the emitted JSON is comparable with the
+// testing output across PRs.
+func RunPerf(sizes []int) (map[string]PerfResult, error) {
+	out := map[string]PerfResult{}
+	for _, n := range sizes {
+		prog, db, q, err := ScalingWorkload(n)
+		if err != nil {
+			return nil, err
+		}
+		var benchErr error
+		chaseRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := chase.Run(prog, db, chase.Options{})
+				if err != nil || !res.Saturated {
+					benchErr = fmt.Errorf("chase failed at n=%d: %v", n, err)
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		out[fmt.Sprintf("BenchmarkScaling_Chase/n=%d", n)] = toPerfResult(chaseRes)
+
+		qaRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := qa.CertainAnswersViaChase(prog, db, q, qa.ChaseOptions{}); err != nil {
+					benchErr = fmt.Errorf("qa failed at n=%d: %v", n, err)
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		out[fmt.Sprintf("BenchmarkScaling_QA/n=%d", n)] = toPerfResult(qaRes)
+	}
+	return out, nil
+}
+
+func toPerfResult(r testing.BenchmarkResult) PerfResult {
+	return PerfResult{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// WritePerfJSON writes the results to path as pretty-printed JSON with
+// deterministic key order (encoding/json sorts map keys).
+func WritePerfJSON(path string, results map[string]PerfResult) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// PerfNames returns the result names in sorted order, for stable
+// human-readable summaries.
+func PerfNames(results map[string]PerfResult) []string {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -417,6 +417,31 @@ func TestChaseMaxAtomsBound(t *testing.T) {
 	}
 }
 
+func TestChaseGroundBodyTGDFires(t *testing.T) {
+	// A TGD with a fully ground body has a zero-slot register bank;
+	// its single trigger must still fire (regression: the trigger memo
+	// once conflated the empty snapshot with "already fired").
+	db := storage.NewInstance()
+	db.MustInsert("P", dl.C("a"))
+	prog := dl.NewProgram()
+	prog.AddTGD(dl.NewTGD("ground",
+		[]dl.Atom{dl.A("Q", dl.C("a"))},
+		[]dl.Atom{dl.A("P", dl.C("a"))}))
+	res, err := Run(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("must saturate")
+	}
+	if res.Fired != 1 {
+		t.Errorf("Fired = %d, want 1", res.Fired)
+	}
+	if !res.Instance.ContainsAtom(dl.A("Q", dl.C("a"))) {
+		t.Error("ground-body TGD did not derive Q(a)")
+	}
+}
+
 func TestChaseMaxRoundsBound(t *testing.T) {
 	db := storage.NewInstance()
 	db.MustInsert("Next", dl.C("a"), dl.C("b"))

@@ -1,0 +1,85 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	terms := []Term{
+		C("a"), V("x"), N("n0"), C("x"), V("a"), N("a"),
+		C(""), C("Sep/5-12:10"), C("37.5"),
+	}
+	ids := make([]int32, len(terms))
+	for i, tm := range terms {
+		ids[i] = in.ID(tm)
+	}
+	for i, tm := range terms {
+		if got := in.TermOf(ids[i]); got != tm {
+			t.Errorf("TermOf(ID(%v)) = %v", tm, got)
+		}
+		if again := in.ID(tm); again != ids[i] {
+			t.Errorf("re-interning %v: id %d != %d", tm, again, ids[i])
+		}
+	}
+	// Same name, different kind must get distinct ids.
+	if in.ID(C("a")) == in.ID(V("a")) || in.ID(C("a")) == in.ID(N("a")) {
+		t.Error("terms of different kinds share an id")
+	}
+}
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner()
+	seen := map[int32]bool{}
+	for i := 0; i < 100; i++ {
+		id := in.ID(C(fmt.Sprintf("c%d", i)))
+		if id != int32(i) {
+			t.Fatalf("id %d for %dth distinct term, want dense allocation", id, i)
+		}
+		seen[id] = true
+	}
+	if in.Len() != 100 || len(seen) != 100 {
+		t.Fatalf("Len=%d distinct=%d, want 100", in.Len(), len(seen))
+	}
+}
+
+func TestInternerLookupMiss(t *testing.T) {
+	in := NewInterner()
+	in.ID(C("present"))
+	if _, ok := in.Lookup(C("absent")); ok {
+		t.Error("Lookup of never-interned term reported ok")
+	}
+	if id, ok := in.Lookup(C("present")); !ok || id != 0 {
+		t.Errorf("Lookup(present) = %d,%v want 0,true", id, ok)
+	}
+	if in.Len() != 1 {
+		t.Errorf("Lookup must not intern; Len=%d", in.Len())
+	}
+}
+
+func TestInternerBulkHelpers(t *testing.T) {
+	in := NewInterner()
+	r := rand.New(rand.NewSource(1))
+	tuple := make([]Term, 8)
+	for i := range tuple {
+		tuple[i] = C(fmt.Sprintf("v%d", r.Intn(5)))
+	}
+	ids := in.IDs(tuple, nil)
+	back := in.Terms(ids, nil)
+	if len(back) != len(tuple) {
+		t.Fatalf("len mismatch %d != %d", len(back), len(tuple))
+	}
+	for i := range tuple {
+		if back[i] != tuple[i] {
+			t.Errorf("pos %d: %v != %v", i, back[i], tuple[i])
+		}
+	}
+	// Buffer reuse keeps the same backing array.
+	buf := make([]int32, 0, 8)
+	out := in.IDs(tuple, buf[:0])
+	if &out[0] != &buf[:1][0] {
+		t.Error("IDs did not reuse the provided buffer")
+	}
+}

@@ -58,10 +58,15 @@ func (c Comparison) String() string {
 // operators (every ordering comparison involving a null is false),
 // reflecting that a labeled null carries no domain value.
 func (c Comparison) Eval(s Subst) (bool, error) {
-	l := s.Apply(c.L)
-	r := s.Apply(c.R)
+	return c.EvalTerms(s.Apply(c.L), s.Apply(c.R))
+}
+
+// EvalTerms evaluates the comparison on already-resolved sides, the
+// substitution-free entry point used by compiled join plans (which
+// resolve variables through register banks instead of Subst maps).
+func (c Comparison) EvalTerms(l, r Term) (bool, error) {
 	if l.IsVar() || r.IsVar() {
-		return false, fmt.Errorf("comparison %s: unbound side under %s", c, s)
+		return false, fmt.Errorf("comparison %s: unbound side (%s vs %s)", c, l, r)
 	}
 	switch c.Op {
 	case OpEq:

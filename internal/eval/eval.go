@@ -163,6 +163,12 @@ func (p *Program) Stratify() ([][]*Rule, error) {
 // Eval computes the program's least fixpoint over a copy of db and
 // returns the resulting instance (EDB plus derived IDB atoms). The
 // input instance is not modified.
+//
+// Evaluation runs on compiled join plans over interned rows (see
+// storage.CompilePlan): every rule body is compiled once per stratum,
+// matches bind a flat register bank instead of cloning substitution
+// maps, and derived facts are projected and inserted as []int32 rows
+// without materializing atoms or string keys.
 func Eval(p *Program, db *storage.Instance) (*storage.Instance, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -171,7 +177,7 @@ func Eval(p *Program, db *storage.Instance) (*storage.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := db.Clone()
+	out := db.CloneDetached()
 	for _, rules := range strata {
 		if len(rules) == 0 {
 			continue
@@ -183,114 +189,205 @@ func Eval(p *Program, db *storage.Instance) (*storage.Instance, error) {
 	return out, nil
 }
 
+// fact is a derived tuple in interned form.
+type fact struct {
+	pred string
+	row  []int32
+}
+
+// compiledRule is a rule lowered onto one register space: the base
+// plan and every delta plan share slot assignments (CompilePlan
+// assigns slots by first occurrence in the body, independent of the
+// bound-variable declaration), so a single set of head/negation
+// projections serves all of them.
+type compiledRule struct {
+	r    *Rule
+	plan *storage.Plan // full body, nothing pre-bound
+	head storage.Proj
+	negs []storage.Proj
+	// deltaPlans[i] re-evaluates the full body with body[i]'s
+	// variables pre-bound from a delta fact; nil when body[i] is not
+	// an IDB atom of the stratum.
+	deltaPlans []*storage.Plan
+	pivotProj  []storage.Proj // body[i] as a projection, for seeding registers
+	idbAtoms   int            // number of IDB body atoms
+	regs       []int32        // reusable register bank
+	buf        []int32        // reusable projection buffer
+}
+
+func compileRule(r *Rule, db *storage.Instance, idb map[string]bool) *compiledRule {
+	cr := &compiledRule{
+		r:    r,
+		plan: storage.CompilePlan(db, r.Body),
+	}
+	cr.head = cr.plan.CompileProj(r.Head)
+	for _, n := range r.Negated {
+		cr.negs = append(cr.negs, cr.plan.CompileProj(n))
+	}
+	cr.deltaPlans = make([]*storage.Plan, len(r.Body))
+	cr.pivotProj = make([]storage.Proj, len(r.Body))
+	for i, a := range r.Body {
+		if !idb[a.Pred] {
+			continue
+		}
+		cr.idbAtoms++
+		cr.deltaPlans[i] = storage.CompilePlan(db, r.Body, a.Vars()...)
+		cr.pivotProj[i] = cr.plan.CompileProj(a)
+	}
+	cr.regs = cr.plan.NewRegs()
+	maxAr := len(r.Head.Args)
+	for _, n := range r.Negated {
+		if len(n.Args) > maxAr {
+			maxAr = len(n.Args)
+		}
+	}
+	cr.buf = make([]int32, maxAr)
+	return cr
+}
+
+// filters checks the rule's negated atoms (closed world) and
+// comparisons against the register bank.
+func (cr *compiledRule) filters(db *storage.Instance, regs []int32) (bool, error) {
+	for i := range cr.negs {
+		n := &cr.negs[i]
+		buf := cr.buf[:n.Len()]
+		n.Project(regs, buf)
+		if db.ContainsRow(n.Pred, buf) {
+			return false, nil
+		}
+	}
+	for _, c := range cr.r.Conds {
+		ok, err := c.EvalTerms(cr.plan.TermAt(regs, c.L), cr.plan.TermAt(regs, c.R))
+		if err != nil {
+			return false, fmt.Errorf("eval: rule %s: %w", cr.r.ID, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// derive applies filters and, on success, inserts the head row,
+// appending newly derived facts to *out.
+func (cr *compiledRule) derive(db *storage.Instance, regs []int32, out *[]fact) error {
+	ok, err := cr.filters(db, regs)
+	if err != nil || !ok {
+		return err
+	}
+	buf := cr.buf[:cr.head.Len()]
+	cr.head.Project(regs, buf)
+	isNew, err := db.InsertRow(cr.head.Pred, buf)
+	if err != nil {
+		return err
+	}
+	if isNew {
+		row := make([]int32, len(buf))
+		copy(row, buf)
+		*out = append(*out, fact{pred: cr.head.Pred, row: row})
+	}
+	return nil
+}
+
 // evalStratum runs semi-naive iteration for one stratum, mutating db.
+// Rule bodies are compiled once; the delta index is built once per
+// round (not once per rule per round), and rules with several IDB body
+// atoms deduplicate pivot matches so the same homomorphism is not
+// re-derived through every pivot position it touches.
 func evalStratum(rules []*Rule, db *storage.Instance) error {
 	idb := map[string]bool{}
 	for _, r := range rules {
 		idb[r.Head.Pred] = true
 	}
+	comp := make([]*compiledRule, len(rules))
+	for i, r := range rules {
+		comp[i] = compileRule(r, db, idb)
+	}
 
 	// Round 0: full naive pass.
-	delta, err := fullPass(rules, db)
-	if err != nil {
-		return err
+	var delta []fact
+	for _, cr := range comp {
+		var derr error
+		cr.plan.ResetRegs(cr.regs)
+		cr.plan.Execute(db, cr.regs, func(regs []int32) bool {
+			derr = cr.derive(db, regs, &delta)
+			return derr == nil
+		})
+		if derr != nil {
+			return derr
+		}
 	}
+
 	// Subsequent rounds: a rule re-fires only with at least one body
 	// atom matching the previous round's delta.
+	deltaByPred := map[string][][]int32{}
 	for len(delta) > 0 {
-		var next []datalog.Atom
-		for _, r := range rules {
-			derived, err := deltaPass(r, db, delta, idb)
-			if err != nil {
+		for pred := range deltaByPred {
+			deltaByPred[pred] = deltaByPred[pred][:0]
+		}
+		for _, f := range delta {
+			deltaByPred[f.pred] = append(deltaByPred[f.pred], f.row)
+		}
+		var next []fact
+		for _, cr := range comp {
+			if err := deltaPass(cr, db, deltaByPred, &next); err != nil {
 				return err
 			}
-			next = append(next, derived...)
 		}
 		delta = next
 	}
 	return nil
 }
 
-// fullPass applies every rule against the full instance once,
-// returning newly inserted atoms.
-func fullPass(rules []*Rule, db *storage.Instance) ([]datalog.Atom, error) {
-	var added []datalog.Atom
-	for _, r := range rules {
-		var derr error
-		db.MatchConjunction(r.Body, datalog.NewSubst(), func(s datalog.Subst) bool {
-			ok, err := ruleFilters(r, s, db)
-			if err != nil {
-				derr = err
-				return false
-			}
-			if !ok {
-				return true
-			}
-			atom := s.ApplyAtom(r.Head)
-			isNew, err := db.InsertAtom(atom)
-			if err != nil {
-				derr = err
-				return false
-			}
-			if isNew {
-				added = append(added, atom)
-			}
-			return true
-		})
-		if derr != nil {
-			return nil, derr
-		}
+// deltaPass re-fires one rule seeded by every delta fact at every IDB
+// pivot position.
+func deltaPass(cr *compiledRule, db *storage.Instance, deltaByPred map[string][][]int32, next *[]fact) error {
+	// A rule with ≥2 IDB body atoms can reach the same homomorphism
+	// through several pivots; dedup complete matches by their packed
+	// register image.
+	var seen map[string]bool
+	if cr.idbAtoms > 1 {
+		seen = map[string]bool{}
 	}
-	return added, nil
-}
-
-// deltaPass applies one rule requiring some IDB body atom to match an
-// atom of the delta, returning newly inserted atoms.
-func deltaPass(r *Rule, db *storage.Instance, delta []datalog.Atom, idb map[string]bool) ([]datalog.Atom, error) {
-	var added []datalog.Atom
-	deltaByPred := map[string][]datalog.Atom{}
-	for _, a := range delta {
-		deltaByPred[a.Pred] = append(deltaByPred[a.Pred], a)
-	}
-	for i, pivot := range r.Body {
-		if !idb[pivot.Pred] {
+	var key []byte
+	for i := range cr.r.Body {
+		plan := cr.deltaPlans[i]
+		if plan == nil {
 			continue
 		}
-		for _, fact := range deltaByPred[pivot.Pred] {
-			s, ok := datalog.Match(pivot, fact, datalog.NewSubst())
-			if !ok {
+		proj := &cr.pivotProj[i]
+		for _, row := range deltaByPred[proj.Pred] {
+			cr.plan.ResetRegs(cr.regs)
+			if !proj.Bind(row, cr.regs) {
 				continue
 			}
-			rest := make([]datalog.Atom, 0, len(r.Body)-1)
-			rest = append(rest, r.Body[:i]...)
-			rest = append(rest, r.Body[i+1:]...)
 			var derr error
-			db.MatchConjunction(rest, s, func(s2 datalog.Subst) bool {
-				ok, err := ruleFilters(r, s2, db)
-				if err != nil {
-					derr = err
-					return false
+			plan.Execute(db, cr.regs, func(regs []int32) bool {
+				if seen != nil {
+					key = packRegs(key[:0], regs)
+					if seen[string(key)] {
+						return true
+					}
+					seen[string(key)] = true
 				}
-				if !ok {
-					return true
-				}
-				atom := s2.ApplyAtom(r.Head)
-				isNew, err := db.InsertAtom(atom)
-				if err != nil {
-					derr = err
-					return false
-				}
-				if isNew {
-					added = append(added, atom)
-				}
-				return true
+				derr = cr.derive(db, regs, next)
+				return derr == nil
 			})
 			if derr != nil {
-				return nil, derr
+				return derr
 			}
 		}
 	}
-	return added, nil
+	return nil
+}
+
+// packRegs appends the register bank's raw bytes to dst, producing a
+// compact dedup key.
+func packRegs(dst []byte, regs []int32) []byte {
+	for _, r := range regs {
+		dst = append(dst, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	}
+	return dst
 }
 
 // ruleFilters checks the rule's negated atoms (closed world) and
@@ -317,21 +414,37 @@ func ruleFilters(r *Rule, s datalog.Subst, db *storage.Instance) (bool, error) {
 // comparisons, both under closed-world assumption) directly over an
 // instance, returning all answers including those containing labeled
 // nulls. Certain-answer filtering is the caller's concern (see qa).
+// The body is compiled to a join plan; the instance is not modified.
 func EvalQuery(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	plan := storage.CompileQueryPlan(db, q.Body)
+	negs := make([]storage.Proj, len(q.Negated))
+	for i, n := range q.Negated {
+		negs[i] = plan.CompileProbe(n)
+	}
+	maxAr := 0
+	for _, n := range negs {
+		if n.Len() > maxAr {
+			maxAr = n.Len()
+		}
+	}
+	buf := make([]int32, maxAr)
 	answers := datalog.NewAnswerSet()
 	ansVars := q.Head.Args
 	var derr error
-	db.MatchConjunction(q.Body, datalog.NewSubst(), func(s datalog.Subst) bool {
-		for _, n := range q.Negated {
-			if db.ContainsAtom(s.ApplyAtom(n)) {
+	plan.Execute(db, plan.NewRegs(), func(regs []int32) bool {
+		for i := range negs {
+			n := &negs[i]
+			nb := buf[:n.Len()]
+			n.Project(regs, nb)
+			if db.ContainsRow(n.Pred, nb) {
 				return true
 			}
 		}
 		for _, c := range q.Conds {
-			ok, err := c.Eval(s)
+			ok, err := c.EvalTerms(plan.TermAt(regs, c.L), plan.TermAt(regs, c.R))
 			if err != nil {
 				derr = err
 				return false
@@ -342,7 +455,7 @@ func EvalQuery(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, erro
 		}
 		terms := make([]datalog.Term, len(ansVars))
 		for i, v := range ansVars {
-			terms[i] = s.Apply(v)
+			terms[i] = plan.TermAt(regs, v)
 		}
 		answers.Add(datalog.Answer{Terms: terms})
 		return true

@@ -122,6 +122,38 @@ func TestQuickSemiNaiveMatchesNaiveWithNegation(t *testing.T) {
 	}
 }
 
+func TestQuickEvalQueryMatchesLegacyMatcher(t *testing.T) {
+	// The compiled-plan EvalQuery must return exactly the answer set
+	// the legacy Subst-based matcher enumerates.
+	f := func(gv graphValue) bool {
+		q := dl.NewQuery(dl.A("Q", dl.V("x"), dl.V("z")),
+			dl.A("Edge", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("y"), dl.V("z"))).
+			WithNegated(dl.A("Edge", dl.V("x"), dl.V("x")))
+		fast, err := EvalQuery(q, gv.DB)
+		if err != nil {
+			return false
+		}
+		slow := dl.NewAnswerSet()
+		gv.DB.MatchConjunction(q.Body, dl.NewSubst(), func(s dl.Subst) bool {
+			for _, n := range q.Negated {
+				if gv.DB.ContainsAtom(s.ApplyAtom(n)) {
+					return true
+				}
+			}
+			terms := make([]dl.Term, len(q.Head.Args))
+			for i, v := range q.Head.Args {
+				terms[i] = s.Apply(v)
+			}
+			slow.Add(dl.Answer{Terms: terms})
+			return true
+		})
+		return fast.Equal(slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQuickClosureContainsEdges(t *testing.T) {
 	// Reach ⊇ Edge and Reach is transitively closed.
 	f := func(gv graphValue) bool {

@@ -43,12 +43,18 @@ func (d *Dimension) EmitAtoms(db *storage.Instance) error {
 			return err
 		}
 	}
-	for member, cat := range d.categoryOf {
-		for _, p := range d.up[member] {
-			pcat := d.categoryOf[p]
-			pred := RollupPredName(cat, pcat)
-			if _, err := db.Insert(pred, datalog.C(p), datalog.C(member)); err != nil {
-				return err
+	// Emit rollup facts in category/member insertion order, not map
+	// order: the EDB's tuple order is observable (join enumeration
+	// order, hence chase null numbering), so it must be deterministic
+	// across processes.
+	for _, cat := range d.schema.Categories() {
+		for _, member := range d.membersByCat[cat] {
+			for _, p := range d.up[member] {
+				pcat := d.categoryOf[p]
+				pred := RollupPredName(cat, pcat)
+				if _, err := db.Insert(pred, datalog.C(p), datalog.C(member)); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -322,16 +322,18 @@ func CertainAnswersViaChase(prog *datalog.Program, db *storage.Instance, q *data
 }
 
 // evalCertain evaluates the CQ over a fixed instance and filters
-// non-certain (null-carrying) answers.
+// non-certain (null-carrying) answers. The body runs as a compiled
+// join plan over the chased instance's interned rows.
 func evalCertain(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	plan := storage.CompileQueryPlan(db, q.Body)
 	answers := datalog.NewAnswerSet()
 	var derr error
-	db.MatchConjunction(q.Body, datalog.NewSubst(), func(s datalog.Subst) bool {
+	plan.Execute(db, plan.NewRegs(), func(regs []int32) bool {
 		for _, c := range q.Conds {
-			ok, err := c.Eval(s)
+			ok, err := c.EvalTerms(plan.TermAt(regs, c.L), plan.TermAt(regs, c.R))
 			if err != nil {
 				derr = err
 				return false
@@ -342,7 +344,7 @@ func evalCertain(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, er
 		}
 		terms := make([]datalog.Term, len(q.Head.Args))
 		for i, v := range q.Head.Args {
-			t := s.Apply(v)
+			t := plan.TermAt(regs, v)
 			if t.IsNull() {
 				return true
 			}

@@ -10,16 +10,23 @@ import (
 
 // Instance is a database instance: a collection of relations by name.
 // Relations are created explicitly (with attribute names) or implicitly
-// on first insert (with synthesized attribute names).
+// on first insert (with synthesized attribute names). All relations of
+// an instance share one term interner, so interned rows and compiled
+// join plans are valid across the whole instance (and across clones,
+// which share the interner too).
 type Instance struct {
 	relations map[string]*Relation
 	order     []string // creation order, for deterministic iteration
+	in        *datalog.Interner
 }
 
 // NewInstance returns an empty instance.
 func NewInstance() *Instance {
-	return &Instance{relations: map[string]*Relation{}}
+	return &Instance{relations: map[string]*Relation{}, in: datalog.NewInterner()}
 }
+
+// Interner returns the instance's shared term interner.
+func (db *Instance) Interner() *datalog.Interner { return db.in }
 
 // CreateRelation registers an empty relation. It errors if the name is
 // taken with a different schema.
@@ -30,7 +37,7 @@ func (db *Instance) CreateRelation(name string, attrs ...string) (*Relation, err
 		}
 		return rel, nil
 	}
-	rel := NewRelation(Schema{Name: name, Attrs: attrs})
+	rel := newRelation(Schema{Name: name, Attrs: attrs}, db.in)
 	db.relations[name] = rel
 	db.order = append(db.order, name)
 	return rel, nil
@@ -101,6 +108,27 @@ func (db *Instance) ContainsAtom(a datalog.Atom) bool {
 	return rel.Contains(a.Args)
 }
 
+// InsertRow adds a tuple of interned term ids to the named relation,
+// creating the relation if necessary. The ids must come from this
+// instance's interner; the slice is copied.
+func (db *Instance) InsertRow(name string, ids []int32) (bool, error) {
+	rel, err := db.ensure(name, len(ids))
+	if err != nil {
+		return false, err
+	}
+	return rel.InsertRow(ids)
+}
+
+// ContainsRow reports whether the named relation holds the row of
+// interned term ids.
+func (db *Instance) ContainsRow(name string, ids []int32) bool {
+	rel := db.relations[name]
+	if rel == nil {
+		return false
+	}
+	return rel.ContainsRow(ids)
+}
+
 // DeleteAtom removes the ground atom if present.
 func (db *Instance) DeleteAtom(a datalog.Atom) bool {
 	rel := db.relations[a.Pred]
@@ -119,13 +147,35 @@ func (db *Instance) TotalTuples() int {
 	return n
 }
 
-// Clone returns a deep copy of the instance.
+// Clone returns a deep copy of the instance's data in O(rows): every
+// relation is bulk-copied (see Relation.Clone). The term interner is
+// shared with the parent — ids stay compatible with plans compiled
+// against either — which means a clone and its parent (or two clones)
+// must not be mutated from different goroutines without external
+// synchronization, even though their tuple data is independent.
 func (db *Instance) Clone() *Instance {
-	out := NewInstance()
+	out := &Instance{
+		relations: make(map[string]*Relation, len(db.relations)),
+		order:     append([]string(nil), db.order...),
+		in:        db.in,
+	}
 	for _, name := range db.order {
-		rel := db.relations[name]
-		out.relations[name] = rel.Clone()
-		out.order = append(out.order, name)
+		out.relations[name] = db.relations[name].Clone()
+	}
+	return out
+}
+
+// CloneDetached returns a deep copy with its own forked interner: the
+// clone can intern new symbols (invented nulls, derived constants)
+// without touching the parent's interner. The chase and eval engines
+// use it for their output instances, so their inputs stay completely
+// unmodified. Existing ids are preserved, so rows — and plans compiled
+// against the clone — remain valid.
+func (db *Instance) CloneDetached() *Instance {
+	out := db.Clone()
+	out.in = db.in.Fork()
+	for _, rel := range out.relations {
+		rel.in = out.in
 	}
 	return out
 }
@@ -133,9 +183,17 @@ func (db *Instance) Clone() *Instance {
 // ReplaceTerm rewrites old to new across all relations, returning the
 // number of modified tuples. Used for EGD enforcement (null merging).
 func (db *Instance) ReplaceTerm(old, new datalog.Term) int {
+	return db.ReplaceTerms(map[datalog.Term]datalog.Term{old: new})
+}
+
+// ReplaceTerms applies a batch of term rewrites across all relations in
+// one pass per relation (one index rebuild each), returning the number
+// of modified tuples. The chase uses it to enforce a whole EGD merge
+// cascade with a single rebuild.
+func (db *Instance) ReplaceTerms(repl map[datalog.Term]datalog.Term) int {
 	n := 0
 	for _, rel := range db.relations {
-		n += rel.ReplaceTerm(old, new)
+		n += rel.ReplaceTerms(repl)
 	}
 	return n
 }
@@ -176,7 +234,7 @@ func (db *Instance) matchRest(remaining []datalog.Atom, s datalog.Subst, fn func
 		return fn(s)
 	}
 	// Pick the atom with the highest number of ground arguments under s.
-	best, bestScore := 0, -1
+	best, bestScore, bestSize := 0, -1, 0
 	for i, a := range remaining {
 		score := 0
 		for _, t := range a.Args {
@@ -184,9 +242,13 @@ func (db *Instance) matchRest(remaining []datalog.Atom, s datalog.Subst, fn func
 				score++
 			}
 		}
+		size := 0
+		if rel := db.relations[a.Pred]; rel != nil {
+			size = rel.Len()
+		}
 		// Prefer smaller relations on ties to shrink the branching early.
-		if score > bestScore {
-			best, bestScore = i, score
+		if score > bestScore || (score == bestScore && size < bestSize) {
+			best, bestScore, bestSize = i, score, size
 		}
 	}
 	chosen := remaining[best]

@@ -1,0 +1,475 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Plan is a compiled join plan for a positive conjunction: the atom
+// order, the variable-to-register-slot assignment and the per-argument
+// actions are all computed once at compile time, so executing the plan
+// performs no map operations, no substitution cloning and no per-level
+// slice allocation — candidate rows are filtered by integer
+// comparisons against a flat []int32 register bank, with backtracking
+// implemented as slot resets (an undo trail whose entries are known
+// statically per atom).
+//
+// A plan is compiled against an instance (whose interner supplies the
+// ids for the plan's constants and whose relation sizes break ordering
+// ties) and may be executed against that instance or any instance
+// sharing its interner — in particular every Clone, which is how the
+// chase and eval engines reuse one plan across rounds. Executing
+// against an instance with a different interner transparently falls
+// back to the legacy Subst-based matcher.
+type Plan struct {
+	in   *datalog.Interner
+	body []datalog.Atom // original conjunction, for fallback and display
+	// vars assigns register slots: slot i holds the binding of vars[i]
+	// (datalog.NoID when unbound).
+	vars  []datalog.Term
+	slots map[string]int // variable name -> slot
+	atoms []planAtom     // in execution order
+}
+
+// planArg is one argument position of a plan atom.
+type planArg struct {
+	isConst bool
+	id      int32 // interned constant id (isConst)
+	slot    int   // register slot (!isConst)
+}
+
+// planAtom is one body atom, reordered and compiled.
+type planAtom struct {
+	pred  string
+	arity int
+	args  []planArg
+	// groundPos lists argument positions known to be ground when this
+	// atom executes (constants, or variables bound by earlier atoms or
+	// declared bound at compile time); the executor probes the smallest
+	// index bucket among them.
+	groundPos []int
+}
+
+// unknownID is the compile-time id of a constant the interner has
+// never seen in read-only (non-interning) mode. It is negative and
+// distinct from datalog.NoID, so it can never equal a stored row
+// value: atoms carrying it simply match nothing, which is exactly the
+// semantics of a constant absent from the instance.
+const unknownID int32 = -2
+
+// CompilePlan compiles a join plan for the conjunction over db's
+// interner. bound declares variables the caller will pre-bind in the
+// registers before execution (e.g. the frontier variables of a TGD
+// head check, or the pivot variables of a semi-naive delta pass);
+// declaring them lets the planner order atoms as if they were
+// constants. Atom order is greedy — most ground arguments first,
+// smaller relations breaking ties — mirroring (and fixing) the legacy
+// matcher's heuristic at plan time instead of per recursion level.
+//
+// CompilePlan interns the conjunction's constants, so ids stay stable
+// while the instance grows — the right mode for the chase and eval
+// engines, which compile against instances they own (see
+// CloneDetached) and then insert into them. For evaluation over a
+// fixed instance the caller does not own, use CompileQueryPlan, which
+// leaves the interner untouched.
+func CompilePlan(db *Instance, body []datalog.Atom, bound ...datalog.Term) *Plan {
+	return compilePlan(db, body, bound, true)
+}
+
+// CompileQueryPlan compiles a read-only join plan: constants the
+// instance has never seen become a never-matching sentinel instead of
+// being interned, so compiling and executing the plan leaves the
+// instance — including its interner — completely unmodified. Correct
+// for fixed instances; do not use it when facts will be inserted
+// between compilation and execution.
+func CompileQueryPlan(db *Instance, body []datalog.Atom, bound ...datalog.Term) *Plan {
+	return compilePlan(db, body, bound, false)
+}
+
+func compilePlan(db *Instance, body []datalog.Atom, bound []datalog.Term, intern bool) *Plan {
+	p := &Plan{
+		in:    db.in,
+		body:  datalog.CloneAtoms(body),
+		slots: map[string]int{},
+	}
+	for _, a := range body {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := p.slots[t.Name]; !ok {
+					p.slots[t.Name] = len(p.vars)
+					p.vars = append(p.vars, t)
+				}
+			}
+		}
+	}
+
+	boundSlots := make([]bool, len(p.vars))
+	for _, v := range bound {
+		if s, ok := p.slots[v.Name]; ok {
+			boundSlots[s] = true
+		}
+	}
+
+	// Greedy ordering simulation.
+	remaining := make([]datalog.Atom, len(body))
+	copy(remaining, body)
+	for len(remaining) > 0 {
+		best, bestScore, bestSize := 0, -1, 0
+		for i, a := range remaining {
+			score := 0
+			for _, t := range a.Args {
+				if !t.IsVar() || boundSlots[p.slots[t.Name]] {
+					score++
+				}
+			}
+			size := 0
+			if rel := db.relations[a.Pred]; rel != nil {
+				size = rel.Len()
+			}
+			if score > bestScore || (score == bestScore && size < bestSize) {
+				best, bestScore, bestSize = i, score, size
+			}
+		}
+		chosen := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+
+		pa := planAtom{pred: chosen.Pred, arity: len(chosen.Args)}
+		pa.args = make([]planArg, len(chosen.Args))
+		for pos, t := range chosen.Args {
+			if t.IsVar() {
+				slot := p.slots[t.Name]
+				pa.args[pos] = planArg{slot: slot}
+				if boundSlots[slot] {
+					pa.groundPos = append(pa.groundPos, pos)
+				}
+				boundSlots[slot] = true
+			} else {
+				pa.args[pos] = planArg{isConst: true, id: p.constID(t, intern)}
+				pa.groundPos = append(pa.groundPos, pos)
+			}
+		}
+		p.atoms = append(p.atoms, pa)
+	}
+	return p
+}
+
+// constID resolves a ground term to an id at compile time: interning
+// in engine mode, the never-matching sentinel for unseen terms in
+// read-only mode.
+func (p *Plan) constID(t datalog.Term, intern bool) int32 {
+	if intern {
+		return p.in.ID(t)
+	}
+	if id, ok := p.in.Lookup(t); ok {
+		return id
+	}
+	return unknownID
+}
+
+// NumSlots returns the register bank size.
+func (p *Plan) NumSlots() int { return len(p.vars) }
+
+// Vars returns the plan's variables in slot order. The slice is owned
+// by the plan.
+func (p *Plan) Vars() []datalog.Term { return p.vars }
+
+// Slot returns the register slot of variable v, or -1 when v does not
+// occur in the plan's conjunction.
+func (p *Plan) Slot(v datalog.Term) int {
+	if s, ok := p.slots[v.Name]; ok {
+		return s
+	}
+	return -1
+}
+
+// Interner returns the interner the plan's constants were compiled
+// against.
+func (p *Plan) Interner() *datalog.Interner { return p.in }
+
+// NewRegs returns a fresh register bank with every slot unbound.
+func (p *Plan) NewRegs() []int32 {
+	regs := make([]int32, len(p.vars))
+	for i := range regs {
+		regs[i] = datalog.NoID
+	}
+	return regs
+}
+
+// ResetRegs marks every slot unbound, for register-bank reuse.
+func (p *Plan) ResetRegs(regs []int32) {
+	for i := range regs {
+		regs[i] = datalog.NoID
+	}
+}
+
+// Execute enumerates all homomorphisms of the conjunction into db,
+// extending the bindings already present in regs (slots holding
+// datalog.NoID are free). fn is invoked once per complete match with
+// the filled register bank; it must not retain regs, which is reused.
+// fn returning false stops enumeration; Execute reports whether
+// enumeration ran to completion. On return, regs holds exactly its
+// initial bindings again.
+//
+// db must share the plan's interner (true for the compile instance and
+// all its clones); Execute panics otherwise, since raw register values
+// would be meaningless. Use Run for the checked, Subst-based entry
+// point.
+func (p *Plan) Execute(db *Instance, regs []int32, fn func(regs []int32) bool) bool {
+	if db.in != p.in {
+		panic("storage: Plan.Execute on instance with foreign interner")
+	}
+	return p.exec(db, 0, regs, fn)
+}
+
+func (p *Plan) exec(db *Instance, ai int, regs []int32, fn func([]int32) bool) bool {
+	if ai == len(p.atoms) {
+		return fn(regs)
+	}
+	pa := &p.atoms[ai]
+	rel := db.relations[pa.pred]
+	if rel == nil || rel.schema.Arity() != pa.arity {
+		return true // no facts can match; enumeration is (vacuously) complete
+	}
+	// Probe the smallest index bucket among ground positions. Positions
+	// beyond the compile-time groundPos may also be ground (callers can
+	// seed extra slots); they are checked per row either way.
+	var bucket []int
+	haveBucket := false
+	for _, pos := range pa.groundPos {
+		a := pa.args[pos]
+		id := a.id
+		if !a.isConst {
+			id = regs[a.slot]
+			if id == datalog.NoID {
+				continue // declared bound but not seeded: treat as free
+			}
+		}
+		b := rel.indexes[pos][id]
+		if !haveBucket || len(b) < len(bucket) {
+			bucket, haveBucket = b, true
+		}
+		if len(bucket) == 0 {
+			return true
+		}
+	}
+	if haveBucket {
+		for _, idx := range bucket {
+			if !p.tryRow(db, pa, ai, rel.rows[idx], regs, fn) {
+				return false
+			}
+		}
+		return true
+	}
+	for idx := range rel.rows {
+		if !p.tryRow(db, pa, ai, rel.rows[idx], regs, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// tryRow matches one candidate row against the atom's arguments,
+// binding free slots, and recurses into the rest of the plan. Slots
+// bound here are reset before returning (static undo trail).
+func (p *Plan) tryRow(db *Instance, pa *planAtom, ai int, row []int32, regs []int32, fn func([]int32) bool) bool {
+	var trail [16]int
+	bound := trail[:0]
+	if len(pa.args) > len(trail) {
+		bound = make([]int, 0, len(pa.args))
+	}
+	ok := true
+	for pos := range pa.args {
+		a := &pa.args[pos]
+		if a.isConst {
+			if row[pos] != a.id {
+				ok = false
+				break
+			}
+			continue
+		}
+		if v := regs[a.slot]; v != datalog.NoID {
+			if row[pos] != v {
+				ok = false
+				break
+			}
+			continue
+		}
+		regs[a.slot] = row[pos]
+		bound = append(bound, a.slot)
+	}
+	complete := true
+	if ok {
+		complete = p.exec(db, ai+1, regs, fn)
+	}
+	for _, s := range bound {
+		regs[s] = datalog.NoID
+	}
+	return complete
+}
+
+// Run enumerates the conjunction's homomorphisms extending the initial
+// substitution, invoking fn with a Subst per match — the thin adapter
+// that keeps compiled plans source-compatible with the legacy
+// MatchConjunction API. It falls back to the legacy matcher when db
+// does not share the plan's interner or when init binds a plan
+// variable to a non-ground term (variable renamings are outside the
+// register representation).
+func (p *Plan) Run(db *Instance, init datalog.Subst, fn func(datalog.Subst) bool) bool {
+	if db.in != p.in {
+		return db.MatchConjunction(p.body, init, fn)
+	}
+	regs := p.NewRegs()
+	for i, v := range p.vars {
+		t := init.Apply(v)
+		if t == v {
+			continue // unbound
+		}
+		if !t.IsGround() {
+			return db.MatchConjunction(p.body, init, fn)
+		}
+		if id, ok := p.in.Lookup(t); ok {
+			regs[i] = id
+		} else {
+			// A term no row can hold: the variable occurs in some body
+			// atom, so no homomorphism exists. Seeding the sentinel
+			// makes every candidate row fail without interning the
+			// term.
+			regs[i] = unknownID
+		}
+	}
+	return p.Execute(db, regs, func(rs []int32) bool {
+		return fn(p.SubstAt(rs, init))
+	})
+}
+
+// SubstAt materializes the register bank as a substitution extending
+// base (base itself is not modified).
+func (p *Plan) SubstAt(regs []int32, base datalog.Subst) datalog.Subst {
+	out := base.Clone()
+	for i, v := range p.vars {
+		if regs[i] != datalog.NoID {
+			out.Bind(v.Name, p.in.TermOf(regs[i]))
+		}
+	}
+	return out
+}
+
+// TermAt resolves the plan term t under the register bank: constants
+// and nulls resolve to themselves, bound plan variables to their
+// register value, anything else to t itself.
+func (p *Plan) TermAt(regs []int32, t datalog.Term) datalog.Term {
+	if !t.IsVar() {
+		return t
+	}
+	if s, ok := p.slots[t.Name]; ok && regs[s] != datalog.NoID {
+		return p.in.TermOf(regs[s])
+	}
+	return t
+}
+
+// Proj is a compiled projection from a plan's register bank onto the
+// argument row of one atom: each item is either an interned constant
+// or a register slot. Evaluation engines use projections to build
+// derived rows, probe negated atoms and seed delta pivots without
+// materializing atoms or substitutions.
+type Proj struct {
+	Pred  string
+	items []planArg
+}
+
+// CompileProj compiles atom a against the plan's register space,
+// interning a's constants (engine mode: the projected rows will be
+// inserted, so ids must be real). Every variable of a must occur in
+// the plan's conjunction (rule safety guarantees this for heads and
+// negated atoms); CompileProj panics otherwise.
+func (p *Plan) CompileProj(a datalog.Atom) Proj {
+	return p.compileProj(a, true)
+}
+
+// CompileProbe compiles atom a for membership probes only, without
+// interning: constants the instance has never seen become the
+// never-matching sentinel, so ContainsRow on the projected row is
+// false — the correct closed-world answer — and the instance stays
+// unmodified.
+func (p *Plan) CompileProbe(a datalog.Atom) Proj {
+	return p.compileProj(a, false)
+}
+
+func (p *Plan) compileProj(a datalog.Atom, intern bool) Proj {
+	items := make([]planArg, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar() {
+			s := p.Slot(t)
+			if s < 0 {
+				panic(fmt.Sprintf("storage: projection variable %s not in plan", t))
+			}
+			items[i] = planArg{slot: s}
+		} else {
+			items[i] = planArg{isConst: true, id: p.constID(t, intern)}
+		}
+	}
+	return Proj{Pred: a.Pred, items: items}
+}
+
+// Len returns the projected row arity.
+func (pr *Proj) Len() int { return len(pr.items) }
+
+// Project fills dst (len == Len()) with the atom's row under regs.
+func (pr *Proj) Project(regs []int32, dst []int32) {
+	for i, it := range pr.items {
+		if it.isConst {
+			dst[i] = it.id
+		} else {
+			dst[i] = regs[it.slot]
+		}
+	}
+}
+
+// Bind seeds regs from a concrete row of the projected atom, the
+// reverse of Project: constants are checked against the row, variable
+// slots are bound (or checked when already bound, which also handles
+// repeated variables). It reports false when the row cannot match.
+func (pr *Proj) Bind(row []int32, regs []int32) bool {
+	for i, it := range pr.items {
+		if it.isConst {
+			if row[i] != it.id {
+				return false
+			}
+			continue
+		}
+		if v := regs[it.slot]; v != datalog.NoID && v != row[i] {
+			return false
+		}
+		regs[it.slot] = row[i]
+	}
+	return true
+}
+
+// String renders the plan's atom order and slot assignment, for tests
+// and EXPLAIN-style debugging.
+func (p *Plan) String() string {
+	var b strings.Builder
+	b.WriteString("plan[")
+	for i, pa := range p.atoms {
+		if i > 0 {
+			b.WriteString(" ⋈ ")
+		}
+		b.WriteString(pa.pred)
+		b.WriteByte('(')
+		for j, a := range pa.args {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			if a.isConst {
+				b.WriteString(p.in.TermOf(a.id).String())
+			} else {
+				fmt.Fprintf(&b, "r%d", a.slot)
+			}
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(']')
+	return b.String()
+}

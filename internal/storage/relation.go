@@ -3,6 +3,12 @@
 // labeled nulls), per-position hash indexes, homomorphism search for
 // conjunctions, and utilities for diffing and pretty-printing that the
 // experiment harness uses to regenerate the paper's tables.
+//
+// Tuples are stored twice: as []datalog.Term (the public API) and as
+// interned []int32 rows (the evaluation hot path). The two views are
+// kept in lockstep; dedup, index probes and join execution all work on
+// the integer rows, so no string keys are built on insert, lookup or
+// match.
 package storage
 
 import (
@@ -32,21 +38,38 @@ func (s Schema) String() string {
 // Relation is a set of ground tuples under a schema, with hash indexes
 // on every position maintained incrementally. Tuples are deduplicated.
 type Relation struct {
-	schema  Schema
-	tuples  [][]datalog.Term
-	keys    map[string]int           // tuple key -> index into tuples
-	indexes []map[datalog.Term][]int // position -> value -> tuple indices
+	schema Schema
+	in     *datalog.Interner
+	tuples [][]datalog.Term // term view, same order as rows
+	rows   [][]int32        // interned view
+	// buckets maps a row hash to the indices of rows with that hash;
+	// candidates are confirmed by integer comparison, so dedup never
+	// builds a string key.
+	buckets map[uint64][]int
+	indexes []map[int32][]int // position -> term id -> tuple indices
+	// Chunked arenas back the per-tuple row and term slices, so bulk
+	// loads and chase/eval insert storms cost one allocation per chunk
+	// instead of two per tuple.
+	rowArena  datalog.Int32Arena
+	termArena datalog.Arena[datalog.Term]
 }
 
-// NewRelation creates an empty relation.
+// NewRelation creates an empty relation with a private interner. Use
+// Instance.CreateRelation when relations must share an interner (which
+// all relations of one instance do).
 func NewRelation(schema Schema) *Relation {
+	return newRelation(schema, datalog.NewInterner())
+}
+
+func newRelation(schema Schema, in *datalog.Interner) *Relation {
 	r := &Relation{
-		schema: schema,
-		keys:   map[string]int{},
+		schema:  schema,
+		in:      in,
+		buckets: map[uint64][]int{},
 	}
-	r.indexes = make([]map[datalog.Term][]int, schema.Arity())
+	r.indexes = make([]map[int32][]int, schema.Arity())
 	for i := range r.indexes {
-		r.indexes[i] = map[datalog.Term][]int{}
+		r.indexes[i] = map[int32][]int{}
 	}
 	return r
 }
@@ -60,14 +83,38 @@ func (r *Relation) Name() string { return r.schema.Name }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.tuples) }
 
-func tupleKey(tuple []datalog.Term) string {
-	var b strings.Builder
-	for _, t := range tuple {
-		b.WriteByte(byte('0' + t.Kind))
-		b.WriteString(t.Name)
-		b.WriteByte(0)
+// Interner returns the interner backing this relation's rows.
+func (r *Relation) Interner() *datalog.Interner { return r.in }
+
+func rowsEqual(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-	return b.String()
+	return true
+}
+
+// lookupRow returns the index of the row equal to ids, if present.
+func (r *Relation) lookupRow(ids []int32) (int, bool) {
+	for _, idx := range r.buckets[datalog.HashInt32s(ids)] {
+		if rowsEqual(r.rows[idx], ids) {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// appendRow stores an already-deduplicated row and its term view.
+func (r *Relation) appendRow(ids []int32, terms []datalog.Term) {
+	idx := len(r.rows)
+	r.rows = append(r.rows, ids)
+	r.tuples = append(r.tuples, terms)
+	h := datalog.HashInt32s(ids)
+	r.buckets[h] = append(r.buckets[h], idx)
+	for pos, id := range ids {
+		r.indexes[pos][id] = append(r.indexes[pos][id], idx)
+	}
 }
 
 // Insert adds a ground tuple. It returns true if the tuple was new, and
@@ -81,35 +128,92 @@ func (r *Relation) Insert(tuple []datalog.Term) (bool, error) {
 			return false, fmt.Errorf("storage: cannot insert non-ground tuple into %s: %v", r.schema.Name, datalog.TermsString(tuple))
 		}
 	}
-	k := tupleKey(tuple)
-	if _, dup := r.keys[k]; dup {
+	var buf [16]int32
+	ids := r.in.IDs(tuple, buf[:0])
+	if _, dup := r.lookupRow(ids); dup {
 		return false, nil
 	}
-	idx := len(r.tuples)
-	stored := datalog.CloneTerms(tuple)
-	r.tuples = append(r.tuples, stored)
-	r.keys[k] = idx
-	for pos, t := range stored {
-		r.indexes[pos][t] = append(r.indexes[pos][t], idx)
-	}
+	r.appendRow(r.rowArena.Copy(ids), r.termArena.Copy(tuple))
 	return true, nil
 }
 
-// Contains reports whether the ground tuple is present.
+// InsertRow adds a tuple given as interned term ids. The ids must come
+// from this relation's interner; the slice is copied. It reports
+// whether the row was new.
+func (r *Relation) InsertRow(ids []int32) (bool, error) {
+	if len(ids) != r.schema.Arity() {
+		return false, fmt.Errorf("storage: %s expects %d attributes, got %d", r.schema.Name, r.schema.Arity(), len(ids))
+	}
+	for _, id := range ids {
+		if id < 0 || int(id) >= r.in.Len() {
+			return false, fmt.Errorf("storage: %s: row id %d outside interner range", r.schema.Name, id)
+		}
+		if r.in.TermOf(id).IsVar() {
+			return false, fmt.Errorf("storage: cannot insert non-ground row into %s", r.schema.Name)
+		}
+	}
+	if _, dup := r.lookupRow(ids); dup {
+		return false, nil
+	}
+	stored := r.rowArena.Copy(ids)
+	var tbuf [16]datalog.Term
+	terms := r.in.Terms(stored, tbuf[:0])
+	r.appendRow(stored, r.termArena.Copy(terms))
+	return true, nil
+}
+
+// Contains reports whether the ground tuple is present. It allocates
+// nothing: unknown terms short-circuit to false.
 func (r *Relation) Contains(tuple []datalog.Term) bool {
 	if len(tuple) != r.schema.Arity() {
 		return false
 	}
-	_, ok := r.keys[tupleKey(tuple)]
+	var buf [16]int32
+	ids := buf[:0]
+	if len(tuple) > len(buf) {
+		ids = make([]int32, 0, len(tuple))
+	}
+	for _, t := range tuple {
+		id, ok := r.in.Lookup(t)
+		if !ok {
+			return false
+		}
+		ids = append(ids, id)
+	}
+	_, ok := r.lookupRow(ids)
 	return ok
 }
+
+// ContainsRow reports whether the row of interned ids is present.
+func (r *Relation) ContainsRow(ids []int32) bool {
+	if len(ids) != r.schema.Arity() {
+		return false
+	}
+	_, ok := r.lookupRow(ids)
+	return ok
+}
+
+// Row returns the interned row at index i. The slice is owned by the
+// relation; callers must not modify it.
+func (r *Relation) Row(i int) []int32 { return r.rows[i] }
 
 // Delete removes a ground tuple if present, reporting whether it was.
 // Deletion rebuilds the relation's indexes; it is intended for
 // low-frequency cleaning operations, not hot loops.
 func (r *Relation) Delete(tuple []datalog.Term) bool {
-	k := tupleKey(tuple)
-	idx, ok := r.keys[k]
+	if len(tuple) != r.schema.Arity() {
+		return false
+	}
+	var buf [16]int32
+	ids := buf[:0]
+	for _, t := range tuple {
+		id, ok := r.in.Lookup(t)
+		if !ok {
+			return false
+		}
+		ids = append(ids, id)
+	}
+	idx, ok := r.lookupRow(ids)
 	if !ok {
 		return false
 	}
@@ -118,32 +222,35 @@ func (r *Relation) Delete(tuple []datalog.Term) bool {
 	return true
 }
 
-// rebuild reconstructs key and index maps from the tuple slice.
+// rebuild reconstructs rows, buckets and index maps from the term
+// tuples, deduplicating in place while preserving first occurrence
+// order.
 func (r *Relation) rebuild() {
-	r.keys = make(map[string]int, len(r.tuples))
+	tuples := r.tuples
+	r.tuples = r.tuples[:0] // in-place compaction: write index never passes read index
+	r.rows = r.rows[:0]
+	r.rowArena.Reset() // rows are re-carved; let old chunks be collected
+	r.buckets = make(map[uint64][]int, len(tuples))
 	for i := range r.indexes {
-		r.indexes[i] = map[datalog.Term][]int{}
+		r.indexes[i] = map[int32][]int{}
 	}
-	// Deduplicate in place, preserving first occurrence order.
-	dedup := r.tuples[:0]
-	for _, tup := range r.tuples {
-		k := tupleKey(tup)
-		if _, dup := r.keys[k]; dup {
+	var buf [16]int32
+	for _, tup := range tuples {
+		ids := r.in.IDs(tup, buf[:0])
+		if _, dup := r.lookupRow(ids); dup {
 			continue
 		}
-		idx := len(dedup)
-		dedup = append(dedup, tup)
-		r.keys[k] = idx
-		for pos, t := range tup {
-			r.indexes[pos][t] = append(r.indexes[pos][t], idx)
-		}
+		r.appendRow(r.rowArena.Copy(ids), tup)
 	}
-	r.tuples = dedup
 }
 
 // Tuples returns the tuples in insertion order. The slice and its
 // elements are owned by the relation; callers must not modify them.
 func (r *Relation) Tuples() [][]datalog.Term { return r.tuples }
+
+// Rows returns the interned rows in insertion order. The slice and its
+// elements are owned by the relation; callers must not modify them.
+func (r *Relation) Rows() [][]int32 { return r.rows }
 
 // SortedTuples returns a copy of the tuples sorted lexicographically,
 // for deterministic display.
@@ -167,39 +274,122 @@ func (r *Relation) SortedTuples() [][]datalog.Term {
 // primitive used when the chase enforces an EGD by merging a labeled
 // null into another term.
 func (r *Relation) ReplaceTerm(old, new datalog.Term) int {
-	changed := 0
-	seen := map[int]bool{}
-	for pos := range r.indexes {
-		for _, idx := range r.indexes[pos][old] {
-			if !seen[idx] {
-				seen[idx] = true
-			}
-		}
-	}
-	if len(seen) == 0 {
+	return r.ReplaceTerms(map[datalog.Term]datalog.Term{old: new})
+}
+
+// ReplaceTerms applies a batch of term rewrites in one pass, following
+// chains (a->b, b->c rewrites a to c) and rebuilding indexes exactly
+// once. It returns the number of tuples modified. EGD enforcement uses
+// it so one merge cascade triggers one rebuild instead of one per
+// merge.
+func (r *Relation) ReplaceTerms(repl map[datalog.Term]datalog.Term) int {
+	if len(repl) == 0 {
 		return 0
 	}
-	for idx := range seen {
-		tup := r.tuples[idx]
+	// Resolve chains up front so each term lookup is a single map hit.
+	// Cyclic requests ({a->b, b->a}) are treated as merge classes: every
+	// member of a cycle maps to the cycle's Compare-least term, so the
+	// result is a deterministic merge rather than a parity-dependent
+	// rotation.
+	resolved := make(map[datalog.Term]datalog.Term, len(repl))
+	for old := range repl {
+		if to := resolveReplacement(repl, old); to != old {
+			resolved[old] = to
+		}
+	}
+	if len(resolved) == 0 {
+		return 0
+	}
+	changed := 0
+	for _, tup := range r.tuples {
+		touched := false
 		for i, t := range tup {
-			if t == old {
-				tup[i] = new
+			if to, ok := resolved[t]; ok {
+				tup[i] = to
+				touched = true
 			}
 		}
-		changed++
+		if touched {
+			changed++
+		}
 	}
-	r.rebuild()
+	if changed > 0 {
+		r.rebuild()
+	}
 	return changed
 }
 
-// Clone returns a deep copy of the relation.
-func (r *Relation) Clone() *Relation {
-	out := NewRelation(r.schema)
-	for _, tup := range r.tuples {
-		if _, err := out.Insert(tup); err != nil {
-			// Tuples in a relation are always well-formed.
-			panic("storage: clone insert failed: " + err.Error())
+// resolveReplacement follows the replacement chain from old to its
+// terminal term. A chain that runs into a cycle resolves to the
+// cycle's least member under Term.Compare.
+func resolveReplacement(repl map[datalog.Term]datalog.Term, old datalog.Term) datalog.Term {
+	cur := old
+	var path []datalog.Term
+	seen := map[datalog.Term]int{}
+	for {
+		next, ok := repl[cur]
+		if !ok || next == cur {
+			return cur
 		}
+		if at, dup := seen[cur]; dup {
+			min := path[at]
+			for _, t := range path[at+1:] {
+				if t.Compare(min) < 0 {
+					min = t
+				}
+			}
+			return min
+		}
+		seen[cur] = len(path)
+		path = append(path, cur)
+		cur = next
+	}
+}
+
+// Clone returns a deep copy of the relation in O(rows): tuple storage,
+// hash buckets and indexes are bulk-copied instead of re-inserted. The
+// clone shares the interner (interning is append-only, so sharing is
+// safe and keeps term ids compatible across clones).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{
+		schema:  r.schema,
+		in:      r.in,
+		tuples:  make([][]datalog.Term, len(r.tuples)),
+		rows:    make([][]int32, len(r.rows)),
+		buckets: make(map[uint64][]int, len(r.buckets)),
+		indexes: make([]map[int32][]int, len(r.indexes)),
+	}
+	arity := r.schema.Arity()
+	// Flat backing arrays: two allocations cover every tuple copy.
+	flatIDs := make([]int32, len(r.rows)*arity)
+	flatTerms := make([]datalog.Term, len(r.tuples)*arity)
+	for i, row := range r.rows {
+		dst := flatIDs[i*arity : (i+1)*arity : (i+1)*arity]
+		copy(dst, row)
+		out.rows[i] = dst
+	}
+	for i, tup := range r.tuples {
+		dst := flatTerms[i*arity : (i+1)*arity : (i+1)*arity]
+		copy(dst, tup)
+		out.tuples[i] = dst
+	}
+	// Bucket and index posting lists sum to exactly one entry per row
+	// (per position), so a single flat backing array serves each map.
+	flatBuckets := make([]int, 0, len(r.rows))
+	for h, idxs := range r.buckets {
+		start := len(flatBuckets)
+		flatBuckets = append(flatBuckets, idxs...)
+		out.buckets[h] = flatBuckets[start:len(flatBuckets):len(flatBuckets)]
+	}
+	for pos, index := range r.indexes {
+		m := make(map[int32][]int, len(index))
+		flat := make([]int, 0, len(r.rows))
+		for id, idxs := range index {
+			start := len(flat)
+			flat = append(flat, idxs...)
+			m[id] = flat[start:len(flat):len(flat)]
+		}
+		out.indexes[pos] = m
 	}
 	return out
 }
@@ -216,7 +406,11 @@ func (r *Relation) matchCandidates(pattern datalog.Atom, s datalog.Subst) []int 
 		if !rt.IsGround() {
 			continue
 		}
-		bucket := r.indexes[pos][rt]
+		id, known := r.in.Lookup(rt)
+		var bucket []int
+		if known {
+			bucket = r.indexes[pos][id]
+		}
 		if best == -1 || len(bucket) < len(bestBucket) {
 			best = pos
 			bestBucket = bucket
