@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -186,6 +187,83 @@ func BenchmarkQualityMeasure_Sweep(b *testing.B) {
 				}
 				if a.Versions["Measurements"].Len() != wl.ExpectedClean {
 					b.Fatal("wrong clean count")
+				}
+			}
+		})
+	}
+}
+
+// ---- C5: prepared sessions — cold vs warm assessment ----
+
+// BenchmarkColdAssess measures a from-scratch assessment (session
+// build: merge + full chase + full eval + measures) of the streaming
+// workload's base instance at n total measurements. Compilation is
+// prepared once outside the loop, so the number isolates the per-
+// request work a session amortizes.
+func BenchmarkColdAssess(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			wl, err := gen.NewStreamingWorkload(bench.StreamWorkloadSpec(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := wl.Base.Context.Prepare(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := wl.Base.Context.Assess(wl.Base.Instance)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if a.Versions["Measurements"].Len() != wl.Base.ExpectedClean {
+					b.Fatal("wrong clean count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWarmAssess measures Session.Apply of a ~1% delta tick
+// against a prepared, already-saturated session — the steady-state
+// cost of keeping quality versions current as data streams in.
+func BenchmarkWarmAssess(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			wl, err := gen.NewStreamingWorkload(bench.StreamWorkloadSpec(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			prep, err := wl.Base.Context.Prepare()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := prep.NewSession(wl.Base.Instance)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			// The session is rebuilt (off-timer) every few ticks so the
+			// measured instance stays near n instead of growing with
+			// b.N — the number is the steady-state cost of one tick.
+			tick := 0
+			for i := 0; i < b.N; i++ {
+				if tick == bench.WarmResetTicks {
+					b.StopTimer()
+					sess, err = prep.NewSession(wl.Base.Instance)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tick = 0
+					b.StartTimer()
+				}
+				delta, _ := wl.Tick(tick)
+				tick++
+				if _, err := sess.Apply(ctx, delta); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

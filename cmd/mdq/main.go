@@ -209,7 +209,9 @@ func runQuery(f *parser.File, args []string, out io.Writer) error {
 	return nil
 }
 
-// assessFile runs the quality pipeline; shared by assess and clean.
+// assessFile runs the quality pipeline through the prepared-session
+// layer (the cold path is a one-shot session); shared by assess and
+// clean.
 func assessFile(f *parser.File) (*quality.Assessment, error) {
 	if !f.HasContext() {
 		return nil, fmt.Errorf("the file declares no quality context (input/mapping/quality/version statements)")
@@ -218,7 +220,15 @@ func assessFile(f *parser.File) (*quality.Assessment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ctx.Assess(f.Context.Input)
+	prep, err := ctx.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := prep.NewSession(f.Context.Input)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Assessment()
 }
 
 func assess(f *parser.File, out io.Writer) error {

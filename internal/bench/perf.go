@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -46,6 +47,28 @@ func ScalingWorkload(n int) (*datalog.Program, *storage.Instance, *datalog.Query
 	return comp.Program, comp.Instance, q, nil
 }
 
+// WarmResetTicks is how many delta ticks the warm-assessment
+// benchmarks apply to one session before rebuilding it off-timer:
+// enough to amortize, few enough that the instance stays near its
+// nominal size while the benchmark harness scales iterations.
+const WarmResetTicks = 10
+
+// StreamWorkloadSpec is the streaming quality workload at n total
+// measurements with a ~1% delta tick — the single source of truth for
+// the cold/warm assessment benchmarks, shared with the root
+// bench_test.go so `go test -bench` numbers and the BENCH_<n>.json
+// snapshots measure the same workload.
+func StreamWorkloadSpec(n int) gen.StreamSpec {
+	tick := n / 400 // 1% of n measurements, at 4 days per patient
+	if tick < 1 {
+		tick = 1
+	}
+	return gen.StreamSpec{
+		Base:         gen.QualitySpec{Patients: n / 4, Days: 4, Wards: 3, DirtyRatio: 0.5, Seed: 11},
+		TickPatients: tick,
+	}
+}
+
 // RunPerf measures the chase and chase-based-QA scaling benchmarks at
 // the given base sizes via testing.Benchmark, keyed by the same names
 // `go test -bench` reports, so the emitted JSON is comparable with the
@@ -86,6 +109,66 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 			return nil, benchErr
 		}
 		out[fmt.Sprintf("BenchmarkScaling_QA/n=%d", n)] = toPerfResult(qaRes)
+
+		wl, err := gen.NewStreamingWorkload(StreamWorkloadSpec(n))
+		if err != nil {
+			return nil, err
+		}
+		prep, err := wl.Base.Context.Prepare()
+		if err != nil {
+			return nil, err
+		}
+		coldRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a, err := wl.Base.Context.Assess(wl.Base.Instance)
+				if err != nil || a.Versions["Measurements"].Len() != wl.Base.ExpectedClean {
+					benchErr = fmt.Errorf("cold assess failed at n=%d: %v", n, err)
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		out[fmt.Sprintf("BenchmarkColdAssess/n=%d", n)] = toPerfResult(coldRes)
+
+		ctx := context.Background()
+		warmRes := testing.Benchmark(func(b *testing.B) {
+			sess, err := prep.NewSession(wl.Base.Instance)
+			if err != nil {
+				benchErr = err
+				return
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Rebuild the session (off-timer) every few ticks so the
+			// measured instance stays near n instead of growing with
+			// b.N.
+			tick := 0
+			for i := 0; i < b.N; i++ {
+				if tick == WarmResetTicks {
+					b.StopTimer()
+					sess, err = prep.NewSession(wl.Base.Instance)
+					if err != nil {
+						benchErr = err
+						return
+					}
+					tick = 0
+					b.StartTimer()
+				}
+				delta, _ := wl.Tick(tick)
+				tick++
+				if _, err := sess.Apply(ctx, delta); err != nil {
+					benchErr = fmt.Errorf("warm assess failed at n=%d: %v", n, err)
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		out[fmt.Sprintf("BenchmarkWarmAssess/n=%d", n)] = toPerfResult(warmRes)
 	}
 	return out, nil
 }

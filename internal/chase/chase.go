@@ -10,9 +10,18 @@
 // the chase-based certain-answer computation in the qa package is the
 // executable counterpart of the non-deterministic WeaklyStickyQAns
 // algorithm it cites.
+//
+// The package has two entry layers. Run/Saturate are the one-shot API:
+// chase a program over a copy of an instance to its fixpoint. Compile
+// and State are the prepared/incremental API behind them: a
+// CompiledProgram lowers every dependency onto join plans exactly once
+// and can be shared across goroutines, and a State owns a saturated
+// instance whose fixpoint can be grown with Extend — semi-naive,
+// re-matching only against tuples inserted since the previous round.
 package chase
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -135,91 +144,21 @@ func (r *Result) Consistent() bool { return len(r.Violations) == 0 }
 // Saturated=false with a nil error so callers can inspect partial
 // results.
 func Run(prog *datalog.Program, db *storage.Instance, opts Options) (*Result, error) {
-	if err := validateRules(prog); err != nil {
-		return nil, err
-	}
-	maxRounds := opts.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds
-	}
-	maxAtoms := opts.MaxAtoms
-	if maxAtoms <= 0 {
-		maxAtoms = DefaultMaxAtoms
-	}
-	prefix := opts.NullPrefix
-	if prefix == "" {
-		prefix = "n"
-	}
-
-	res := &Result{Instance: db.CloneDetached()}
-	fresh := freshCounter(res.Instance, prefix)
-
-	// Compile every dependency once per run: rule bodies and heads
-	// become join plans over the instance's interner, so trigger
-	// matching, head-satisfaction checks and head insertion all run on
-	// integer registers instead of substitution maps.
-	tgds := make([]*compiledTGD, len(prog.TGDs))
-	for i, tgd := range prog.TGDs {
-		tgds[i] = compileTGD(tgd, res.Instance)
-	}
-	egds := make([]*compiledEGD, len(prog.EGDs))
-	for i, egd := range prog.EGDs {
-		egds[i] = &compiledEGD{egd: egd, plan: storage.CompilePlan(res.Instance, egd.Body)}
-	}
-	// reported dedups hard EGD conflicts across rounds.
-	reported := map[string]bool{}
-
-	for round := 0; round < maxRounds; round++ {
-		progress := false
-
-		for _, ct := range tgds {
-			applied := applyTGD(res, ct, fresh, opts, maxAtoms)
-			if applied < 0 {
-				res.Rounds = round + 1
-				return res, nil // bound exceeded; Saturated stays false
-			}
-			if applied > 0 {
-				progress = true
-			}
-		}
-
-		if !opts.SkipEGDs {
-			merged, hard := applyEGDs(res, egds, reported)
-			if merged > 0 {
-				progress = true
-				// The trigger memos hold bindings that may reference
-				// merged nulls: invalidate them.
-				for _, ct := range tgds {
-					ct.fired = newTriggerMemo()
-				}
-			}
-			res.Violations = append(res.Violations, hard...)
-		}
-
-		res.Rounds = round + 1
-		if !progress {
-			res.Saturated = true
-			break
-		}
-	}
-
-	res.Violations = append(res.Violations, checkNCs(prog.NCs, res.Instance)...)
-	res.Violations = dedupViolations(res.Violations)
-	return res, nil
+	return RunContext(context.Background(), prog, db, opts)
 }
 
-// dedupViolations removes duplicates (the same EGD conflict can be
-// rediscovered in several rounds), preserving first-seen order.
-func dedupViolations(vs []Violation) []Violation {
-	seen := map[Violation]bool{}
-	out := vs[:0]
-	for _, v := range vs {
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
+// RunContext is Run with cancellation: ctx is checked once per chase
+// round, so a serving process can time-bound a runaway chase. On
+// cancellation the context's error is returned.
+func RunContext(ctx context.Context, prog *datalog.Program, db *storage.Instance, opts Options) (*Result, error) {
+	st, err := NewState(prog, db, opts)
+	if err != nil {
+		return nil, err
 	}
-	return out
+	if err := st.Chase(ctx); err != nil {
+		return nil, err
+	}
+	return st.Result(), nil
 }
 
 // Saturate is a convenience wrapper: it chases with default options and
@@ -302,29 +241,6 @@ type headAtomProj struct {
 	items []headItem
 }
 
-// compiledTGD is a TGD lowered onto plans: the body plan enumerates
-// triggers into a register bank, the head plan decides restricted-chase
-// head satisfaction (frontier variables seeded from trigger registers,
-// existential variables left free), and the head projections insert
-// derived rows directly.
-type compiledTGD struct {
-	tgd      *datalog.TGD
-	body     *storage.Plan
-	head     *storage.Plan
-	headSeed [][2]int // (head-plan slot, body-plan slot) for frontier vars
-	heads    []headAtomProj
-	ex       []datalog.Term // existential vars in head-occurrence order
-	// fired memoizes triggers already applied (hashed register
-	// snapshots), so each trigger fires at most once. EGD merges
-	// invalidate it.
-	fired    triggerMemo
-	regs     []int32   // body register bank, reused
-	headRegs []int32   // head register bank, reused
-	exIDs    []int32   // fresh-null ids, reused per trigger
-	rowBuf   []int32   // head row buffer, reused
-	triggers [][]int32 // pending trigger snapshots, reused per round
-}
-
 // triggerMemo is a set of register snapshots, hash-bucketed so
 // membership tests allocate nothing; snapshots are carved out of a
 // chunked arena, so insertion allocates once per chunk rather than
@@ -362,268 +278,4 @@ func (m *triggerMemo) add(regs []int32) ([]int32, bool) {
 	snap := m.arena.Copy(regs)
 	m.buckets[h] = append(m.buckets[h], snap)
 	return snap, true
-}
-
-func compileTGD(tgd *datalog.TGD, db *storage.Instance) *compiledTGD {
-	in := db.Interner()
-	ct := &compiledTGD{
-		tgd:   tgd,
-		body:  storage.CompilePlan(db, tgd.Body),
-		head:  storage.CompilePlan(db, tgd.Head, tgd.FrontierVars()...),
-		fired: newTriggerMemo(),
-		ex:    tgd.ExistentialVars(),
-	}
-	for _, v := range tgd.FrontierVars() {
-		ct.headSeed = append(ct.headSeed, [2]int{ct.head.Slot(v), ct.body.Slot(v)})
-	}
-	exIdx := map[string]int{}
-	for i, z := range ct.ex {
-		exIdx[z.Name] = i
-	}
-	maxAr := 0
-	for _, h := range tgd.Head {
-		hp := headAtomProj{pred: h.Pred, items: make([]headItem, len(h.Args))}
-		for i, t := range h.Args {
-			switch {
-			case !t.IsVar():
-				hp.items[i] = headItem{kind: hConst, id: in.ID(t)}
-			case ct.body.Slot(t) >= 0:
-				hp.items[i] = headItem{kind: hSlot, slot: ct.body.Slot(t)}
-			default:
-				hp.items[i] = headItem{kind: hEx, ex: exIdx[t.Name]}
-			}
-		}
-		ct.heads = append(ct.heads, hp)
-		if len(h.Args) > maxAr {
-			maxAr = len(h.Args)
-		}
-	}
-	ct.regs = ct.body.NewRegs()
-	ct.headRegs = ct.head.NewRegs()
-	ct.exIDs = make([]int32, len(ct.ex))
-	ct.rowBuf = make([]int32, maxAr)
-	return ct
-}
-
-// headSatisfied reports whether the head conjunction already has a
-// homomorphism extending the trigger bindings (existential variables
-// free) — the restricted-chase firing condition.
-func (ct *compiledTGD) headSatisfied(db *storage.Instance, trigger []int32) bool {
-	ct.head.ResetRegs(ct.headRegs)
-	for _, p := range ct.headSeed {
-		ct.headRegs[p[0]] = trigger[p[1]]
-	}
-	found := false
-	ct.head.Execute(db, ct.headRegs, func([]int32) bool {
-		found = true
-		return false
-	})
-	return found
-}
-
-// applyTGD fires all pending triggers of one TGD. It returns the number
-// of applications, or -1 when MaxAtoms was exceeded.
-func applyTGD(res *Result, ct *compiledTGD, fresh *datalog.Counter, opts Options, maxAtoms int) int {
-	in := res.Instance.Interner()
-
-	// Phase 1: enumerate new triggers, snapshotting register banks.
-	// (Insertion happens afterwards so the enumeration never observes
-	// its own derivations mid-round.)
-	ct.triggers = ct.triggers[:0]
-	ct.body.ResetRegs(ct.regs)
-	ct.body.Execute(res.Instance, ct.regs, func(regs []int32) bool {
-		if snap, isNew := ct.fired.add(regs); isNew {
-			ct.triggers = append(ct.triggers, snap)
-		}
-		return true
-	})
-
-	// Phase 2: fire.
-	applied := 0
-	for _, tr := range ct.triggers {
-		if opts.Variant == Restricted && ct.headSatisfied(res.Instance, tr) {
-			continue
-		}
-		for i := range ct.ex {
-			nu := fresh.FreshNull()
-			res.NullsCreated++
-			ct.exIDs[i] = in.ID(nu)
-		}
-		inserted := 0
-		var added []datalog.Atom
-		for _, hp := range ct.heads {
-			row := ct.rowBuf[:len(hp.items)]
-			for i, it := range hp.items {
-				switch it.kind {
-				case hConst:
-					row[i] = it.id
-				case hSlot:
-					row[i] = tr[it.slot]
-				default:
-					row[i] = ct.exIDs[it.ex]
-				}
-			}
-			isNew, err := res.Instance.InsertRow(hp.pred, row)
-			if err != nil {
-				// Head rows are ground by construction; an error here
-				// indicates an arity clash, which Validate should have
-				// caught — surface it loudly.
-				panic("chase: insert failed: " + err.Error())
-			}
-			if isNew {
-				inserted++
-				if opts.Trace {
-					added = append(added, datalog.Atom{
-						Pred: hp.pred,
-						Args: in.Terms(row, make([]datalog.Term, 0, len(row))),
-					})
-				}
-			}
-		}
-		if inserted > 0 {
-			applied++
-			res.Fired++
-			if opts.Trace {
-				res.Steps = append(res.Steps, Step{Rule: ct.tgd.ID, Added: added})
-			}
-		}
-		if res.Instance.TotalTuples() > maxAtoms {
-			return -1
-		}
-	}
-	return applied
-}
-
-// compiledEGD pairs an EGD with its compiled body plan.
-type compiledEGD struct {
-	egd  *datalog.EGD
-	plan *storage.Plan
-	regs []int32
-}
-
-// applyEGDs enforces the EGDs to a local fixpoint. Null/term merges are
-// applied to the instance; constant/constant conflicts are returned as
-// hard violations (the chase does not fail outright: quality assessment
-// wants to see every violation).
-//
-// Each pass collects every required merge from every EGD, canonicalizes
-// them with a union-find (preferring constants, then smaller null
-// labels, as representatives), and applies the whole cascade with one
-// batched ReplaceTerms — one index rebuild per relation per pass
-// instead of one per merge. Passes repeat until no merge is found,
-// since rewritten tuples can expose new EGD matches.
-func applyEGDs(res *Result, egds []*compiledEGD, reported map[string]bool) (int, []Violation) {
-	totalMerged := 0
-	var hard []Violation
-	for {
-		parent := map[datalog.Term]datalog.Term{}
-		var find func(datalog.Term) datalog.Term
-		find = func(t datalog.Term) datalog.Term {
-			p, ok := parent[t]
-			if !ok || p == t {
-				return t
-			}
-			root := find(p)
-			parent[t] = root // path compression
-			return root
-		}
-		anyMerge := false
-		for _, ce := range egds {
-			if ce.regs == nil {
-				ce.regs = ce.plan.NewRegs()
-			}
-			ce.plan.ResetRegs(ce.regs)
-			ce.plan.Execute(res.Instance, ce.regs, func(regs []int32) bool {
-				a := find(ce.plan.TermAt(regs, ce.egd.Left))
-				b := find(ce.plan.TermAt(regs, ce.egd.Right))
-				if a == b {
-					return true
-				}
-				if a.IsConst() && b.IsConst() {
-					key := ce.egd.ID + "§" + a.Name + "§" + b.Name
-					if !reported[key] {
-						reported[key] = true
-						hard = append(hard, Violation{
-							Kind:   EGDConflict,
-							ID:     ce.egd.ID,
-							Detail: fmt.Sprintf("requires %s = %s", a, b),
-						})
-					}
-					return true
-				}
-				// Merge the null into the other term; prefer keeping
-				// constants, and for null/null pairs keep the smaller
-				// label for determinism.
-				keep, drop := a, b
-				if b.IsConst() || (a.IsNull() && b.IsNull() && b.Name < a.Name) {
-					keep, drop = b, a
-				}
-				parent[drop] = keep
-				anyMerge = true
-				return true
-			})
-		}
-		if !anyMerge {
-			return totalMerged, hard
-		}
-		repl := make(map[datalog.Term]datalog.Term, len(parent))
-		for t := range parent {
-			if root := find(t); root != t {
-				repl[t] = root
-			}
-		}
-		res.Instance.ReplaceTerms(repl)
-		res.Merged += len(repl)
-		totalMerged += len(repl)
-	}
-}
-
-// checkNCs evaluates negative constraints over the final instance.
-// Negated atoms are checked under closed-world assumption.
-func checkNCs(ncs []*datalog.NC, db *storage.Instance) []Violation {
-	var out []Violation
-	for _, nc := range ncs {
-		pos := nc.PositiveBody()
-		// The instance is fixed by NC-check time, so the read-only
-		// compile mode is sufficient (and keeps this path usable on
-		// instances the caller owns).
-		plan := storage.CompileQueryPlan(db, pos)
-		negs := make([]storage.Proj, 0, len(nc.NegativeBody()))
-		maxAr := 0
-		for _, na := range nc.NegativeBody() {
-			p := plan.CompileProbe(na)
-			if p.Len() > maxAr {
-				maxAr = p.Len()
-			}
-			negs = append(negs, p)
-		}
-		buf := make([]int32, maxAr)
-		seen := map[string]bool{}
-		plan.Execute(db, plan.NewRegs(), func(regs []int32) bool {
-			for i := range negs {
-				n := &negs[i]
-				nb := buf[:n.Len()]
-				n.Project(regs, nb)
-				if db.ContainsRow(n.Pred, nb) {
-					return true // negated atom present: body not satisfied
-				}
-			}
-			for _, c := range nc.Conds {
-				// Safety is validated up front, so EvalTerms cannot see
-				// unbound variables here.
-				ok, err := c.EvalTerms(plan.TermAt(regs, c.L), plan.TermAt(regs, c.R))
-				if err != nil || !ok {
-					return true
-				}
-			}
-			s := plan.SubstAt(regs, datalog.NewSubst())
-			detail := datalog.AtomsString(s.ApplyAtoms(pos))
-			if !seen[detail] {
-				seen[detail] = true
-				out = append(out, Violation{Kind: NCViolation, ID: nc.ID, Detail: detail})
-			}
-			return true
-		})
-	}
-	return out
 }

@@ -1,0 +1,650 @@
+package chase
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// CompiledProgram is the immutable compiled form of a Datalog± program:
+// every TGD body, TGD head, EGD body and NC body lowered onto join
+// plans against one instance's interner. Compile it once (for example
+// against a prepared base instance) and share it freely: states built
+// from it only read it, so any number of sessions — including sessions
+// on different goroutines — can chase from one CompiledProgram, each
+// over its own instance clone.
+type CompiledProgram struct {
+	prog *datalog.Program
+	in   *datalog.Interner
+	tgds []*tgdPlan
+	egds []*egdPlan
+	ncs  []*ncPlan
+}
+
+// tgdPlan is the immutable compiled form of one TGD.
+type tgdPlan struct {
+	tgd  *datalog.TGD
+	body *storage.Plan
+	// delta[i] re-matches the full body with body[i]'s variables
+	// pre-bound from a delta row; pivot[i] seeds those bindings. All
+	// delta plans share the body plan's register space (CompilePlan
+	// assigns slots by first occurrence, independent of the bound-
+	// variable declaration).
+	delta []*storage.Plan
+	pivot []storage.Proj
+	// head decides restricted-chase head satisfaction: frontier
+	// variables seeded from trigger registers, existential variables
+	// left free.
+	head     *storage.Plan
+	headSeed [][2]int // (head-plan slot, body-plan slot) per frontier var
+	heads    []headAtomProj
+	ex       []datalog.Term // existential vars in head-occurrence order
+	maxAr    int            // widest head atom
+}
+
+// egdPlan is the immutable compiled form of one EGD.
+type egdPlan struct {
+	egd  *datalog.EGD
+	plan *storage.Plan
+}
+
+// ncPlan is the immutable compiled form of one negative constraint.
+type ncPlan struct {
+	nc    *datalog.NC
+	plan  *storage.Plan
+	negs  []storage.Proj
+	maxAr int
+}
+
+// Compile lowers the program onto join plans against db's interner.
+// The caller must own db (compilation interns the program's constants)
+// and must not intern further terms into db's interner from another
+// goroutine while the compiled program is shared. States execute the
+// plans against db, its clones, or detached clones (forked interners).
+func Compile(prog *datalog.Program, db *storage.Instance) (*CompiledProgram, error) {
+	if err := validateRules(prog); err != nil {
+		return nil, err
+	}
+	cp := &CompiledProgram{prog: prog, in: db.Interner()}
+	for _, tgd := range prog.TGDs {
+		cp.tgds = append(cp.tgds, compileTGDPlan(tgd, db))
+	}
+	for _, egd := range prog.EGDs {
+		cp.egds = append(cp.egds, &egdPlan{egd: egd, plan: storage.CompilePlan(db, egd.Body)})
+	}
+	for _, nc := range prog.NCs {
+		pos := nc.PositiveBody()
+		np := &ncPlan{nc: nc, plan: storage.CompilePlan(db, pos)}
+		for _, na := range nc.NegativeBody() {
+			p := np.plan.CompileProj(na)
+			if p.Len() > np.maxAr {
+				np.maxAr = p.Len()
+			}
+			np.negs = append(np.negs, p)
+		}
+		cp.ncs = append(cp.ncs, np)
+	}
+	return cp, nil
+}
+
+// Program returns the compiled program's source rules.
+func (cp *CompiledProgram) Program() *datalog.Program { return cp.prog }
+
+func compileTGDPlan(tgd *datalog.TGD, db *storage.Instance) *tgdPlan {
+	in := db.Interner()
+	tp := &tgdPlan{
+		tgd:  tgd,
+		body: storage.CompilePlan(db, tgd.Body),
+		head: storage.CompilePlan(db, tgd.Head, tgd.FrontierVars()...),
+		ex:   tgd.ExistentialVars(),
+	}
+	for _, v := range tgd.FrontierVars() {
+		tp.headSeed = append(tp.headSeed, [2]int{tp.head.Slot(v), tp.body.Slot(v)})
+	}
+	tp.delta = make([]*storage.Plan, len(tgd.Body))
+	tp.pivot = make([]storage.Proj, len(tgd.Body))
+	for i, a := range tgd.Body {
+		tp.delta[i] = storage.CompilePlan(db, tgd.Body, a.Vars()...)
+		tp.pivot[i] = tp.body.CompileProj(a)
+	}
+	exIdx := map[string]int{}
+	for i, z := range tp.ex {
+		exIdx[z.Name] = i
+	}
+	for _, h := range tgd.Head {
+		hp := headAtomProj{pred: h.Pred, items: make([]headItem, len(h.Args))}
+		for i, t := range h.Args {
+			switch {
+			case !t.IsVar():
+				hp.items[i] = headItem{kind: hConst, id: in.ID(t)}
+			case tp.body.Slot(t) >= 0:
+				hp.items[i] = headItem{kind: hSlot, slot: tp.body.Slot(t)}
+			default:
+				hp.items[i] = headItem{kind: hEx, ex: exIdx[t.Name]}
+			}
+		}
+		tp.heads = append(tp.heads, hp)
+		if len(h.Args) > tp.maxAr {
+			tp.maxAr = len(h.Args)
+		}
+	}
+	return tp
+}
+
+// State is a resumable chase: it owns a saturated (or saturating)
+// instance and extends the fixpoint incrementally. The initial Chase
+// call runs a full round, subsequent rounds — and every round of an
+// Extend call — match semi-naively: a TGD body is only re-evaluated
+// against homomorphisms that use at least one tuple inserted since the
+// last round (the delta frontier), replacing the full-plan re-matching
+// of the one-shot chase. The trigger memo remains as the multi-pivot
+// dedup and the oblivious-chase fire-once guarantee, but it is no
+// longer the only firewall against re-deriving the whole fixpoint
+// every round.
+//
+// A State is single-writer: Chase and Extend must not be called
+// concurrently. Concurrent readers use Instance().Snapshot() between
+// calls (the session layer in internal/engine wraps exactly that
+// discipline).
+type State struct {
+	cp   *CompiledProgram
+	opts Options
+	inst *storage.Instance
+
+	fresh *datalog.Counter
+	res   *Result
+
+	tgds []*tgdState
+	egds []*egdState
+	ncs  []*ncState
+
+	// watermark[pred] counts rows already processed as "old" by delta
+	// matching: every homomorphism entirely below the watermarks has
+	// been enumerated. full forces the next round to re-match complete
+	// bodies (initial run, and after EGD merges rebuild row storage).
+	watermark map[string]int
+	full      bool
+
+	reportedEGD map[string]bool
+	seenViol    map[Violation]bool
+
+	maxRounds, maxAtoms int
+}
+
+// tgdState is the mutable per-state scratch of one TGD: plans
+// retargeted onto the state's interner plus reusable register banks
+// and the trigger memo.
+type tgdState struct {
+	tp    *tgdPlan
+	body  *storage.Plan
+	delta []*storage.Plan
+	head  *storage.Plan
+	// fired memoizes triggers already applied (hashed register
+	// snapshots), so each trigger fires at most once. EGD merges
+	// invalidate it.
+	fired    triggerMemo
+	regs     []int32
+	headRegs []int32
+	exIDs    []int32
+	rowBuf   []int32
+	triggers [][]int32
+}
+
+type egdState struct {
+	ep   *egdPlan
+	plan *storage.Plan
+	regs []int32
+}
+
+type ncState struct {
+	np   *ncPlan
+	plan *storage.Plan
+	regs []int32
+	buf  []int32
+}
+
+// NewState validates and compiles the program and returns a resumable
+// chase state over a detached clone of db (the input instance is never
+// modified). Call Chase to saturate, then Extend to grow the fixpoint
+// with delta facts.
+func NewState(prog *datalog.Program, db *storage.Instance, opts Options) (*State, error) {
+	owned := db.CloneDetached()
+	cp, err := Compile(prog, owned)
+	if err != nil {
+		return nil, err
+	}
+	return cp.NewState(owned, opts), nil
+}
+
+// NewState builds a chase state over inst, which the state takes
+// ownership of: the caller must not mutate inst afterwards (reading
+// through Instance() or Snapshot is fine). inst's interner must be the
+// compile interner or a fork of it — a detached clone of the compile
+// instance satisfies this.
+func (cp *CompiledProgram) NewState(inst *storage.Instance, opts Options) *State {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = DefaultMaxRounds
+	}
+	if opts.MaxAtoms <= 0 {
+		opts.MaxAtoms = DefaultMaxAtoms
+	}
+	if opts.NullPrefix == "" {
+		opts.NullPrefix = "n"
+	}
+	st := &State{
+		cp:          cp,
+		opts:        opts,
+		inst:        inst,
+		fresh:       freshCounter(inst, opts.NullPrefix),
+		res:         &Result{Instance: inst},
+		watermark:   map[string]int{},
+		full:        true,
+		reportedEGD: map[string]bool{},
+		seenViol:    map[Violation]bool{},
+		maxRounds:   opts.MaxRounds,
+		maxAtoms:    opts.MaxAtoms,
+	}
+	in := inst.Interner()
+	for _, tp := range cp.tgds {
+		ts := &tgdState{
+			tp:    tp,
+			body:  tp.body.Retarget(in),
+			head:  tp.head.Retarget(in),
+			delta: make([]*storage.Plan, len(tp.delta)),
+			fired: newTriggerMemo(),
+		}
+		for i, dp := range tp.delta {
+			ts.delta[i] = dp.Retarget(in)
+		}
+		ts.regs = ts.body.NewRegs()
+		ts.headRegs = ts.head.NewRegs()
+		ts.exIDs = make([]int32, len(tp.ex))
+		ts.rowBuf = make([]int32, tp.maxAr)
+		st.tgds = append(st.tgds, ts)
+	}
+	for _, ep := range cp.egds {
+		st.egds = append(st.egds, &egdState{ep: ep, plan: ep.plan.Retarget(in)})
+	}
+	for _, np := range cp.ncs {
+		st.ncs = append(st.ncs, &ncState{np: np, plan: np.plan.Retarget(in), buf: make([]int32, np.maxAr)})
+	}
+	return st
+}
+
+// Instance returns the state's live instance. Callers must not mutate
+// it; take a Snapshot for concurrent reads.
+func (st *State) Instance() *storage.Instance { return st.inst }
+
+// Result returns the cumulative chase result backed by the live
+// instance. Counters (Rounds, Fired, ...) accumulate across Chase and
+// Extend calls; Saturated reflects the most recent call.
+func (st *State) Result() *Result { return st.res }
+
+// Chase runs the chase to fixpoint from the current frontier. The
+// error is non-nil only for context cancellation; bound-exceeded runs
+// leave Result().Saturated false with a nil error, matching Run.
+func (st *State) Chase(ctx context.Context) error {
+	st.res.Saturated = false
+	atomBound := false
+
+	for round := 0; round < st.maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		full := st.full
+		st.full = false
+		// Rows at or beyond roundStart were inserted during this round
+		// and form the next round's delta frontier.
+		roundStart := st.relationLens()
+
+		progress := false
+		for _, ts := range st.tgds {
+			applied := st.applyTGD(ts, full, roundStart)
+			if applied < 0 {
+				atomBound = true
+				break
+			}
+			if applied > 0 {
+				progress = true
+			}
+		}
+		if !atomBound && !st.opts.SkipEGDs && len(st.egds) > 0 {
+			merged, hard := st.applyEGDs()
+			if merged > 0 {
+				progress = true
+				// Merges rewrite row storage in place (indices shift),
+				// so delta bookkeeping and memoized trigger bindings
+				// are both stale: fall back to one full round.
+				st.full = true
+				for _, ts := range st.tgds {
+					ts.fired = newTriggerMemo()
+				}
+			}
+			st.addViolations(hard)
+		}
+		st.res.Rounds++
+
+		if st.full {
+			// The next full round re-enumerates everything; watermarks
+			// restart from zero.
+			for pred := range st.watermark {
+				st.watermark[pred] = 0
+			}
+		} else {
+			// Everything present at round start has now been matched
+			// (fully or via the delta frontier).
+			for pred, n := range roundStart {
+				st.watermark[pred] = n
+			}
+		}
+
+		if atomBound {
+			// A bound abort leaves this round's delta windows partially
+			// processed and enumerated-but-unfired triggers memoized:
+			// force a full re-match round with fresh memos in case the
+			// caller resumes, so nothing is silently skipped.
+			st.full = true
+			for _, ts := range st.tgds {
+				ts.fired = newTriggerMemo()
+			}
+			for pred := range st.watermark {
+				st.watermark[pred] = 0
+			}
+			return nil // Saturated stays false
+		}
+		if !progress {
+			st.res.Saturated = true
+			break
+		}
+	}
+
+	st.checkNCs()
+	return nil
+}
+
+// relationLens snapshots every relation's current length.
+func (st *State) relationLens() map[string]int {
+	lens := make(map[string]int, len(st.inst.RelationNames()))
+	for _, name := range st.inst.RelationNames() {
+		lens[name] = st.inst.Relation(name).Len()
+	}
+	return lens
+}
+
+// ExtendInfo reports what one Extend call did.
+type ExtendInfo struct {
+	// Inserted counts delta facts that were new to the instance.
+	Inserted int
+	// Fired counts TGD applications during this call.
+	Fired int
+	// Merged counts EGD-induced term merges during this call (callers
+	// that mirror the instance incrementally must rebuild when > 0,
+	// since merges rewrite existing tuples).
+	Merged int
+	// Saturated reports whether this call reached a fixpoint.
+	Saturated bool
+}
+
+// Extend inserts the delta facts and chases to a new fixpoint,
+// re-matching only against the delta frontier. Facts must be ground;
+// unknown predicates create relations. It returns per-call statistics.
+func (st *State) Extend(ctx context.Context, delta []datalog.Atom) (*ExtendInfo, error) {
+	fired0, merged0 := st.res.Fired, st.res.Merged
+	info := &ExtendInfo{}
+	for _, a := range delta {
+		isNew, err := st.inst.InsertAtom(a)
+		if err != nil {
+			return nil, fmt.Errorf("chase: extend: %w", err)
+		}
+		if isNew {
+			info.Inserted++
+		}
+	}
+	if err := st.Chase(ctx); err != nil {
+		return nil, err
+	}
+	info.Fired = st.res.Fired - fired0
+	info.Merged = st.res.Merged - merged0
+	info.Saturated = st.res.Saturated
+	return info, nil
+}
+
+// applyTGD enumerates this round's triggers of one TGD — full-plan in
+// a full round, delta-frontier-driven otherwise — and fires them. It
+// returns the number of applications, or -1 when MaxAtoms was
+// exceeded.
+func (st *State) applyTGD(ts *tgdState, full bool, roundStart map[string]int) int {
+	// Phase 1: enumerate new triggers, snapshotting register banks.
+	// (Insertion happens afterwards so the enumeration never observes
+	// its own derivations mid-round.)
+	ts.triggers = ts.triggers[:0]
+	collect := func(regs []int32) bool {
+		if snap, isNew := ts.fired.add(regs); isNew {
+			ts.triggers = append(ts.triggers, snap)
+		}
+		return true
+	}
+	if full {
+		ts.body.ResetRegs(ts.regs)
+		ts.body.Execute(st.inst, ts.regs, collect)
+	} else {
+		for i := range ts.delta {
+			proj := &ts.tp.pivot[i]
+			rel := st.inst.Relation(proj.Pred)
+			if rel == nil {
+				continue
+			}
+			lo, hi := st.watermark[proj.Pred], roundStart[proj.Pred]
+			if lo >= hi {
+				continue
+			}
+			rows := rel.Rows()
+			for _, row := range rows[lo:hi] {
+				ts.body.ResetRegs(ts.regs)
+				if !proj.Bind(row, ts.regs) {
+					continue
+				}
+				ts.delta[i].Execute(st.inst, ts.regs, collect)
+			}
+		}
+	}
+
+	// Phase 2: fire.
+	in := st.inst.Interner()
+	applied := 0
+	for _, tr := range ts.triggers {
+		if st.opts.Variant == Restricted && st.headSatisfied(ts, tr) {
+			continue
+		}
+		for i := range ts.tp.ex {
+			nu := st.fresh.FreshNull()
+			st.res.NullsCreated++
+			ts.exIDs[i] = in.ID(nu)
+		}
+		inserted := 0
+		var added []datalog.Atom
+		for _, hp := range ts.tp.heads {
+			row := ts.rowBuf[:len(hp.items)]
+			for i, it := range hp.items {
+				switch it.kind {
+				case hConst:
+					row[i] = it.id
+				case hSlot:
+					row[i] = tr[it.slot]
+				default:
+					row[i] = ts.exIDs[it.ex]
+				}
+			}
+			isNew, err := st.inst.InsertRow(hp.pred, row)
+			if err != nil {
+				// Head rows are ground by construction; an error here
+				// indicates an arity clash, which Validate should have
+				// caught — surface it loudly.
+				panic("chase: insert failed: " + err.Error())
+			}
+			if isNew {
+				inserted++
+				if st.opts.Trace {
+					added = append(added, datalog.Atom{
+						Pred: hp.pred,
+						Args: in.Terms(row, make([]datalog.Term, 0, len(row))),
+					})
+				}
+			}
+		}
+		if inserted > 0 {
+			applied++
+			st.res.Fired++
+			if st.opts.Trace {
+				st.res.Steps = append(st.res.Steps, Step{Rule: ts.tp.tgd.ID, Added: added})
+			}
+		}
+		if st.inst.TotalTuples() > st.maxAtoms {
+			return -1
+		}
+	}
+	return applied
+}
+
+// headSatisfied reports whether the head conjunction already has a
+// homomorphism extending the trigger bindings (existential variables
+// free) — the restricted-chase firing condition.
+func (st *State) headSatisfied(ts *tgdState, trigger []int32) bool {
+	ts.head.ResetRegs(ts.headRegs)
+	for _, p := range ts.tp.headSeed {
+		ts.headRegs[p[0]] = trigger[p[1]]
+	}
+	found := false
+	ts.head.Execute(st.inst, ts.headRegs, func([]int32) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// applyEGDs enforces the EGDs to a local fixpoint. Null/term merges are
+// applied to the instance; constant/constant conflicts are returned as
+// hard violations (the chase does not fail outright: quality assessment
+// wants to see every violation).
+//
+// Each pass collects every required merge from every EGD, canonicalizes
+// them with a union-find (preferring constants, then smaller null
+// labels, as representatives), and applies the whole cascade with one
+// batched ReplaceTerms — one index rebuild per relation per pass
+// instead of one per merge. Passes repeat until no merge is found,
+// since rewritten tuples can expose new EGD matches.
+func (st *State) applyEGDs() (int, []Violation) {
+	totalMerged := 0
+	var hard []Violation
+	for {
+		parent := map[datalog.Term]datalog.Term{}
+		var find func(datalog.Term) datalog.Term
+		find = func(t datalog.Term) datalog.Term {
+			p, ok := parent[t]
+			if !ok || p == t {
+				return t
+			}
+			root := find(p)
+			parent[t] = root // path compression
+			return root
+		}
+		anyMerge := false
+		for _, es := range st.egds {
+			if es.regs == nil {
+				es.regs = es.plan.NewRegs()
+			}
+			es.plan.ResetRegs(es.regs)
+			es.plan.Execute(st.inst, es.regs, func(regs []int32) bool {
+				a := find(es.plan.TermAt(regs, es.ep.egd.Left))
+				b := find(es.plan.TermAt(regs, es.ep.egd.Right))
+				if a == b {
+					return true
+				}
+				if a.IsConst() && b.IsConst() {
+					key := es.ep.egd.ID + "§" + a.Name + "§" + b.Name
+					if !st.reportedEGD[key] {
+						st.reportedEGD[key] = true
+						hard = append(hard, Violation{
+							Kind:   EGDConflict,
+							ID:     es.ep.egd.ID,
+							Detail: fmt.Sprintf("requires %s = %s", a, b),
+						})
+					}
+					return true
+				}
+				// Merge the null into the other term; prefer keeping
+				// constants, and for null/null pairs keep the smaller
+				// label for determinism.
+				keep, drop := a, b
+				if b.IsConst() || (a.IsNull() && b.IsNull() && b.Name < a.Name) {
+					keep, drop = b, a
+				}
+				parent[drop] = keep
+				anyMerge = true
+				return true
+			})
+		}
+		if !anyMerge {
+			return totalMerged, hard
+		}
+		repl := make(map[datalog.Term]datalog.Term, len(parent))
+		for t := range parent {
+			if root := find(t); root != t {
+				repl[t] = root
+			}
+		}
+		st.inst.ReplaceTerms(repl)
+		st.res.Merged += len(repl)
+		totalMerged += len(repl)
+	}
+}
+
+// checkNCs evaluates negative constraints over the current instance,
+// appending violations not yet reported. Negated atoms are checked
+// under closed-world assumption.
+func (st *State) checkNCs() {
+	var out []Violation
+	for _, ns := range st.ncs {
+		if ns.regs == nil {
+			ns.regs = ns.plan.NewRegs()
+		}
+		ns.plan.ResetRegs(ns.regs)
+		nc := ns.np.nc
+		ns.plan.Execute(st.inst, ns.regs, func(regs []int32) bool {
+			for i := range ns.np.negs {
+				n := &ns.np.negs[i]
+				nb := ns.buf[:n.Len()]
+				n.Project(regs, nb)
+				if st.inst.ContainsRow(n.Pred, nb) {
+					return true // negated atom present: body not satisfied
+				}
+			}
+			for _, c := range nc.Conds {
+				// Safety is validated up front, so EvalTerms cannot see
+				// unbound variables here.
+				ok, err := c.EvalTerms(ns.plan.TermAt(regs, c.L), ns.plan.TermAt(regs, c.R))
+				if err != nil || !ok {
+					return true
+				}
+			}
+			s := ns.plan.SubstAt(regs, datalog.NewSubst())
+			detail := datalog.AtomsString(s.ApplyAtoms(nc.PositiveBody()))
+			out = append(out, Violation{Kind: NCViolation, ID: nc.ID, Detail: detail})
+			return true
+		})
+	}
+	st.addViolations(out)
+}
+
+// addViolations appends violations not seen before (the same EGD
+// conflict or NC match can be rediscovered across rounds and calls).
+func (st *State) addViolations(vs []Violation) {
+	for _, v := range vs {
+		if !st.seenViol[v] {
+			st.seenViol[v] = true
+			st.res.Violations = append(st.res.Violations, v)
+		}
+	}
+}

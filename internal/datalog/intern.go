@@ -18,6 +18,10 @@ package datalog
 type Interner struct {
 	ids   map[Term]int32
 	terms []Term
+	// parent records fork lineage (see Fork and DescendsFrom): plans
+	// compiled against an ancestor interner stay valid on descendants,
+	// because Fork preserves every id assignment made before the fork.
+	parent *Interner
 }
 
 // NoID is the sentinel used for "no term": it is never a valid id.
@@ -77,13 +81,31 @@ func (in *Interner) Terms(ids []int32, dst []Term) []Term {
 // keeping read-only callers free of shared mutable state.
 func (in *Interner) Fork() *Interner {
 	out := &Interner{
-		ids:   make(map[Term]int32, len(in.ids)),
-		terms: append([]Term(nil), in.terms...),
+		ids:    make(map[Term]int32, len(in.ids)),
+		terms:  append([]Term(nil), in.terms...),
+		parent: in,
 	}
 	for t, id := range in.ids {
 		out.ids[t] = id
 	}
 	return out
+}
+
+// DescendsFrom reports whether in is anc or a (transitive) fork of
+// anc. Ids assigned by an ancestor before forking are preserved in
+// every descendant, so read structures compiled against anc (plans,
+// projections) remain valid against descendants — provided the
+// ancestor is no longer interning new terms, which could reuse ids the
+// descendant assigned independently. Engine code enforces that
+// discipline: prepared artifacts freeze their interner before sessions
+// fork it.
+func (in *Interner) DescendsFrom(anc *Interner) bool {
+	for cur := in; cur != nil; cur = cur.parent {
+		if cur == anc {
+			return true
+		}
+	}
+	return false
 }
 
 // HashInt32s is FNV-1a over a row of term ids (or any int32 slice),

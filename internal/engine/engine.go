@@ -1,0 +1,269 @@
+// Package engine provides prepared assessment sessions: the
+// amortization layer between the paper's one-shot pipeline (compile
+// the ontology, merge the sources, chase, evaluate — per request) and
+// a serving process that assesses a stream of data against one fixed
+// MD ontology.
+//
+// Prepare compiles everything request-independent exactly once — the
+// chase program's TGD/EGD/NC join plans and the stratified evaluation
+// program — into an immutable Prepared artifact that any number of
+// goroutines can share. Prepared.NewSession then owns one saturated
+// instance and serves the two halves of the serving loop:
+//
+//   - Session.Apply(ctx, delta) extends the existing fixpoint with a
+//     batch of new facts, semi-naive: the chase re-matches only
+//     against the delta frontier (chase.State.Extend) and the derived
+//     quality layer grows incrementally (eval.State.Extend) instead
+//     of being recomputed from scratch;
+//   - Session.Snapshot() hands concurrent readers a frozen
+//     copy-on-write view of the full contextual instance, consistent
+//     as of the last Apply, while the single writer keeps applying
+//     deltas.
+//
+// The quality package's Context.Assess is a thin wrapper over a
+// one-shot session; cmd/mdq and the benchmarks build on the same
+// layer.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+	"repro/internal/eval"
+	"repro/internal/storage"
+)
+
+// Spec names everything a prepared pipeline needs.
+type Spec struct {
+	// Program is the Datalog± ontology program the chase enforces.
+	Program *datalog.Program
+	// Base is the static extensional context: the compiled ontology's
+	// dimension predicates and categorical data, plus any external
+	// sources. Prepare takes ownership: the caller must neither mutate
+	// it nor intern new terms into it afterwards (sessions clone it).
+	Base *storage.Instance
+	// Rules is the derived layer evaluated over the chased instance —
+	// contextual mappings, quality predicates and quality versions.
+	// May be nil.
+	Rules *eval.Program
+	// ChaseOptions configures every session's chase.
+	ChaseOptions chase.Options
+}
+
+// Prepared is the immutable compiled form of a Spec. It is safe to
+// share across goroutines: sessions only read it.
+type Prepared struct {
+	cp     *chase.CompiledProgram
+	base   *storage.Instance
+	rules  *eval.Program
+	strata [][]*eval.Rule
+	opts   chase.Options
+}
+
+// Prepare validates and compiles the spec once. The returned Prepared
+// must not observe further mutation of spec.Program, spec.Base or
+// spec.Rules.
+func Prepare(spec Spec) (*Prepared, error) {
+	base := spec.Base
+	if base == nil {
+		base = storage.NewInstance()
+	}
+	cp, err := chase.Compile(spec.Program, base)
+	if err != nil {
+		return nil, fmt.Errorf("engine: compile chase program: %w", err)
+	}
+	p := &Prepared{cp: cp, base: base, rules: spec.Rules, opts: spec.ChaseOptions}
+	if spec.Rules != nil && len(spec.Rules.Rules) > 0 {
+		if err := spec.Rules.Validate(); err != nil {
+			return nil, err
+		}
+		p.strata, err = spec.Rules.Stratify()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Base returns the prepared static context (read-only).
+func (p *Prepared) Base() *storage.Instance { return p.base }
+
+// NewSession builds a session over the base plus the instance under
+// assessment, chased to saturation and with the derived layer
+// evaluated — the cold path every later Apply amortizes.
+func (p *Prepared) NewSession(d *storage.Instance) (*Session, error) {
+	return p.NewSessionContext(context.Background(), d)
+}
+
+// NewSessionContext is NewSession with cancellation, checked once per
+// chase round and eval stratum round.
+func (p *Prepared) NewSessionContext(ctx context.Context, d *storage.Instance) (*Session, error) {
+	// The merge target is a detached clone: neither the shared base
+	// nor the caller's instance is ever touched, so one Prepared can
+	// serve many sessions (and repeated one-shot assessments) without
+	// cross-contamination.
+	inst := p.base.CloneDetached()
+	if d != nil {
+		if err := storage.Merge(inst, d); err != nil {
+			return nil, err
+		}
+	}
+	cs := p.cp.NewState(inst, p.opts)
+	if err := cs.Chase(ctx); err != nil {
+		return nil, err
+	}
+	if !cs.Result().Saturated {
+		return nil, fmt.Errorf("engine: ontology chase did not saturate (rounds=%d)", cs.Result().Rounds)
+	}
+	s := &Session{prep: p, chase: cs}
+	if err := s.rebuildEval(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Session owns a saturated instance and its derived layer. One writer
+// goroutine calls Apply; any number of readers consume Snapshot views.
+type Session struct {
+	mu    sync.Mutex
+	prep  *Prepared
+	chase *chase.State
+	// eval holds the derived layer over a clone of the chased
+	// instance (sharing its interner — the session is the only
+	// writer); nil when the spec has no rules.
+	eval *eval.State
+}
+
+// rebuildEval recomputes the derived layer from the chased instance,
+// reusing the compiled rule plans after the first build (rebuild
+// clones share the session interner, so plans stay valid).
+func (s *Session) rebuildEval(ctx context.Context) error {
+	if len(s.prep.strata) == 0 {
+		s.eval = nil
+		return nil
+	}
+	inst := s.chase.Instance().Clone()
+	if s.eval == nil {
+		s.eval = eval.NewState(s.prep.strata, inst)
+	} else {
+		s.eval.Reset(inst)
+	}
+	return s.eval.Init(ctx)
+}
+
+// ApplyResult reports what one Apply call did.
+type ApplyResult struct {
+	// Inserted counts delta facts that were new to the instance.
+	Inserted int
+	// ChaseRows counts rows added to the chased instance (delta facts
+	// plus TGD derivations). When Merged > 0 the count is approximate:
+	// EGD merges collapse rewritten tuples, so per-relation growth is
+	// clamped at zero.
+	ChaseRows int
+	// Derived counts facts added to the derived layer.
+	Derived int
+	// Fired and Merged count TGD applications and EGD merges.
+	Fired, Merged int
+	// Rebuilt reports that the derived layer was recomputed from
+	// scratch instead of extended (EGD merges rewrote tuples, or the
+	// rule program has negation).
+	Rebuilt bool
+	// Violations is the session's cumulative violation list.
+	Violations []chase.Violation
+}
+
+// Apply extends the session's fixpoint with a batch of ground facts:
+// an incremental chase from the delta frontier, then an incremental
+// (or, when incrementality is unsound, rebuilt) derived layer. It is
+// the only mutating entry point; readers holding earlier snapshots are
+// unaffected (copy-on-write).
+func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*ApplyResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	ci := s.chase.Instance()
+	lens := map[string]int{}
+	for _, name := range ci.RelationNames() {
+		lens[name] = ci.Relation(name).Len()
+	}
+
+	info, err := s.chase.Extend(ctx, delta)
+	if err != nil {
+		return nil, err
+	}
+	if !info.Saturated {
+		return nil, fmt.Errorf("engine: incremental chase did not saturate (rounds=%d)", s.chase.Result().Rounds)
+	}
+	res := &ApplyResult{
+		Inserted:   info.Inserted,
+		Fired:      info.Fired,
+		Merged:     info.Merged,
+		Violations: s.chase.Result().Violations,
+	}
+	for _, name := range ci.RelationNames() {
+		if d := ci.Relation(name).Len() - lens[name]; d > 0 {
+			res.ChaseRows += d
+		}
+	}
+	if s.eval == nil {
+		return res, nil
+	}
+
+	// EGD merges rewrite existing tuples, which an insert-only delta
+	// cannot mirror; negation makes the derived layer non-monotone.
+	// Both fall back to recomputing the derived layer (still on top of
+	// the incrementally-chased instance).
+	if info.Merged > 0 || !s.eval.Incremental() {
+		res.Rebuilt = true
+		return res, s.rebuildEval(ctx)
+	}
+
+	// No merges: the chased instance grew append-only, so the rows
+	// beyond the pre-Apply lengths are exactly the chase-side delta.
+	var facts []eval.Fact
+	for _, name := range ci.RelationNames() {
+		rows := ci.Relation(name).Rows()
+		for _, row := range rows[lens[name]:] {
+			facts = append(facts, eval.Fact{Pred: name, Row: row})
+		}
+	}
+	derived, err := s.eval.Extend(ctx, facts)
+	if err != nil {
+		return nil, err
+	}
+	res.Derived = len(derived)
+	return res, nil
+}
+
+// Snapshot returns a frozen, consistent view of the full contextual
+// instance (chased facts plus the derived layer) as of the last Apply.
+// Snapshots are cheap (copy-on-write) and safe to read from any number
+// of goroutines while the writer keeps applying deltas.
+func (s *Session) Snapshot() *storage.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eval != nil {
+		return s.eval.Instance().Snapshot()
+	}
+	return s.chase.Instance().Snapshot()
+}
+
+// Violations returns the session's cumulative constraint violations.
+func (s *Session) Violations() []chase.Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]chase.Violation, len(s.chase.Result().Violations))
+	copy(out, s.chase.Result().Violations)
+	return out
+}
+
+// ChaseResult returns the cumulative chase statistics. The contained
+// instance is the live one — use Snapshot for concurrent reads.
+func (s *Session) ChaseResult() *chase.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chase.Result()
+}

@@ -11,6 +11,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datalog"
@@ -170,6 +171,13 @@ func (p *Program) Stratify() ([][]*Rule, error) {
 // maps, and derived facts are projected and inserted as []int32 rows
 // without materializing atoms or string keys.
 func Eval(p *Program, db *storage.Instance) (*storage.Instance, error) {
+	return EvalContext(context.Background(), p, db)
+}
+
+// EvalContext is Eval with cancellation: ctx is checked once per
+// semi-naive round of every stratum, so a serving process can
+// time-bound a runaway evaluation.
+func EvalContext(ctx context.Context, p *Program, db *storage.Instance) (*storage.Instance, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -178,21 +186,18 @@ func Eval(p *Program, db *storage.Instance) (*storage.Instance, error) {
 		return nil, err
 	}
 	out := db.CloneDetached()
-	for _, rules := range strata {
-		if len(rules) == 0 {
-			continue
-		}
-		if err := evalStratum(rules, out); err != nil {
-			return nil, err
-		}
+	st := NewState(strata, out)
+	if err := st.Init(ctx); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// fact is a derived tuple in interned form.
-type fact struct {
-	pred string
-	row  []int32
+// Fact is a derived or delta tuple in interned form (row ids belong to
+// the owning instance's interner).
+type Fact struct {
+	Pred string
+	Row  []int32
 }
 
 // compiledRule is a rule lowered onto one register space: the base
@@ -206,16 +211,21 @@ type compiledRule struct {
 	head storage.Proj
 	negs []storage.Proj
 	// deltaPlans[i] re-evaluates the full body with body[i]'s
-	// variables pre-bound from a delta fact; nil when body[i] is not
-	// an IDB atom of the stratum.
+	// variables pre-bound from a delta fact; nil when body[i] cannot
+	// receive delta facts (cold evaluation: non-IDB atoms of the
+	// stratum; incremental state: every atom gets a plan).
 	deltaPlans []*storage.Plan
 	pivotProj  []storage.Proj // body[i] as a projection, for seeding registers
-	idbAtoms   int            // number of IDB body atoms
+	pivots     int            // number of body atoms with delta plans
 	regs       []int32        // reusable register bank
 	buf        []int32        // reusable projection buffer
 }
 
-func compileRule(r *Rule, db *storage.Instance, idb map[string]bool) *compiledRule {
+// compileRule lowers one rule. idb names the predicates that can grow
+// during the stratum's own fixpoint; allDelta additionally compiles a
+// delta plan for every body atom, which incremental evaluation needs
+// because delta facts can arrive for any predicate, EDB included.
+func compileRule(r *Rule, db *storage.Instance, idb map[string]bool, allDelta bool) *compiledRule {
 	cr := &compiledRule{
 		r:    r,
 		plan: storage.CompilePlan(db, r.Body),
@@ -227,10 +237,10 @@ func compileRule(r *Rule, db *storage.Instance, idb map[string]bool) *compiledRu
 	cr.deltaPlans = make([]*storage.Plan, len(r.Body))
 	cr.pivotProj = make([]storage.Proj, len(r.Body))
 	for i, a := range r.Body {
-		if !idb[a.Pred] {
+		if !allDelta && !idb[a.Pred] {
 			continue
 		}
-		cr.idbAtoms++
+		cr.pivots++
 		cr.deltaPlans[i] = storage.CompilePlan(db, r.Body, a.Vars()...)
 		cr.pivotProj[i] = cr.plan.CompileProj(a)
 	}
@@ -270,7 +280,7 @@ func (cr *compiledRule) filters(db *storage.Instance, regs []int32) (bool, error
 
 // derive applies filters and, on success, inserts the head row,
 // appending newly derived facts to *out.
-func (cr *compiledRule) derive(db *storage.Instance, regs []int32, out *[]fact) error {
+func (cr *compiledRule) derive(db *storage.Instance, regs []int32, out *[]Fact) error {
 	ok, err := cr.filters(db, regs)
 	if err != nil || !ok {
 		return err
@@ -284,69 +294,215 @@ func (cr *compiledRule) derive(db *storage.Instance, regs []int32, out *[]fact) 
 	if isNew {
 		row := make([]int32, len(buf))
 		copy(row, buf)
-		*out = append(*out, fact{pred: cr.head.Pred, row: row})
+		*out = append(*out, Fact{Pred: cr.head.Pred, Row: row})
 	}
 	return nil
 }
 
-// evalStratum runs semi-naive iteration for one stratum, mutating db.
-// Rule bodies are compiled once; the delta index is built once per
-// round (not once per rule per round), and rules with several IDB body
-// atoms deduplicate pivot matches so the same homomorphism is not
-// re-derived through every pivot position it touches.
-func evalStratum(rules []*Rule, db *storage.Instance) error {
-	idb := map[string]bool{}
-	for _, r := range rules {
-		idb[r.Head.Pred] = true
-	}
-	comp := make([]*compiledRule, len(rules))
-	for i, r := range rules {
-		comp[i] = compileRule(r, db, idb)
-	}
+// State is a resumable stratified evaluation: it owns an instance
+// holding the EDB plus every derived fact, with each stratum's rules
+// compiled once. Init computes the full least fixpoint; Extend grows
+// it incrementally from a batch of delta facts, re-matching rule
+// bodies only against the delta — sound for negation-free programs
+// (Incremental reports whether Extend is available; programs with
+// negation are non-monotone under insertions and need re-evaluation).
+//
+// A State is single-writer: Init and Extend must not be called
+// concurrently. Concurrent readers use Instance().Snapshot().
+type State struct {
+	strata [][]*Rule
+	inst   *storage.Instance
+	comp   [][]*compiledRule
+	hasNeg bool
+	inited bool
+}
 
-	// Round 0: full naive pass.
-	var delta []fact
-	for _, cr := range comp {
-		var derr error
-		cr.plan.ResetRegs(cr.regs)
-		cr.plan.Execute(db, cr.regs, func(regs []int32) bool {
-			derr = cr.derive(db, regs, &delta)
-			return derr == nil
-		})
-		if derr != nil {
-			return derr
-		}
-	}
-
-	// Subsequent rounds: a rule re-fires only with at least one body
-	// atom matching the previous round's delta.
-	deltaByPred := map[string][][]int32{}
-	for len(delta) > 0 {
-		for pred := range deltaByPred {
-			deltaByPred[pred] = deltaByPred[pred][:0]
-		}
-		for _, f := range delta {
-			deltaByPred[f.pred] = append(deltaByPred[f.pred], f.row)
-		}
-		var next []fact
-		for _, cr := range comp {
-			if err := deltaPass(cr, db, deltaByPred, &next); err != nil {
-				return err
+// NewState builds an evaluation state over inst, which the state takes
+// ownership of (derived facts are inserted in place; callers wanting
+// an untouched input pass a clone). The strata come from
+// Program.Stratify; rules are assumed validated.
+func NewState(strata [][]*Rule, inst *storage.Instance) *State {
+	st := &State{strata: strata, inst: inst}
+	for _, rules := range strata {
+		for _, r := range rules {
+			if len(r.Negated) > 0 {
+				st.hasNeg = true
 			}
 		}
-		delta = next
 	}
+	return st
+}
+
+// Instance returns the state's live instance (EDB + derived facts).
+// Callers must not mutate it; take a Snapshot for concurrent reads.
+func (st *State) Instance() *storage.Instance { return st.inst }
+
+// Incremental reports whether Extend is available: true for
+// negation-free programs, whose fixpoints grow monotonically under
+// insertions.
+func (st *State) Incremental() bool { return !st.hasNeg }
+
+// Reset rebinds the state to a fresh instance for re-evaluation,
+// keeping the compiled rule plans (valid because plans bind to the
+// interner, which inst must share with the previous instance — the
+// session layer re-evaluates over clones of one chased instance).
+// Call Init afterwards.
+func (st *State) Reset(inst *storage.Instance) {
+	if st.inst.Interner() != inst.Interner() {
+		panic("eval: State.Reset onto an instance with a different interner")
+	}
+	st.inst = inst
+	st.inited = false
+}
+
+// Init computes the least fixpoint stratum by stratum. ctx is checked
+// once per semi-naive round. Rule plans are compiled on the first Init
+// and reused by later Reset+Init cycles.
+func (st *State) Init(ctx context.Context) error {
+	if st.comp == nil {
+		st.comp = make([][]*compiledRule, len(st.strata))
+		for si, rules := range st.strata {
+			if len(rules) == 0 {
+				continue
+			}
+			idb := map[string]bool{}
+			for _, r := range rules {
+				idb[r.Head.Pred] = true
+			}
+			comp := make([]*compiledRule, len(rules))
+			for i, r := range rules {
+				// With negation, Extend is rejected, so only the
+				// stratum's own IDB pivots are needed; negation-free
+				// programs additionally compile a delta plan per body
+				// atom (Extend pivots on any atom, EDB included).
+				comp[i] = compileRule(r, st.inst, idb, !st.hasNeg)
+			}
+			st.comp[si] = comp
+		}
+	}
+	for si, rules := range st.strata {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		idb := map[string]bool{}
+		for _, r := range rules {
+			idb[r.Head.Pred] = true
+		}
+		comp := st.comp[si]
+
+		// Round 0: full naive pass.
+		var delta []Fact
+		for _, cr := range comp {
+			var derr error
+			cr.plan.ResetRegs(cr.regs)
+			cr.plan.Execute(st.inst, cr.regs, func(regs []int32) bool {
+				derr = cr.derive(st.inst, regs, &delta)
+				return derr == nil
+			})
+			if derr != nil {
+				return derr
+			}
+		}
+
+		// Subsequent rounds: a rule re-fires only with at least one
+		// body atom matching the previous round's delta, pivoting on
+		// the stratum's own IDB predicates.
+		deltaByPred := map[string][][]int32{}
+		for len(delta) > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for pred := range deltaByPred {
+				deltaByPred[pred] = deltaByPred[pred][:0]
+			}
+			for _, f := range delta {
+				if idb[f.Pred] {
+					deltaByPred[f.Pred] = append(deltaByPred[f.Pred], f.Row)
+				}
+			}
+			var next []Fact
+			for _, cr := range comp {
+				if err := deltaPass(cr, st.inst, deltaByPred, &next); err != nil {
+					return err
+				}
+			}
+			delta = next
+		}
+	}
+	st.inited = true
 	return nil
 }
 
-// deltaPass re-fires one rule seeded by every delta fact at every IDB
-// pivot position.
-func deltaPass(cr *compiledRule, db *storage.Instance, deltaByPred map[string][][]int32, next *[]fact) error {
-	// A rule with ≥2 IDB body atoms can reach the same homomorphism
+// Extend inserts the delta facts (rows in the instance's interner) and
+// grows the fixpoint incrementally: every stratum, in order, re-fires
+// its rules seeded by the incoming delta plus everything derived by
+// earlier strata during this call. It returns all newly derived facts
+// (not including the input delta) and requires a negation-free
+// program (see Incremental) and a prior Init.
+func (st *State) Extend(ctx context.Context, delta []Fact) ([]Fact, error) {
+	if !st.inited {
+		return nil, fmt.Errorf("eval: Extend before Init")
+	}
+	if st.hasNeg {
+		return nil, fmt.Errorf("eval: Extend on a program with negation (non-monotone); re-evaluate instead")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// all accumulates every fact visible as a pivot: the input delta
+	// plus everything derived during this call. Each stratum consumes
+	// it from the start (its rules have seen none of it), in segments
+	// so its own derivations re-pivot within the stratum.
+	all := make([]Fact, 0, len(delta))
+	for _, f := range delta {
+		isNew, err := st.inst.InsertRow(f.Pred, f.Row)
+		if err != nil {
+			return nil, fmt.Errorf("eval: extend: %w", err)
+		}
+		if isNew {
+			all = append(all, f)
+		}
+	}
+	inserted := len(all)
+	deltaByPred := map[string][][]int32{}
+	for _, comp := range st.comp {
+		if len(comp) == 0 {
+			continue
+		}
+		start := 0
+		for start < len(all) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			end := len(all)
+			for pred := range deltaByPred {
+				deltaByPred[pred] = deltaByPred[pred][:0]
+			}
+			for _, f := range all[start:end] {
+				deltaByPred[f.Pred] = append(deltaByPred[f.Pred], f.Row)
+			}
+			for _, cr := range comp {
+				if err := deltaPass(cr, st.inst, deltaByPred, &all); err != nil {
+					return nil, err
+				}
+			}
+			start = end
+		}
+	}
+	return all[inserted:], nil
+}
+
+// deltaPass re-fires one rule seeded by every delta fact at every
+// pivot position that has a delta plan.
+func deltaPass(cr *compiledRule, db *storage.Instance, deltaByPred map[string][][]int32, next *[]Fact) error {
+	// A rule with ≥2 pivot atoms can reach the same homomorphism
 	// through several pivots; dedup complete matches by their packed
 	// register image.
 	var seen map[string]bool
-	if cr.idbAtoms > 1 {
+	if cr.pivots > 1 {
 		seen = map[string]bool{}
 	}
 	var key []byte

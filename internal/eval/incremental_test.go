@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datalog"
+	"repro/internal/storage"
+)
+
+// evalSplit is a random EDB split into a base and a delta batch, over
+// the two-stratum positive program of chainProgram.
+type evalSplit struct {
+	Base  *storage.Instance
+	Delta []datalog.Atom
+}
+
+func (evalSplit) Generate(r *rand.Rand, _ int) reflect.Value {
+	consts := []string{"a", "b", "c", "d"}
+	randAtom := func() datalog.Atom {
+		x := datalog.C(consts[r.Intn(len(consts))])
+		y := datalog.C(consts[r.Intn(len(consts))])
+		if r.Intn(2) == 0 {
+			return datalog.A("E", x, y)
+		}
+		return datalog.A("Mark", x)
+	}
+	db := storage.NewInstance()
+	for i := 1 + r.Intn(8); i > 0; i-- {
+		a := randAtom()
+		db.MustInsert(a.Pred, a.Args...)
+	}
+	var delta []datalog.Atom
+	for i := 1 + r.Intn(8); i > 0; i-- {
+		delta = append(delta, randAtom())
+	}
+	return reflect.ValueOf(evalSplit{Base: db, Delta: delta})
+}
+
+// chainProgram: transitive closure of E, then paths ending in a
+// marked node — recursion plus a second stratum-free dependency, all
+// positive (Extend-compatible).
+func chainProgram() *Program {
+	p := NewProgram()
+	p.Add(NewRule("t1", datalog.A("T", datalog.V("x"), datalog.V("y")),
+		datalog.A("E", datalog.V("x"), datalog.V("y"))))
+	p.Add(NewRule("t2", datalog.A("T", datalog.V("x"), datalog.V("z")),
+		datalog.A("T", datalog.V("x"), datalog.V("y")),
+		datalog.A("E", datalog.V("y"), datalog.V("z"))))
+	p.Add(NewRule("good", datalog.A("Good", datalog.V("x")),
+		datalog.A("T", datalog.V("x"), datalog.V("y")),
+		datalog.A("Mark", datalog.V("y"))))
+	return p
+}
+
+func TestQuickStateExtendMatchesEval(t *testing.T) {
+	f := func(w evalSplit) bool {
+		// Scratch: full evaluation over base+delta.
+		combined := w.Base.Clone()
+		for _, a := range w.Delta {
+			if _, err := combined.InsertAtom(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := Eval(chainProgram(), combined)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Incremental: Init on base, then Extend with the delta rows.
+		strata, err := chainProgram().Stratify()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := w.Base.CloneDetached()
+		st := NewState(strata, inst)
+		if err := st.Init(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var facts []Fact
+		for _, a := range w.Delta {
+			row := inst.Interner().IDs(a.Args, nil)
+			facts = append(facts, Fact{Pred: a.Pred, Row: row})
+		}
+		if _, err := st.Extend(context.Background(), facts); err != nil {
+			t.Fatal(err)
+		}
+		return st.Instance().Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateExtendRejectsNegation(t *testing.T) {
+	p := NewProgram()
+	p.Add(NewRule("pos", datalog.A("P", datalog.V("x")), datalog.A("E", datalog.V("x"), datalog.V("y"))))
+	neg := NewRule("neg", datalog.A("Q", datalog.V("x")), datalog.A("E", datalog.V("x"), datalog.V("y")))
+	neg.WithNegated(datalog.A("Mark", datalog.V("x")))
+	p.Add(neg)
+	strata, err := p.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewInstance()
+	db.MustInsert("E", datalog.C("a"), datalog.C("b"))
+	st := NewState(strata, db)
+	if st.Incremental() {
+		t.Fatal("program with negation reported incremental")
+	}
+	if err := st.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Extend(context.Background(), nil); err == nil {
+		t.Fatal("Extend on a negated program succeeded")
+	}
+}
+
+func TestEvalContextCancellation(t *testing.T) {
+	db := storage.NewInstance()
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"}} {
+		db.MustInsert("E", datalog.C(e[0]), datalog.C(e[1]))
+	}
+	db.MustInsert("Mark", datalog.C("e"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvalContext(ctx, chainProgram(), db); err == nil {
+		t.Fatal("want cancellation error, got nil")
+	}
+}

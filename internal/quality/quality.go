@@ -9,11 +9,14 @@
 package quality
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/datalog"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/storage"
 )
@@ -42,6 +45,12 @@ type Context struct {
 	// externals are additional data sources E_i merged into the
 	// context.
 	externals []*storage.Instance
+
+	// mu guards prepared, the cached compiled form of the context.
+	// Every mutating method invalidates it, so repeated Assess calls
+	// (and explicit Prepare callers) share one compilation.
+	mu       sync.Mutex
+	prepared *Prepared
 }
 
 type versionDef struct {
@@ -57,15 +66,24 @@ func NewContext(o *core.Ontology) *Context {
 	}
 }
 
+// invalidate drops the cached compilation after a context mutation.
+func (c *Context) invalidate() {
+	c.mu.Lock()
+	c.prepared = nil
+	c.mu.Unlock()
+}
+
 // WithCompileOptions sets the ontology compilation options.
 func (c *Context) WithCompileOptions(opts core.CompileOptions) *Context {
 	c.compile = opts
+	c.invalidate()
 	return c
 }
 
 // WithChaseOptions sets the chase options used during assessment.
 func (c *Context) WithChaseOptions(opts chase.Options) *Context {
 	c.chaseOpt = opts
+	c.invalidate()
 	return c
 }
 
@@ -76,6 +94,7 @@ func (c *Context) AddMapping(r *eval.Rule) error {
 		return err
 	}
 	c.mappings = append(c.mappings, r)
+	c.invalidate()
 	return nil
 }
 
@@ -86,6 +105,7 @@ func (c *Context) AddQualityRule(r *eval.Rule) error {
 		return err
 	}
 	c.qualityRules = append(c.qualityRules, r)
+	c.invalidate()
 	return nil
 }
 
@@ -93,6 +113,7 @@ func (c *Context) AddQualityRule(r *eval.Rule) error {
 // context at assessment time.
 func (c *Context) AddExternalSource(db *storage.Instance) {
 	c.externals = append(c.externals, db)
+	c.invalidate()
 }
 
 // DefineQualityVersion declares the quality version of an original
@@ -115,6 +136,7 @@ func (c *Context) DefineQualityVersion(rel, versionPred string, rules ...*eval.R
 	}
 	c.versions[rel] = &versionDef{pred: versionPred, rules: rules}
 	c.vorder = append(c.vorder, rel)
+	c.invalidate()
 	return nil
 }
 
@@ -167,62 +189,155 @@ type Assessment struct {
 	versionPred map[string]string
 }
 
-// Assess runs the full Figure 2 pipeline on the instance under
-// assessment:
-//
-//  1. compile the ontology (dimension predicates + categorical data),
-//  2. merge D and the external sources into the context,
-//  3. chase the dimensional rules (data generation via navigation),
-//  4. evaluate mappings, quality predicates and quality versions,
-//  5. compute departure measures.
-func (c *Context) Assess(d *storage.Instance) (*Assessment, error) {
+// Prepared is the compiled, immutable form of a quality context: the
+// ontology compiled to Datalog±, its chase plans, the merged static
+// context (dimension data plus external sources) and the stratified
+// derived-layer program — everything that does not depend on the
+// instance under assessment. Any number of goroutines can open
+// sessions from one Prepared.
+type Prepared struct {
+	eng      *engine.Prepared
+	chaseOpt chase.Options
+	versions map[string]*versionDef
+	vorder   []string
+}
+
+// Prepare compiles the context once, caching the result until the
+// next context mutation. Repeated Assess calls on one context share
+// the compilation.
+func (c *Context) Prepare() (*Prepared, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.prepared != nil {
+		return c.prepared, nil
+	}
 	comp, err := c.ontology.Compile(c.compile)
 	if err != nil {
 		return nil, err
 	}
-	merged := comp.Instance
-	if err := storage.Merge(merged, d); err != nil {
-		return nil, err
-	}
+	// The compiled instance is freshly built and owned here; external
+	// sources merge into it once, at prepare time, not per assessment.
+	base := comp.Instance
 	for _, ext := range c.externals {
-		if err := storage.Merge(merged, ext); err != nil {
+		if err := storage.Merge(base, ext); err != nil {
 			return nil, err
 		}
 	}
-	chaseRes, err := chase.Run(comp.Program, merged, c.chaseOpt)
-	if err != nil {
-		return nil, err
-	}
-	if !chaseRes.Saturated {
-		return nil, fmt.Errorf("quality: ontology chase did not saturate (rounds=%d)", chaseRes.Rounds)
-	}
-
 	evalProg := eval.NewProgram()
 	evalProg.Add(c.mappings...)
 	evalProg.Add(c.qualityRules...)
 	for _, rel := range c.vorder {
 		evalProg.Add(c.versions[rel].rules...)
 	}
-	final := chaseRes.Instance
-	if len(evalProg.Rules) > 0 {
-		final, err = eval.Eval(evalProg, chaseRes.Instance)
-		if err != nil {
-			return nil, err
+	eng, err := engine.Prepare(engine.Spec{
+		Program:      comp.Program,
+		Base:         base,
+		Rules:        evalProg,
+		ChaseOptions: c.chaseOpt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{
+		eng:      eng,
+		chaseOpt: c.chaseOpt,
+		versions: make(map[string]*versionDef, len(c.versions)),
+		vorder:   append([]string(nil), c.vorder...),
+	}
+	for rel, def := range c.versions {
+		p.versions[rel] = def
+	}
+	c.prepared = p
+	return p, nil
+}
+
+// NewSession opens an assessment session: the instance under
+// assessment is merged into a private clone of the static context,
+// chased to saturation and evaluated. Apply then extends the session
+// incrementally as new data arrives; Snapshot and Assessment serve
+// concurrent readers.
+func (p *Prepared) NewSession(d *storage.Instance) (*Session, error) {
+	return p.NewSessionContext(context.Background(), d)
+}
+
+// NewSessionContext is NewSession with cancellation.
+func (p *Prepared) NewSessionContext(ctx context.Context, d *storage.Instance) (*Session, error) {
+	eng, err := p.eng.NewSessionContext(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{prep: p, eng: eng, orig: storage.NewInstance()}
+	if d != nil {
+		// A detached copy of the instance under assessment backs the
+		// departure measures; holding the caller's instance would race
+		// with the caller mutating it.
+		s.orig = d.CloneDetached()
+	}
+	return s, nil
+}
+
+// Session is a live assessment: a saturated contextual instance that
+// grows incrementally via Apply while readers take consistent
+// snapshots. The single-writer/many-readers contract of
+// engine.Session applies.
+type Session struct {
+	prep *Prepared
+	eng  *engine.Session
+	mu   sync.Mutex
+	// orig tracks the instance under assessment (base plus applied
+	// deltas) for the departure measures.
+	orig *storage.Instance
+}
+
+// Apply extends the assessment with a batch of new ground facts —
+// measurements, dimension members, rollups — chasing and re-evaluating
+// incrementally from the delta frontier. It holds the session lock for
+// the whole step, so a concurrent Assessment sees either none or all
+// of the batch (never a contextual snapshot from before the delta
+// paired with measures from after it), and a failed engine apply
+// leaves the measure bookkeeping untouched.
+func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*engine.ApplyResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.eng.Apply(ctx, delta)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range delta {
+		if _, ok := s.prep.versions[a.Pred]; ok {
+			if _, err := s.orig.InsertAtom(a); err != nil {
+				return nil, err
+			}
 		}
 	}
+	return res, nil
+}
 
+// Snapshot returns a frozen, consistent view of the contextual
+// instance as of the last Apply, safe for concurrent readers.
+func (s *Session) Snapshot() *storage.Instance { return s.eng.Snapshot() }
+
+// Assessment materializes the session's current state as the
+// Figure 2 assessment outcome: quality versions, departure measures
+// and accumulated violations over a consistent snapshot.
+func (s *Session) Assessment() (*Assessment, error) {
+	// The lock pairs the engine snapshot with the measure bookkeeping
+	// atomically against Apply.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	final := s.eng.Snapshot()
 	out := &Assessment{
 		Contextual:  final,
 		Versions:    map[string]*storage.Relation{},
 		Measures:    map[string]Measure{},
-		Violations:  chaseRes.Violations,
+		Violations:  s.eng.Violations(),
 		versionPred: map[string]string{},
 	}
-	for _, rel := range c.vorder {
-		def := c.versions[rel]
+	for _, rel := range s.prep.vorder {
+		def := s.prep.versions[rel]
 		out.versionPred[rel] = def.pred
 		vrel := final.Relation(def.pred)
-		orig := d.Relation(rel)
+		orig := s.orig.Relation(rel)
 		// Expose the version under the original relation's attribute
 		// names (derived relations otherwise get synthetic a0..aN).
 		attrs := []string{}
@@ -246,6 +361,38 @@ func (c *Context) Assess(d *storage.Instance) (*Assessment, error) {
 		}
 	}
 	return out, nil
+}
+
+// Assess runs the full Figure 2 pipeline on the instance under
+// assessment:
+//
+//  1. compile the ontology (dimension predicates + categorical data),
+//  2. merge D and the external sources into the context,
+//  3. chase the dimensional rules (data generation via navigation),
+//  4. evaluate mappings, quality predicates and quality versions,
+//  5. compute departure measures.
+//
+// Compilation (step 1) is cached across calls; each call merges into
+// a private clone, so successive assessments never contaminate each
+// other or the inputs. Assess is a one-shot session — long-lived
+// callers use Prepare/NewSession directly and Apply deltas instead of
+// re-assessing from scratch.
+func (c *Context) Assess(d *storage.Instance) (*Assessment, error) {
+	return c.AssessContext(context.Background(), d)
+}
+
+// AssessContext is Assess with cancellation, checked once per chase
+// round and eval stratum round.
+func (c *Context) AssessContext(ctx context.Context, d *storage.Instance) (*Assessment, error) {
+	p, err := c.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	s, err := p.NewSessionContext(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	return s.Assessment()
 }
 
 // measure computes |D|, |D^q| and their positional intersection.

@@ -18,6 +18,9 @@ type Instance struct {
 	relations map[string]*Relation
 	order     []string // creation order, for deterministic iteration
 	in        *datalog.Interner
+	// frozen marks an immutable snapshot (see Snapshot): relation
+	// creation and every tuple mutation fail.
+	frozen bool
 }
 
 // NewInstance returns an empty instance.
@@ -36,6 +39,9 @@ func (db *Instance) CreateRelation(name string, attrs ...string) (*Relation, err
 			return nil, fmt.Errorf("storage: relation %s already exists with arity %d", name, rel.Schema().Arity())
 		}
 		return rel, nil
+	}
+	if db.frozen {
+		return nil, fmt.Errorf("storage: cannot create relation %s in a frozen snapshot", name)
 	}
 	rel := newRelation(Schema{Name: name, Attrs: attrs}, db.in)
 	db.relations[name] = rel
@@ -164,6 +170,35 @@ func (db *Instance) Clone() *Instance {
 	}
 	return out
 }
+
+// Snapshot returns a frozen, immutable view of the instance that
+// shares tuple storage with the live relations (copy-on-write: the
+// first mutation of a live relation after a snapshot copies its
+// storage, so the snapshot's view never changes). The snapshot gets a
+// forked interner, so concurrent readers of the snapshot never race
+// with a writer interning new terms into the live instance. Taking a
+// snapshot is O(relations + interned terms), independent of the number
+// of tuples.
+//
+// Concurrency contract: Snapshot must be called from the (single)
+// writer goroutine — or with the writer quiescent — after which the
+// snapshot may be read freely from any number of goroutines while the
+// writer keeps mutating the live instance.
+func (db *Instance) Snapshot() *Instance {
+	out := &Instance{
+		relations: make(map[string]*Relation, len(db.relations)),
+		order:     append([]string(nil), db.order...),
+		in:        db.in.Fork(),
+		frozen:    true,
+	}
+	for _, name := range db.order {
+		out.relations[name] = db.relations[name].snapshot(out.in)
+	}
+	return out
+}
+
+// Frozen reports whether the instance is an immutable snapshot.
+func (db *Instance) Frozen() bool { return db.frozen }
 
 // CloneDetached returns a deep copy with its own forked interner: the
 // clone can intern new symbols (invented nulls, derived constants)

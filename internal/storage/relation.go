@@ -52,6 +52,57 @@ type Relation struct {
 	// instead of two per tuple.
 	rowArena  datalog.Int32Arena
 	termArena datalog.Arena[datalog.Term]
+	// frozen marks an immutable snapshot relation: every mutating
+	// method fails. Snapshots share tuple storage with the live
+	// relation they were taken from (see Instance.Snapshot).
+	frozen bool
+	// shared marks a live relation whose storage is shared with at
+	// least one snapshot: the first mutation after a snapshot replaces
+	// the shared storage with a private copy (copy-on-write), so the
+	// snapshot's view never changes.
+	shared bool
+}
+
+// errFrozen is returned (or panicked, for methods without an error
+// path) by mutating methods on frozen snapshot relations.
+func errFrozen(name string) error {
+	return fmt.Errorf("storage: relation %s is a frozen snapshot", name)
+}
+
+// ensureOwned implements the copy-on-write step: if the relation's
+// storage is shared with a snapshot, replace it with a private deep
+// copy before the first mutation. Slices and maps the snapshot holds
+// are never touched again by this relation afterwards.
+func (r *Relation) ensureOwned() {
+	if !r.shared {
+		return
+	}
+	c := r.Clone()
+	r.tuples, r.rows, r.buckets, r.indexes = c.tuples, c.rows, c.buckets, c.indexes
+	// Old arena chunks stay referenced by the snapshot's rows; fresh
+	// chunks keep the writer's new tuples fully private.
+	r.rowArena = datalog.Int32Arena{}
+	r.termArena = datalog.Arena[datalog.Term]{}
+	r.shared = false
+}
+
+// Frozen reports whether the relation is an immutable snapshot.
+func (r *Relation) Frozen() bool { return r.frozen }
+
+// snapshot returns a frozen view sharing this relation's storage, and
+// flips the live relation into copy-on-write mode. in is the forked
+// interner the snapshot resolves terms against.
+func (r *Relation) snapshot(in *datalog.Interner) *Relation {
+	r.shared = true
+	return &Relation{
+		schema:  r.schema,
+		in:      in,
+		tuples:  r.tuples,
+		rows:    r.rows,
+		buckets: r.buckets,
+		indexes: r.indexes,
+		frozen:  true,
+	}
 }
 
 // NewRelation creates an empty relation with a private interner. Use
@@ -120,6 +171,9 @@ func (r *Relation) appendRow(ids []int32, terms []datalog.Term) {
 // Insert adds a ground tuple. It returns true if the tuple was new, and
 // an error on arity mismatch or non-ground terms.
 func (r *Relation) Insert(tuple []datalog.Term) (bool, error) {
+	if r.frozen {
+		return false, errFrozen(r.schema.Name)
+	}
 	if len(tuple) != r.schema.Arity() {
 		return false, fmt.Errorf("storage: %s expects %d attributes, got %d", r.schema.Name, r.schema.Arity(), len(tuple))
 	}
@@ -133,6 +187,7 @@ func (r *Relation) Insert(tuple []datalog.Term) (bool, error) {
 	if _, dup := r.lookupRow(ids); dup {
 		return false, nil
 	}
+	r.ensureOwned()
 	r.appendRow(r.rowArena.Copy(ids), r.termArena.Copy(tuple))
 	return true, nil
 }
@@ -141,6 +196,9 @@ func (r *Relation) Insert(tuple []datalog.Term) (bool, error) {
 // from this relation's interner; the slice is copied. It reports
 // whether the row was new.
 func (r *Relation) InsertRow(ids []int32) (bool, error) {
+	if r.frozen {
+		return false, errFrozen(r.schema.Name)
+	}
 	if len(ids) != r.schema.Arity() {
 		return false, fmt.Errorf("storage: %s expects %d attributes, got %d", r.schema.Name, r.schema.Arity(), len(ids))
 	}
@@ -155,6 +213,7 @@ func (r *Relation) InsertRow(ids []int32) (bool, error) {
 	if _, dup := r.lookupRow(ids); dup {
 		return false, nil
 	}
+	r.ensureOwned()
 	stored := r.rowArena.Copy(ids)
 	var tbuf [16]datalog.Term
 	terms := r.in.Terms(stored, tbuf[:0])
@@ -201,6 +260,9 @@ func (r *Relation) Row(i int) []int32 { return r.rows[i] }
 // Deletion rebuilds the relation's indexes; it is intended for
 // low-frequency cleaning operations, not hot loops.
 func (r *Relation) Delete(tuple []datalog.Term) bool {
+	if r.frozen {
+		panic(errFrozen(r.schema.Name))
+	}
 	if len(tuple) != r.schema.Arity() {
 		return false
 	}
@@ -217,6 +279,7 @@ func (r *Relation) Delete(tuple []datalog.Term) bool {
 	if !ok {
 		return false
 	}
+	r.ensureOwned()
 	r.tuples = append(r.tuples[:idx], r.tuples[idx+1:]...)
 	r.rebuild()
 	return true
@@ -283,6 +346,9 @@ func (r *Relation) ReplaceTerm(old, new datalog.Term) int {
 // it so one merge cascade triggers one rebuild instead of one per
 // merge.
 func (r *Relation) ReplaceTerms(repl map[datalog.Term]datalog.Term) int {
+	if r.frozen {
+		panic(errFrozen(r.schema.Name))
+	}
 	if len(repl) == 0 {
 		return 0
 	}
@@ -300,6 +366,7 @@ func (r *Relation) ReplaceTerms(repl map[datalog.Term]datalog.Term) int {
 	if len(resolved) == 0 {
 		return 0
 	}
+	r.ensureOwned()
 	changed := 0
 	for _, tup := range r.tuples {
 		touched := false
