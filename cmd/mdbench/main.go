@@ -18,11 +18,11 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/bench"
+	"repro/mdqa"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment ID to run (default: all); one of "+strings.Join(bench.IDs(), ","))
+	exp := flag.String("exp", "", "experiment ID to run (default: all); one of "+strings.Join(mdqa.ExperimentIDs(), ","))
 	scale := flag.String("scale", "", "comma-separated base sizes for an extended C1 scaling sweep")
 	benchJSON := flag.String("benchjson", "", "write the scaling benchmarks (name -> ns/op, allocs/op) to this JSON file; used to track the perf trajectory across PRs")
 	flag.Parse()
@@ -43,14 +43,14 @@ func main() {
 		return
 	}
 
-	experiments := bench.All()
+	experiments := mdqa.Experiments()
 	if *exp != "" {
-		e, ok := bench.ByID(*exp)
+		e, ok := mdqa.ExperimentByID(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mdbench: unknown experiment %q (have %s)\n", *exp, strings.Join(bench.IDs(), ", "))
+			fmt.Fprintf(os.Stderr, "mdbench: unknown experiment %q (have %s)\n", *exp, strings.Join(mdqa.ExperimentIDs(), ", "))
 			os.Exit(1)
 		}
-		experiments = []bench.Experiment{e}
+		experiments = []mdqa.Experiment{e}
 	}
 	failed := 0
 	for _, e := range experiments {
@@ -69,16 +69,16 @@ func main() {
 }
 
 func runBenchJSON(path string) error {
-	results, err := bench.RunPerf([]int{100, 400, 1600})
+	results, err := mdqa.RunPerf([]int{100, 400, 1600})
 	if err != nil {
 		return err
 	}
-	for _, name := range bench.PerfNames(results) {
+	for _, name := range mdqa.PerfNames(results) {
 		r := results[name]
 		fmt.Printf("%-40s  %12d ns/op  %9d allocs/op  %10d B/op\n",
 			name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
 	}
-	if err := bench.WritePerfJSON(path, results); err != nil {
+	if err := mdqa.WritePerfJSON(path, results); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
@@ -94,7 +94,7 @@ func runScale(spec string) error {
 		}
 		sizes = append(sizes, n)
 	}
-	rows, err := bench.RunScaling(sizes)
+	rows, err := mdqa.RunScaling(sizes)
 	if err != nil {
 		return err
 	}

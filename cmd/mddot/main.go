@@ -15,9 +15,7 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/hospital"
-	"repro/internal/parser"
+	"repro/mdqa"
 )
 
 func main() {
@@ -25,9 +23,9 @@ func main() {
 	dim := flag.String("dim", "", "export only the named dimension")
 	flag.Parse()
 
-	var o *core.Ontology
+	var o *mdqa.Ontology
 	if flag.NArg() > 0 {
-		f, err := parser.ParseFile(flag.Arg(0))
+		f, err := mdqa.ParseFile(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mddot:", err)
 			os.Exit(1)
@@ -43,9 +41,9 @@ func main() {
 // emit writes the DOT rendering of the ontology's dimensions (the
 // built-in hospital example when o is nil), optionally restricted to
 // one dimension.
-func emit(o *core.Ontology, dim string, members bool, w io.Writer) error {
+func emit(o *mdqa.Ontology, dim string, members bool, w io.Writer) error {
 	if o == nil {
-		o = hospital.NewOntology(hospital.Options{WithRuleNine: true, WithConstraints: true})
+		o = mdqa.HospitalOntology(mdqa.HospitalOptions{WithRuleNine: true, WithConstraints: true})
 	}
 	names := o.Dimensions()
 	if dim != "" {

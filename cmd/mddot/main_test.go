@@ -7,7 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/parser"
+	"repro/mdqa"
 )
 
 func TestEmitHospitalDefault(t *testing.T) {
@@ -48,10 +48,10 @@ func TestEmitUnknownDimension(t *testing.T) {
 
 func TestEmitFromFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "h.mdq")
-	if err := os.WriteFile(path, []byte(parser.FormatHospitalExample()), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(mdqa.HospitalExampleSource()), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	f, err := parser.ParseFile(path)
+	f, err := mdqa.ParseFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,42 +16,42 @@
 //	mdq example -quality             # ... with the Example 7 context
 //
 // With no query name, every named query in the file is answered.
+//
+// The command is a thin shell over the public repro/mdqa facade; every
+// operation honors interrupt-driven cancellation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
-	"repro/internal/chase"
-	"repro/internal/core"
-	"repro/internal/datalog"
-	"repro/internal/parser"
-	"repro/internal/qa"
-	"repro/internal/quality"
-	"repro/internal/rewrite"
-	"repro/internal/storage"
+	"repro/mdqa"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "mdq:", err)
 		os.Exit(1)
 	}
 }
 
 // run dispatches the CLI; out receives all normal output.
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) < 1 {
 		return usageError()
 	}
 	cmd := args[0]
 	if cmd == "example" {
 		if len(args) > 1 && args[1] == "-quality" {
-			fmt.Fprint(out, parser.FormatHospitalQualityExample())
+			fmt.Fprint(out, mdqa.HospitalQualityExampleSource())
 		} else {
-			fmt.Fprint(out, parser.FormatHospitalExample())
+			fmt.Fprint(out, mdqa.HospitalExampleSource())
 		}
 		return nil
 	}
@@ -60,7 +60,7 @@ func run(args []string, out io.Writer) error {
 	}
 	path := args[1]
 	rest := args[2:]
-	file, err := parser.ParseFile(path)
+	file, err := mdqa.ParseFile(path)
 	if err != nil {
 		return err
 	}
@@ -70,15 +70,15 @@ func run(args []string, out io.Writer) error {
 	case "classify":
 		return classify(file, out)
 	case "chase":
-		return runChase(file, out)
+		return runChase(ctx, file, out)
 	case "check":
-		return check(file, out)
+		return check(ctx, file, out)
 	case "query":
-		return runQuery(file, rest, out)
+		return runQuery(ctx, file, rest, out)
 	case "assess":
-		return assess(file, out)
+		return assess(ctx, file, out)
 	case "clean":
-		return cleanAnswer(file, rest, out)
+		return cleanAnswer(ctx, file, rest, out)
 	default:
 		return usageError()
 	}
@@ -88,7 +88,7 @@ func usageError() error {
 	return fmt.Errorf("usage: mdq <describe|classify|chase|check|query|assess|clean|example> [file.mdq] [args]")
 }
 
-func describe(f *parser.File, out io.Writer) error {
+func describe(f *mdqa.File, out io.Writer) error {
 	fmt.Fprint(out, f.Ontology.Summary())
 	if len(f.Queries) > 0 {
 		fmt.Fprintln(out, "Queries:")
@@ -96,7 +96,7 @@ func describe(f *parser.File, out io.Writer) error {
 			fmt.Fprintf(out, "  %s\n", nq.Query)
 		}
 	}
-	if f.HasContext() {
+	if mdqa.HasQualityContext(f) {
 		c := f.Context
 		fmt.Fprintf(out, "Quality context: %d input tuples, %d mappings, %d quality rules, %d versions\n",
 			c.Input.TotalTuples(), len(c.Mappings), len(c.QualityRules), len(c.Versions))
@@ -107,8 +107,8 @@ func describe(f *parser.File, out io.Writer) error {
 	return nil
 }
 
-func classify(f *parser.File, out io.Writer) error {
-	comp, err := f.Ontology.Compile(core.CompileOptions{ReferentialNCs: true})
+func classify(f *mdqa.File, out io.Writer) error {
+	comp, err := f.Ontology.Compile(mdqa.CompileOptions{ReferentialNCs: true})
 	if err != nil {
 		return err
 	}
@@ -125,12 +125,12 @@ func classify(f *parser.File, out io.Writer) error {
 	return nil
 }
 
-func runChase(f *parser.File, out io.Writer) error {
-	comp, err := f.Ontology.Compile(core.CompileOptions{})
+func runChase(ctx context.Context, f *mdqa.File, out io.Writer) error {
+	comp, err := f.Ontology.Compile(mdqa.CompileOptions{})
 	if err != nil {
 		return err
 	}
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := mdqa.Chase(ctx, comp, mdqa.ChaseOptions{})
 	if err != nil {
 		return err
 	}
@@ -142,17 +142,17 @@ func runChase(f *parser.File, out io.Writer) error {
 			continue
 		}
 		fmt.Fprintln(out)
-		fmt.Fprint(out, storage.FormatRelationSorted(rel))
+		fmt.Fprint(out, mdqa.FormatRelationSorted(rel))
 	}
 	return nil
 }
 
-func check(f *parser.File, out io.Writer) error {
-	comp, err := f.Ontology.Compile(core.CompileOptions{ReferentialNCs: true})
+func check(ctx context.Context, f *mdqa.File, out io.Writer) error {
+	comp, err := f.Ontology.Compile(mdqa.CompileOptions{ReferentialNCs: true})
 	if err != nil {
 		return err
 	}
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := mdqa.Chase(ctx, comp, mdqa.ChaseOptions{})
 	if err != nil {
 		return err
 	}
@@ -167,14 +167,18 @@ func check(f *parser.File, out io.Writer) error {
 	return nil
 }
 
-func runQuery(f *parser.File, args []string, out io.Writer) error {
+func runQuery(ctx context.Context, f *mdqa.File, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	fs.SetOutput(out)
-	engine := fs.String("engine", "det", "answering engine: chase, det, or rewrite")
+	engineName := fs.String("engine", "det", "answering engine: chase, det, or rewrite")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	comp, err := f.Ontology.Compile(core.CompileOptions{})
+	engine, err := mdqa.QueryEngineByName(*engineName)
+	if err != nil {
+		return err
+	}
+	comp, err := f.Ontology.Compile(mdqa.CompileOptions{})
 	if err != nil {
 		return err
 	}
@@ -184,23 +188,16 @@ func runQuery(f *parser.File, args []string, out io.Writer) error {
 		if q == nil {
 			return fmt.Errorf("no query named %s", fs.Arg(0))
 		}
-		queries = []parser.NamedQuery{{Name: fs.Arg(0), Query: q}}
+		queries = []mdqa.NamedQuery{{Name: fs.Arg(0), Query: q}}
 	}
 	if len(queries) == 0 {
 		return fmt.Errorf("the file declares no queries")
 	}
 	for _, nq := range queries {
-		var as *datalog.AnswerSet
-		switch *engine {
-		case "chase":
-			as, err = qa.CertainAnswersViaChase(comp.Program, comp.Instance, nq.Query, qa.ChaseOptions{AllowViolations: true})
-		case "det":
-			as, err = qa.Answer(comp.Program, comp.Instance, nq.Query, qa.Options{})
-		case "rewrite":
-			as, err = rewrite.Answer(comp.Program, comp.Instance, nq.Query, rewrite.Options{})
-		default:
-			return fmt.Errorf("unknown engine %q (chase, det, rewrite)", *engine)
-		}
+		as, err := mdqa.CertainAnswers(ctx, comp, nq.Query, mdqa.AnswerOptions{
+			Engine:          engine,
+			AllowViolations: true,
+		})
 		if err != nil {
 			return fmt.Errorf("query %s: %w", nq.Name, err)
 		}
@@ -209,41 +206,35 @@ func runQuery(f *parser.File, args []string, out io.Writer) error {
 	return nil
 }
 
-// assessFile runs the quality pipeline through the prepared-session
-// layer (the cold path is a one-shot session); shared by assess and
-// clean.
-func assessFile(f *parser.File) (*quality.Assessment, error) {
-	if !f.HasContext() {
+// assessFile runs the quality pipeline through the facade's prepared
+// session layer; shared by assess and clean.
+func assessFile(ctx context.Context, f *mdqa.File) (*mdqa.Assessment, error) {
+	if !mdqa.HasQualityContext(f) {
 		return nil, fmt.Errorf("the file declares no quality context (input/mapping/quality/version statements)")
 	}
-	ctx, err := f.BuildContext()
+	qc, err := mdqa.NewContextFromFile(f)
 	if err != nil {
 		return nil, err
 	}
-	prep, err := ctx.Prepare()
-	if err != nil {
-		return nil, err
-	}
-	sess, err := prep.NewSession(f.Context.Input)
-	if err != nil {
-		return nil, err
-	}
-	return sess.Assessment()
+	return qc.Assess(ctx, mdqa.InputInstance(f))
 }
 
-func assess(f *parser.File, out io.Writer) error {
-	a, err := assessFile(f)
+func assess(ctx context.Context, f *mdqa.File, out io.Writer) error {
+	a, err := assessFile(ctx, f)
 	if err != nil {
 		return err
 	}
-	for _, v := range a.Violations {
+	for _, v := range a.Violations() {
 		fmt.Fprintln(out, "violation:", v)
 	}
 	for _, spec := range f.Context.Versions {
-		rel := a.Versions[spec.Original]
+		rel, err := a.Version(spec.Original)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "quality version of %s:\n", spec.Original)
-		fmt.Fprint(out, storage.FormatRelationSorted(rel))
-		if m, ok := a.Measures[spec.Original]; ok {
+		fmt.Fprint(out, mdqa.FormatRelationSorted(rel))
+		if m, ok := a.Measures()[spec.Original]; ok {
 			fmt.Fprintf(out, "measure: |D|=%d |D_q|=%d clean-fraction=%.3f distance=%.3f\n\n",
 				m.Original, m.Quality, m.CleanFraction(), m.Distance())
 		}
@@ -251,8 +242,8 @@ func assess(f *parser.File, out io.Writer) error {
 	return nil
 }
 
-func cleanAnswer(f *parser.File, args []string, out io.Writer) error {
-	a, err := assessFile(f)
+func cleanAnswer(ctx context.Context, f *mdqa.File, args []string, out io.Writer) error {
+	a, err := assessFile(ctx, f)
 	if err != nil {
 		return err
 	}
@@ -262,17 +253,38 @@ func cleanAnswer(f *parser.File, args []string, out io.Writer) error {
 		if q == nil {
 			return fmt.Errorf("no query named %s", args[0])
 		}
-		queries = []parser.NamedQuery{{Name: args[0], Query: q}}
+		queries = []mdqa.NamedQuery{{Name: args[0], Query: q}}
 	}
 	if len(queries) == 0 {
 		return fmt.Errorf("the file declares no queries")
 	}
+	// Stream the clean answers off the assessment's snapshot; answers
+	// are sorted via the materialized set only for stable CLI output.
+	snap := a.Snapshot()
 	for _, nq := range queries {
-		as, err := a.CleanAnswer(nq.Query)
+		as, err := collectAnswers(snap.CleanAnswers(nq.Query))
 		if err != nil {
 			return fmt.Errorf("query %s: %w", nq.Name, err)
 		}
-		fmt.Fprintf(out, "%s -> clean answers (%d):\n%s", a.RewriteClean(nq.Query), as.Len(), as)
+		fmt.Fprintf(out, "%s -> clean answers (%d):\n%s", snap.RewriteClean(nq.Query), as.Len(), as)
 	}
 	return nil
+}
+
+// collectAnswers drains a streamed answer sequence into a set.
+func collectAnswers(seq func(func(mdqa.Answer, error) bool)) (*mdqa.AnswerSet, error) {
+	var streamErr error
+	as := mdqa.NewAnswerSet()
+	seq(func(ans mdqa.Answer, err error) bool {
+		if err != nil {
+			streamErr = err
+			return false
+		}
+		as.Add(ans)
+		return true
+	})
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	return as, nil
 }

@@ -2,21 +2,26 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
-	"repro/internal/parser"
+	"repro/mdqa"
 )
+
+// update regenerates the golden files: go test ./cmd/mdq -update
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // writeExample writes the built-in hospital example (optionally with
 // the quality context) to a temp file.
 func writeExample(t *testing.T, quality bool) string {
 	t.Helper()
-	src := parser.FormatHospitalExample()
+	src := mdqa.HospitalExampleSource()
 	if quality {
-		src = parser.FormatHospitalQualityExample()
+		src = mdqa.HospitalQualityExampleSource()
 	}
 	path := filepath.Join(t.TempDir(), "hospital.mdq")
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
@@ -29,10 +34,33 @@ func writeExample(t *testing.T, quality bool) string {
 func runCLI(t *testing.T, args ...string) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatalf("mdq %v: %v\noutput:\n%s", args, err, buf.String())
 	}
 	return buf.String()
+}
+
+// checkGolden compares output against testdata/<name>.golden,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test ./cmd/mdq -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
 }
 
 func TestExampleCommand(t *testing.T) {
@@ -50,22 +78,36 @@ func TestExampleCommand(t *testing.T) {
 		t.Error("-quality example must include the version definition")
 	}
 	// The emitted examples must round-trip through the parser.
-	if _, err := parser.Parse(out); err != nil {
+	if _, err := mdqa.ParseSource(out); err != nil {
 		t.Errorf("plain example does not re-parse: %v", err)
 	}
-	if _, err := parser.Parse(withQ); err != nil {
+	if _, err := mdqa.ParseSource(withQ); err != nil {
 		t.Errorf("quality example does not re-parse: %v", err)
 	}
 }
 
-func TestDescribeCommand(t *testing.T) {
-	path := writeExample(t, true)
-	out := runCLI(t, "describe", path)
-	for _, want := range []string{"Hospital", "PatientWard", "upward", "Quality context", "Upward-only: false"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("describe missing %q:\n%s", want, out)
-		}
-	}
+// The golden tests pin the full CLI output of every subcommand over
+// the built-in example, so facade-level regressions (ordering,
+// formatting, measure arithmetic) surface as diffs.
+
+func TestDescribeGolden(t *testing.T) {
+	checkGolden(t, "describe", runCLI(t, "describe", writeExample(t, true)))
+}
+
+func TestChaseGolden(t *testing.T) {
+	checkGolden(t, "chase", runCLI(t, "chase", writeExample(t, false)))
+}
+
+func TestCheckGolden(t *testing.T) {
+	checkGolden(t, "check", runCLI(t, "check", writeExample(t, false)))
+}
+
+func TestAssessGolden(t *testing.T) {
+	checkGolden(t, "assess", runCLI(t, "assess", writeExample(t, true)))
+}
+
+func TestCleanGolden(t *testing.T) {
+	checkGolden(t, "clean-answer", runCLI(t, "clean", writeExample(t, true)))
 }
 
 func TestClassifyCommand(t *testing.T) {
@@ -136,26 +178,33 @@ func TestCleanCommand(t *testing.T) {
 }
 
 func TestErrorPaths(t *testing.T) {
-	if err := run(nil, &bytes.Buffer{}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, nil, &bytes.Buffer{}); err == nil {
 		t.Error("no args must error")
 	}
-	if err := run([]string{"describe"}, &bytes.Buffer{}); err == nil {
+	if err := run(ctx, []string{"describe"}, &bytes.Buffer{}); err == nil {
 		t.Error("missing file must error")
 	}
-	if err := run([]string{"bogus", "x.mdq"}, &bytes.Buffer{}); err == nil {
+	if err := run(ctx, []string{"bogus", "x.mdq"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown command must error")
 	}
-	if err := run([]string{"describe", "/nonexistent.mdq"}, &bytes.Buffer{}); err == nil {
+	if err := run(ctx, []string{"describe", "/nonexistent.mdq"}, &bytes.Buffer{}); err == nil {
 		t.Error("missing file must error")
 	}
 	plain := writeExample(t, false)
-	if err := run([]string{"assess", plain}, &bytes.Buffer{}); err == nil {
+	if err := run(ctx, []string{"assess", plain}, &bytes.Buffer{}); err == nil {
 		t.Error("assess without a context must error")
 	}
-	if err := run([]string{"query", plain, "nope"}, &bytes.Buffer{}); err == nil {
+	if err := run(ctx, []string{"query", plain, "nope"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown query name must error")
 	}
-	if err := run([]string{"query", plain, "-engine", "warp", "marks"}, &bytes.Buffer{}); err == nil {
+	if err := run(ctx, []string{"query", plain, "-engine", "warp", "marks"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown engine must error")
+	}
+	// Cancellation propagates into long-running subcommands.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(cancelled, []string{"chase", plain}, &bytes.Buffer{}); err == nil {
+		t.Error("cancelled chase must error")
 	}
 }

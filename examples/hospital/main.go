@@ -1,40 +1,38 @@
 // The paper's running example, end to end: Tables I–V, dimensional
 // navigation (Examples 1, 2, 5, 6), constraint checking, and the
-// quality assessment pipeline of Example 7 / Figure 2.
+// quality assessment pipeline of Example 7 / Figure 2 — entirely
+// through the public mdqa facade.
 //
 // Run with: go run ./examples/hospital
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/chase"
-	"repro/internal/core"
-	"repro/internal/datalog"
-	"repro/internal/eval"
-	"repro/internal/hospital"
-	"repro/internal/qa"
-	"repro/internal/storage"
+	"repro/mdqa"
 )
 
 func main() {
-	fmt.Println("== The original instance D (Table I) ==")
-	d := hospital.MeasurementsInstance()
-	fmt.Print(storage.FormatRelation(d.Relation("Measurements")))
+	ctx := context.Background()
 
-	o := hospital.NewOntology(hospital.Options{WithRuleNine: true, WithConstraints: true})
+	fmt.Println("== The original instance D (Table I) ==")
+	d := mdqa.HospitalMeasurements()
+	fmt.Print(mdqa.FormatRelation(d.Relation("Measurements")))
+
+	o := mdqa.HospitalOntology(mdqa.HospitalOptions{WithRuleNine: true, WithConstraints: true})
 	fmt.Println("\n== The multidimensional context ontology (Fig. 1) ==")
 	fmt.Print(o.Summary())
 
-	comp, err := o.Compile(core.CompileOptions{ReferentialNCs: true})
+	comp, err := o.Compile(mdqa.CompileOptions{ReferentialNCs: true})
 	must(err)
 	fmt.Println("classification:", comp.Report)
 	sep, reason := o.SeparabilityHeuristic()
 	fmt.Printf("EGD separability: %v (%s)\n", sep, reason)
 
 	// Dimensional navigation via the chase (Examples 1, 5, 6).
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := mdqa.Chase(ctx, comp, mdqa.ChaseOptions{})
 	must(err)
 	fmt.Printf("\n== Chase: %d firings, %d nulls, %d violations ==\n",
 		res.Fired, res.NullsCreated, len(res.Violations))
@@ -42,41 +40,43 @@ func main() {
 		fmt.Println("violation:", v)
 	}
 	fmt.Println("\nPatientUnit (upward navigation, rule 7 + rule 9):")
-	fmt.Print(storage.FormatRelationSorted(res.Instance.Relation("PatientUnit")))
+	fmt.Print(mdqa.FormatRelationSorted(res.Instance.Relation("PatientUnit")))
 	fmt.Println("\nShifts (downward navigation, rule 8):")
-	fmt.Print(storage.FormatRelationSorted(res.Instance.Relation("Shifts")))
+	fmt.Print(mdqa.FormatRelationSorted(res.Instance.Relation("Shifts")))
 
 	// Example 5: when does Mark work in W1? (Answer: Sep/9.)
-	q5 := datalog.NewQuery(datalog.A("Q", datalog.V("d")),
-		datalog.A("Shifts", datalog.C("W1"), datalog.V("d"), datalog.C("Mark"), datalog.V("s")))
-	a5, err := qa.Answer(comp.Program, comp.Instance, q5, qa.Options{})
+	q5 := mdqa.NewQuery(mdqa.NewAtom("Q", mdqa.Var("d")),
+		mdqa.NewAtom("Shifts", mdqa.Const("W1"), mdqa.Var("d"), mdqa.Const("Mark"), mdqa.Var("s")))
+	a5, err := mdqa.CertainAnswers(ctx, comp, q5, mdqa.AnswerOptions{})
 	must(err)
 	fmt.Printf("\nExample 5 — Mark's W1 dates: %s", a5)
 
 	// Example 6: Elvis's unit is existential but his discharge
 	// certainly places him in some H2 unit.
-	q6 := datalog.NewQuery(datalog.A("Q"),
-		datalog.A("InstitutionUnit", datalog.C("H2"), datalog.V("u")),
-		datalog.A("PatientUnit", datalog.V("u"), datalog.C("Oct/5"), datalog.V("p")))
-	ok, err := qa.AnswerBool(comp.Program, comp.Instance, q6, qa.Options{})
+	q6 := mdqa.NewQuery(mdqa.NewAtom("Q"),
+		mdqa.NewAtom("InstitutionUnit", mdqa.Const("H2"), mdqa.Var("u")),
+		mdqa.NewAtom("PatientUnit", mdqa.Var("u"), mdqa.Const("Oct/5"), mdqa.Var("p")))
+	ok, err := mdqa.HasCertainAnswer(ctx, comp, q6, mdqa.AnswerOptions{})
 	must(err)
 	fmt.Printf("Example 6 — was someone in an H2 unit on Oct/5? %v\n", ok)
 
 	// Example 7 / Figure 2: quality assessment.
 	fmt.Println("\n== Quality assessment (Example 7, Fig. 2) ==")
-	ctx, err := hospital.QualityContext(hospital.Options{})
+	qc, err := mdqa.HospitalQualityContext(mdqa.HospitalOptions{})
 	must(err)
-	assessment, err := ctx.Assess(d)
+	assessment, err := qc.Assess(ctx, d)
 	must(err)
 
 	fmt.Println("quality version Measurements_q (the paper's Table II):")
-	fmt.Print(storage.FormatRelation(assessment.Versions["Measurements"]))
-	m := assessment.Measures["Measurements"]
+	mq, err := assessment.Version("Measurements")
+	must(err)
+	fmt.Print(mdqa.FormatRelation(mq))
+	m := assessment.Measures()["Measurements"]
 	fmt.Printf("quality measure: clean fraction %.3f, distance %.3f\n",
 		m.CleanFraction(), m.Distance())
 
-	doctor := hospital.DoctorQuery()
-	raw, err := eval.EvalQuery(doctor, assessment.Contextual)
+	doctor := mdqa.HospitalDoctorQuery()
+	raw, err := mdqa.EvalQuery(doctor, assessment.Contextual())
 	must(err)
 	clean, err := assessment.CleanAnswer(doctor)
 	must(err)

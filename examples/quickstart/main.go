@@ -1,29 +1,28 @@
 // Quickstart: build a small multidimensional ontology in code, chase
-// it, and answer a query through dimensional navigation.
+// it, and answer a query through dimensional navigation — entirely
+// through the public mdqa facade.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/chase"
-	"repro/internal/core"
-	"repro/internal/datalog"
-	"repro/internal/hm"
-	"repro/internal/qa"
-	"repro/internal/storage"
+	"repro/mdqa"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. A two-level dimension: City -> Country.
-	schema := hm.NewDimensionSchema("Geo")
+	schema := mdqa.NewDimensionSchema("Geo")
 	schema.MustAddCategory("City")
 	schema.MustAddCategory("Country")
 	schema.MustAddEdge("City", "Country")
 
-	geo := hm.NewDimension(schema)
+	geo := mdqa.NewDimension(schema)
 	geo.MustAddMember("Country", "Canada")
 	geo.MustAddMember("Country", "Chile")
 	for city, country := range map[string]string{
@@ -35,45 +34,46 @@ func main() {
 
 	// 2. A categorical relation at the City level with sales data,
 	//    and a virtual relation at the Country level.
-	o := core.NewOntology()
+	o := mdqa.NewOntology()
 	must(o.AddDimension(geo))
-	must(o.AddRelation(core.NewCategoricalRelation("CitySales",
-		core.Cat("City", "Geo", "City"),
-		core.NonCat("Item"))))
-	must(o.AddRelation(core.NewCategoricalRelation("CountrySales",
-		core.Cat("Country", "Geo", "Country"),
-		core.NonCat("Item"))))
+	must(o.AddRelation(mdqa.NewCategoricalRelation("CitySales",
+		mdqa.Cat("City", "Geo", "City"),
+		mdqa.NonCat("Item"))))
+	must(o.AddRelation(mdqa.NewCategoricalRelation("CountrySales",
+		mdqa.Cat("Country", "Geo", "Country"),
+		mdqa.NonCat("Item"))))
 	o.MustAddFact("CitySales", "Ottawa", "skates")
 	o.MustAddFact("CitySales", "Toronto", "maple syrup")
 	o.MustAddFact("CitySales", "Santiago", "wine")
 
 	// 3. An upward dimensional rule (the paper's rule (7) pattern):
 	//    CountrySales(c, i) <- CitySales(w, i), CountryCity(c, w).
-	o.MustAddRule(datalog.NewTGD("up",
-		[]datalog.Atom{datalog.A("CountrySales", datalog.V("c"), datalog.V("i"))},
-		[]datalog.Atom{
-			datalog.A("CitySales", datalog.V("w"), datalog.V("i")),
-			datalog.A(hm.RollupPredName("City", "Country"), datalog.V("c"), datalog.V("w")),
+	o.MustAddRule(mdqa.NewTGD("up",
+		[]mdqa.Atom{mdqa.NewAtom("CountrySales", mdqa.Var("c"), mdqa.Var("i"))},
+		[]mdqa.Atom{
+			mdqa.NewAtom("CitySales", mdqa.Var("w"), mdqa.Var("i")),
+			mdqa.NewAtom(mdqa.RollupPredName("City", "Country"), mdqa.Var("c"), mdqa.Var("w")),
 		}))
 
 	// 4. Compile to Datalog± and inspect the classification.
-	comp, err := o.Compile(core.CompileOptions{ReferentialNCs: true})
+	comp, err := o.Compile(mdqa.CompileOptions{ReferentialNCs: true})
 	must(err)
 	fmt.Println("ontology summary:")
 	fmt.Print(o.Summary())
 	fmt.Println("classification:", comp.Report)
 
 	// 5. Chase: materialize the upward navigation.
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := mdqa.Chase(ctx, comp, mdqa.ChaseOptions{})
 	must(err)
 	fmt.Printf("\nchase: %d firings, saturated=%v\n\n", res.Fired, res.Saturated)
-	fmt.Print(storage.FormatRelationSorted(res.Instance.Relation("CountrySales")))
+	fmt.Print(mdqa.FormatRelationSorted(res.Instance.Relation("CountrySales")))
 
-	// 6. Query with DeterministicWSQAns — no materialization needed.
-	q := datalog.NewQuery(
-		datalog.A("Q", datalog.V("i")),
-		datalog.A("CountrySales", datalog.C("Canada"), datalog.V("i")))
-	answers, err := qa.Answer(comp.Program, comp.Instance, q, qa.Options{})
+	// 6. Query with the deterministic top-down engine — no
+	//    materialization needed.
+	q := mdqa.NewQuery(
+		mdqa.NewAtom("Q", mdqa.Var("i")),
+		mdqa.NewAtom("CountrySales", mdqa.Const("Canada"), mdqa.Var("i")))
+	answers, err := mdqa.CertainAnswers(ctx, comp, q, mdqa.AnswerOptions{})
 	must(err)
 	fmt.Printf("\nitems sold in Canada (via top-down QA):\n%s", answers)
 }

@@ -1,32 +1,31 @@
 // Retail OLAP: summarizability checking, upward navigation for
 // roll-up reporting, and EGD-based entity resolution with labeled
 // nulls — the classic HM/OLAP setting the multidimensional model comes
-// from (Section II of the paper).
+// from (Section II of the paper), driven through the public mdqa
+// facade.
 //
 // Run with: go run ./examples/retail
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/chase"
-	"repro/internal/core"
-	"repro/internal/datalog"
-	"repro/internal/hm"
-	"repro/internal/rewrite"
-	"repro/internal/storage"
+	"repro/mdqa"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Location dimension: Store -> City -> Country.
-	ls := hm.NewDimensionSchema("Location")
+	ls := mdqa.NewDimensionSchema("Location")
 	for _, c := range []string{"Store", "City", "Country"} {
 		ls.MustAddCategory(c)
 	}
 	ls.MustAddEdge("Store", "City")
 	ls.MustAddEdge("City", "Country")
-	loc := hm.NewDimension(ls)
+	loc := mdqa.NewDimension(ls)
 	loc.MustAddMember("Country", "Canada")
 	for city, stores := range map[string][]string{
 		"Ottawa":  {"OTT-1", "OTT-2"},
@@ -54,17 +53,17 @@ func main() {
 	loc.MustAddRollup("NYC-1", "New York")
 	loc.MustAddRollup("New York", "Canada") // (a data bug to find later)
 
-	o := core.NewOntology()
+	o := mdqa.NewOntology()
 	must(o.AddDimension(loc))
-	must(o.AddRelation(core.NewCategoricalRelation("StoreSales",
-		core.Cat("Store", "Location", "Store"),
-		core.NonCat("SKU"))))
-	must(o.AddRelation(core.NewCategoricalRelation("CitySales",
-		core.Cat("City", "Location", "City"),
-		core.NonCat("SKU"))))
-	must(o.AddRelation(core.NewCategoricalRelation("StoreManager",
-		core.Cat("Store", "Location", "Store"),
-		core.NonCat("Manager"))))
+	must(o.AddRelation(mdqa.NewCategoricalRelation("StoreSales",
+		mdqa.Cat("Store", "Location", "Store"),
+		mdqa.NonCat("SKU"))))
+	must(o.AddRelation(mdqa.NewCategoricalRelation("CitySales",
+		mdqa.Cat("City", "Location", "City"),
+		mdqa.NonCat("SKU"))))
+	must(o.AddRelation(mdqa.NewCategoricalRelation("StoreManager",
+		mdqa.Cat("Store", "Location", "Store"),
+		mdqa.NonCat("Manager"))))
 	for _, row := range [][2]string{
 		{"OTT-1", "skates"}, {"OTT-1", "jersey"}, {"OTT-2", "skates"},
 		{"TOR-1", "jersey"}, {"NYC-1", "bagel"},
@@ -73,22 +72,22 @@ func main() {
 	}
 
 	// Upward navigation rule for city-level reporting.
-	o.MustAddRule(datalog.NewTGD("sales-up",
-		[]datalog.Atom{datalog.A("CitySales", datalog.V("c"), datalog.V("k"))},
-		[]datalog.Atom{
-			datalog.A("StoreSales", datalog.V("s"), datalog.V("k")),
-			datalog.A(hm.RollupPredName("Store", "City"), datalog.V("c"), datalog.V("s")),
+	o.MustAddRule(mdqa.NewTGD("sales-up",
+		[]mdqa.Atom{mdqa.NewAtom("CitySales", mdqa.Var("c"), mdqa.Var("k"))},
+		[]mdqa.Atom{
+			mdqa.NewAtom("StoreSales", mdqa.Var("s"), mdqa.Var("k")),
+			mdqa.NewAtom(mdqa.RollupPredName("Store", "City"), mdqa.Var("c"), mdqa.Var("s")),
 		}))
 
 	// Entity resolution EGD: a store has one manager. Two reports
 	// with a null placeholder merge; genuinely conflicting constants
 	// are flagged, not merged.
-	must(o.AddEGD(datalog.NewEGD("one-manager", datalog.V("m"), datalog.V("m2"), []datalog.Atom{
-		datalog.A("StoreManager", datalog.V("s"), datalog.V("m")),
-		datalog.A("StoreManager", datalog.V("s"), datalog.V("m2")),
+	must(o.AddEGD(mdqa.NewEGD("one-manager", mdqa.Var("m"), mdqa.Var("m2"), []mdqa.Atom{
+		mdqa.NewAtom("StoreManager", mdqa.Var("s"), mdqa.Var("m")),
+		mdqa.NewAtom("StoreManager", mdqa.Var("s"), mdqa.Var("m2")),
 	})))
 
-	comp, err := o.Compile(core.CompileOptions{ReferentialNCs: true})
+	comp, err := o.Compile(mdqa.CompileOptions{ReferentialNCs: true})
 	must(err)
 	fmt.Println("== Ontology ==")
 	fmt.Print(o.Summary())
@@ -96,17 +95,17 @@ func main() {
 	fmt.Println("upward-only:", o.IsUpwardOnly())
 
 	// Stage manager reports: one null placeholder, one conflict.
-	comp.Instance.MustInsert("StoreManager", datalog.C("OTT-1"), datalog.N("unknown0"))
-	comp.Instance.MustInsert("StoreManager", datalog.C("OTT-1"), datalog.C("Maya"))
-	comp.Instance.MustInsert("StoreManager", datalog.C("TOR-1"), datalog.C("Ann"))
-	comp.Instance.MustInsert("StoreManager", datalog.C("TOR-1"), datalog.C("Bob"))
+	comp.Instance.MustInsert("StoreManager", mdqa.Const("OTT-1"), mdqa.Null("unknown0"))
+	comp.Instance.MustInsert("StoreManager", mdqa.Const("OTT-1"), mdqa.Const("Maya"))
+	comp.Instance.MustInsert("StoreManager", mdqa.Const("TOR-1"), mdqa.Const("Ann"))
+	comp.Instance.MustInsert("StoreManager", mdqa.Const("TOR-1"), mdqa.Const("Bob"))
 
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := mdqa.Chase(ctx, comp, mdqa.ChaseOptions{})
 	must(err)
 	fmt.Println("\n== After the chase ==")
-	fmt.Print(storage.FormatRelationSorted(res.Instance.Relation("CitySales")))
+	fmt.Print(mdqa.FormatRelationSorted(res.Instance.Relation("CitySales")))
 	fmt.Println()
-	fmt.Print(storage.FormatRelationSorted(res.Instance.Relation("StoreManager")))
+	fmt.Print(mdqa.FormatRelationSorted(res.Instance.Relation("StoreManager")))
 	fmt.Printf("\nEGD merges: %d (the OTT-1 placeholder resolved to Maya)\n", res.Merged)
 	for _, v := range res.Violations {
 		fmt.Println("violation:", v, "— conflicting managers are reported, not merged")
@@ -114,14 +113,12 @@ func main() {
 
 	// Because the ontology is upward-only, city reports can skip the
 	// chase entirely via FO rewriting.
-	q := datalog.NewQuery(
-		datalog.A("Q", datalog.V("k")),
-		datalog.A("CitySales", datalog.C("Ottawa"), datalog.V("k")))
-	ucq, err := rewrite.Rewrite(comp.Program, q, rewrite.Options{})
+	q := mdqa.NewQuery(
+		mdqa.NewAtom("Q", mdqa.Var("k")),
+		mdqa.NewAtom("CitySales", mdqa.Const("Ottawa"), mdqa.Var("k")))
+	ans, err := mdqa.CertainAnswers(ctx, comp, q, mdqa.AnswerOptions{Engine: mdqa.EngineRewrite})
 	must(err)
-	ans, err := rewrite.Answer(comp.Program, comp.Instance, q, rewrite.Options{})
-	must(err)
-	fmt.Printf("\nOttawa SKUs via FO rewriting (%d disjuncts, no materialization):\n%s", len(ucq), ans)
+	fmt.Printf("\nOttawa SKUs via FO rewriting (no materialization):\n%s", ans)
 }
 
 func must(err error) {

@@ -3,31 +3,31 @@
 // a dimensional rule. Readings qualify only when their sensor belongs
 // to a station that was calibrated in the reading's month — the same
 // context pattern as the paper's Example 7, on a different domain.
+// This example also shows the streaming side of the facade: clean
+// answers are consumed as an iterator off the assessment snapshot.
 //
 // Run with: go run ./examples/sensors
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/datalog"
-	"repro/internal/eval"
-	"repro/internal/hm"
-	"repro/internal/quality"
-	"repro/internal/storage"
+	"repro/mdqa"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Deployment dimension: Sensor -> Station -> Region.
-	ds := hm.NewDimensionSchema("Deployment")
+	ds := mdqa.NewDimensionSchema("Deployment")
 	for _, c := range []string{"Sensor", "Station", "Region"} {
 		ds.MustAddCategory(c)
 	}
 	ds.MustAddEdge("Sensor", "Station")
 	ds.MustAddEdge("Station", "Region")
-	dep := hm.NewDimension(ds)
+	dep := mdqa.NewDimension(ds)
 	dep.MustAddMember("Region", "North")
 	dep.MustAddMember("Region", "South")
 	for station, region := range map[string]string{
@@ -44,11 +44,11 @@ func main() {
 	}
 
 	// Time dimension: Day -> Month.
-	ts := hm.NewDimensionSchema("Time")
+	ts := mdqa.NewDimensionSchema("Time")
 	ts.MustAddCategory("Day")
 	ts.MustAddCategory("Month")
 	ts.MustAddEdge("Day", "Month")
-	tm := hm.NewDimension(ts)
+	tm := mdqa.NewDimension(ts)
 	tm.MustAddMember("Month", "2026-05")
 	tm.MustAddMember("Month", "2026-06")
 	for _, d := range []string{"2026-05-30", "2026-05-31", "2026-06-01", "2026-06-02"} {
@@ -56,36 +56,36 @@ func main() {
 		tm.MustAddRollup(d, d[:7])
 	}
 
-	o := core.NewOntology()
+	o := mdqa.NewOntology()
 	must(o.AddDimension(dep))
 	must(o.AddDimension(tm))
 
-	// SensorAssignment places sensors; Calibrations live at the
-	// Station level and month granularity.
-	must(o.AddRelation(core.NewCategoricalRelation("Calibrated",
-		core.Cat("Station", "Deployment", "Station"),
-		core.Cat("Month", "Time", "Month"))))
-	must(o.AddRelation(core.NewCategoricalRelation("SensorCalibrated",
-		core.Cat("Sensor", "Deployment", "Sensor"),
-		core.Cat("Month", "Time", "Month"))))
+	// Calibrations live at the Station level and month granularity;
+	// SensorCalibrated is virtual, filled by downward navigation.
+	must(o.AddRelation(mdqa.NewCategoricalRelation("Calibrated",
+		mdqa.Cat("Station", "Deployment", "Station"),
+		mdqa.Cat("Month", "Time", "Month"))))
+	must(o.AddRelation(mdqa.NewCategoricalRelation("SensorCalibrated",
+		mdqa.Cat("Sensor", "Deployment", "Sensor"),
+		mdqa.Cat("Month", "Time", "Month"))))
 	o.MustAddFact("Calibrated", "ST1", "2026-06")
 	o.MustAddFact("Calibrated", "ST3", "2026-05")
 
 	// Downward dimensional rule: a station calibration covers every
 	// sensor of the station (the paper's rule (8) pattern, without an
 	// invented attribute).
-	o.MustAddRule(datalog.NewTGD("calib-down",
-		[]datalog.Atom{datalog.A("SensorCalibrated", datalog.V("s"), datalog.V("m"))},
-		[]datalog.Atom{
-			datalog.A("Calibrated", datalog.V("st"), datalog.V("m")),
-			datalog.A(hm.RollupPredName("Sensor", "Station"), datalog.V("st"), datalog.V("s")),
+	o.MustAddRule(mdqa.NewTGD("calib-down",
+		[]mdqa.Atom{mdqa.NewAtom("SensorCalibrated", mdqa.Var("s"), mdqa.Var("m"))},
+		[]mdqa.Atom{
+			mdqa.NewAtom("Calibrated", mdqa.Var("st"), mdqa.Var("m")),
+			mdqa.NewAtom(mdqa.RollupPredName("Sensor", "Station"), mdqa.Var("st"), mdqa.Var("s")),
 		}))
 
 	fmt.Println("== Sensor ontology ==")
 	fmt.Print(o.Summary())
 
 	// Readings under assessment: Readings(Day, Sensor, Value).
-	d := storage.NewInstance()
+	d := mdqa.NewInstance()
 	if _, err := d.CreateRelation("Readings", "Day", "Sensor", "Value"); err != nil {
 		log.Fatal(err)
 	}
@@ -97,40 +97,46 @@ func main() {
 		{"2026-06-02", "Sensor-s4", "18.4"}, // ST3 calibration expired: dirty
 	}
 	for _, r := range rows {
-		d.MustInsert("Readings", datalog.C(r[0]), datalog.C(r[1]), datalog.C(r[2]))
+		d.MustInsert("Readings", mdqa.Const(r[0]), mdqa.Const(r[1]), mdqa.Const(r[2]))
 	}
 	fmt.Println("\n== Readings under assessment ==")
-	fmt.Print(storage.FormatRelation(d.Relation("Readings")))
+	fmt.Print(mdqa.FormatRelation(d.Relation("Readings")))
 
 	// Quality context: a reading is clean when its sensor was
 	// calibrated in the reading's month.
-	ctx := quality.NewContext(o)
-	day, sensor, val, month := datalog.V("d"), datalog.V("s"), datalog.V("v"), datalog.V("m")
-	version := eval.NewRule("readings-q",
-		datalog.A("Readings_q", day, sensor, val),
-		datalog.A("Readings", day, sensor, val),
-		datalog.A(hm.RollupPredName("Day", "Month"), month, day),
-		datalog.A("SensorCalibrated", sensor, month))
-	must(ctx.DefineQualityVersion("Readings", "Readings_q", version))
+	day, sensor, val, month := mdqa.Var("d"), mdqa.Var("s"), mdqa.Var("v"), mdqa.Var("m")
+	version := mdqa.NewRule("readings-q",
+		mdqa.NewAtom("Readings_q", day, sensor, val),
+		mdqa.NewAtom("Readings", day, sensor, val),
+		mdqa.NewAtom(mdqa.RollupPredName("Day", "Month"), month, day),
+		mdqa.NewAtom("SensorCalibrated", sensor, month))
+	qc, err := mdqa.NewContext(o,
+		mdqa.WithQualityVersion("Readings", "Readings_q", version))
+	must(err)
 
-	a, err := ctx.Assess(d)
+	a, err := qc.Assess(ctx, d)
 	must(err)
 	fmt.Println("\n== Quality version (calibrated readings only) ==")
-	fmt.Print(storage.FormatRelation(a.Versions["Readings"]))
-	m := a.Measures["Readings"]
+	rq, err := a.Version("Readings")
+	must(err)
+	fmt.Print(mdqa.FormatRelation(rq))
+	m := a.Measures()["Readings"]
 	fmt.Printf("\nclean fraction: %.2f (3 of 5 readings)\n", m.CleanFraction())
 
-	// Clean query answering: June averages-worthy readings per region
-	// ask for North readings; dimensional navigation resolves sensors
-	// to regions.
-	q := datalog.NewQuery(
-		datalog.A("Q", datalog.V("d"), datalog.V("s"), datalog.V("v")),
-		datalog.A("Readings", datalog.V("d"), datalog.V("s"), datalog.V("v")),
-		datalog.A(hm.RollupPredName("Sensor", "Station"), datalog.V("st"), datalog.V("s")),
-		datalog.A(hm.RollupPredName("Station", "Region"), datalog.C("North"), datalog.V("st")))
-	clean, err := a.CleanAnswer(q)
-	must(err)
-	fmt.Printf("\nclean North-region readings:\n%s", clean)
+	// Clean query answering, streamed: ask for North-region readings;
+	// dimensional navigation resolves sensors to regions, the clean
+	// rewriting answers over Readings_q, and the iterator yields
+	// answers one by one without materializing a set.
+	q := mdqa.NewQuery(
+		mdqa.NewAtom("Q", mdqa.Var("d"), mdqa.Var("s"), mdqa.Var("v")),
+		mdqa.NewAtom("Readings", mdqa.Var("d"), mdqa.Var("s"), mdqa.Var("v")),
+		mdqa.NewAtom(mdqa.RollupPredName("Sensor", "Station"), mdqa.Var("st"), mdqa.Var("s")),
+		mdqa.NewAtom(mdqa.RollupPredName("Station", "Region"), mdqa.Const("North"), mdqa.Var("st")))
+	fmt.Println("\nclean North-region readings (streamed):")
+	for ans, err := range a.Snapshot().CleanAnswers(q) {
+		must(err)
+		fmt.Printf("  %s\n", ans)
+	}
 }
 
 func must(err error) {

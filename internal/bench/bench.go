@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -76,7 +77,7 @@ func RunT2(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	a, err := ctx.Assess(hospital.MeasurementsInstance())
+	a, err := ctx.Assess(context.Background(), hospital.MeasurementsInstance())
 	if err != nil {
 		return err
 	}
@@ -118,7 +119,7 @@ func RunT4(w io.Writer) error {
 	}
 	fmt.Fprint(w, storage.FormatRelation(comp.Instance.Relation("Shifts")))
 
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := chase.Run(context.Background(), comp.Program, comp.Instance, chase.Options{})
 	if err != nil {
 		return err
 	}
@@ -133,13 +134,13 @@ func RunT4(w io.Writer) error {
 		run  func() (*datalog.AnswerSet, error)
 	}{
 		{"chase-certain", func() (*datalog.AnswerSet, error) {
-			return qa.CertainAnswersViaChase(comp.Program, comp.Instance, q, qa.ChaseOptions{})
+			return qa.CertainAnswersViaChase(context.Background(), comp.Program, comp.Instance, q, qa.ChaseOptions{})
 		}},
 		{"DeterministicWSQAns", func() (*datalog.AnswerSet, error) {
-			return qa.Answer(comp.Program, comp.Instance, q, qa.Options{})
+			return qa.Answer(context.Background(), comp.Program, comp.Instance, q, qa.Options{})
 		}},
 		{"FO-rewriting", func() (*datalog.AnswerSet, error) {
-			return rewrite.Answer(comp.Program, comp.Instance, q, rewrite.Options{})
+			return rewrite.Answer(context.Background(), comp.Program, comp.Instance, q, rewrite.Options{})
 		}},
 	} {
 		start := time.Now()
@@ -165,7 +166,7 @@ func RunT5(w io.Writer) error {
 		return err
 	}
 	fmt.Fprint(w, storage.FormatRelation(comp.Instance.Relation("DischargePatients")))
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := chase.Run(context.Background(), comp.Program, comp.Instance, chase.Options{})
 	if err != nil {
 		return err
 	}
@@ -225,7 +226,7 @@ func RunF2(w io.Writer) error {
 	d := hospital.MeasurementsInstance()
 	fmt.Fprintf(w, "original instance D: %d Measurements tuples\n", d.Relation("Measurements").Len())
 
-	a, err := ctx.Assess(d)
+	a, err := ctx.Assess(context.Background(), d)
 	if err != nil {
 		return err
 	}
@@ -291,20 +292,20 @@ func RunScaling(sizes []int) ([]ScaleRow, error) {
 			datalog.A(gen.UpRelName(2), datalog.V("c"), datalog.C("v0")))
 
 		start := time.Now()
-		res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+		res, err := chase.Run(context.Background(), comp.Program, comp.Instance, chase.Options{})
 		if err != nil {
 			return nil, err
 		}
 		chaseT := time.Since(start)
 
 		start = time.Now()
-		if _, err := qa.Answer(comp.Program, comp.Instance, q, qa.Options{}); err != nil {
+		if _, err := qa.Answer(context.Background(), comp.Program, comp.Instance, q, qa.Options{}); err != nil {
 			return nil, err
 		}
 		detT := time.Since(start)
 
 		start = time.Now()
-		if _, err := rewrite.Answer(comp.Program, comp.Instance, q, rewrite.Options{}); err != nil {
+		if _, err := rewrite.Answer(context.Background(), comp.Program, comp.Instance, q, rewrite.Options{}); err != nil {
 			return nil, err
 		}
 		rewT := time.Since(start)
@@ -368,7 +369,7 @@ func RunC2(w io.Writer) error {
 			datalog.A(gen.UpRelName(levels-1), datalog.V("c"), datalog.C("v1")))
 
 		start := time.Now()
-		oracle, err := qa.CertainAnswersViaChase(comp.Program, comp.Instance, q, qa.ChaseOptions{})
+		oracle, err := qa.CertainAnswersViaChase(context.Background(), comp.Program, comp.Instance, q, qa.ChaseOptions{})
 		if err != nil {
 			return err
 		}
@@ -379,7 +380,7 @@ func RunC2(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ans, err := rewrite.Answer(comp.Program, comp.Instance, q, rewrite.Options{})
+		ans, err := rewrite.Answer(context.Background(), comp.Program, comp.Instance, q, rewrite.Options{})
 		if err != nil {
 			return err
 		}
@@ -460,7 +461,7 @@ func RunC4(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		a, err := wl.Context.Assess(wl.Instance)
+		a, err := wl.Context.Assess(context.Background(), wl.Instance)
 		if err != nil {
 			return err
 		}

@@ -84,7 +84,7 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 		chaseRes := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := chase.Run(prog, db, chase.Options{})
+				res, err := chase.Run(context.Background(), prog, db, chase.Options{})
 				if err != nil || !res.Saturated {
 					benchErr = fmt.Errorf("chase failed at n=%d: %v", n, err)
 					return
@@ -94,12 +94,12 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 		if benchErr != nil {
 			return nil, benchErr
 		}
-		out[fmt.Sprintf("BenchmarkScaling_Chase/n=%d", n)] = toPerfResult(chaseRes)
+		out[fmt.Sprintf("BenchmarkScaling_Chase/n=%d", n)] = ToPerfResult(chaseRes)
 
 		qaRes := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := qa.CertainAnswersViaChase(prog, db, q, qa.ChaseOptions{}); err != nil {
+				if _, err := qa.CertainAnswersViaChase(context.Background(), prog, db, q, qa.ChaseOptions{}); err != nil {
 					benchErr = fmt.Errorf("qa failed at n=%d: %v", n, err)
 					return
 				}
@@ -108,20 +108,20 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 		if benchErr != nil {
 			return nil, benchErr
 		}
-		out[fmt.Sprintf("BenchmarkScaling_QA/n=%d", n)] = toPerfResult(qaRes)
+		out[fmt.Sprintf("BenchmarkScaling_QA/n=%d", n)] = ToPerfResult(qaRes)
 
 		wl, err := gen.NewStreamingWorkload(StreamWorkloadSpec(n))
 		if err != nil {
 			return nil, err
 		}
-		prep, err := wl.Base.Context.Prepare()
+		prep, err := wl.Base.Context.Prepare(context.Background())
 		if err != nil {
 			return nil, err
 		}
 		coldRes := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				a, err := wl.Base.Context.Assess(wl.Base.Instance)
+				a, err := wl.Base.Context.Assess(context.Background(), wl.Base.Instance)
 				if err != nil || a.Versions["Measurements"].Len() != wl.Base.ExpectedClean {
 					benchErr = fmt.Errorf("cold assess failed at n=%d: %v", n, err)
 					return
@@ -131,11 +131,11 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 		if benchErr != nil {
 			return nil, benchErr
 		}
-		out[fmt.Sprintf("BenchmarkColdAssess/n=%d", n)] = toPerfResult(coldRes)
+		out[fmt.Sprintf("BenchmarkColdAssess/n=%d", n)] = ToPerfResult(coldRes)
 
 		ctx := context.Background()
 		warmRes := testing.Benchmark(func(b *testing.B) {
-			sess, err := prep.NewSession(wl.Base.Instance)
+			sess, err := prep.NewSession(context.Background(), wl.Base.Instance)
 			if err != nil {
 				benchErr = err
 				return
@@ -149,7 +149,7 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 			for i := 0; i < b.N; i++ {
 				if tick == WarmResetTicks {
 					b.StopTimer()
-					sess, err = prep.NewSession(wl.Base.Instance)
+					sess, err = prep.NewSession(context.Background(), wl.Base.Instance)
 					if err != nil {
 						benchErr = err
 						return
@@ -168,12 +168,15 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 		if benchErr != nil {
 			return nil, benchErr
 		}
-		out[fmt.Sprintf("BenchmarkWarmAssess/n=%d", n)] = toPerfResult(warmRes)
+		out[fmt.Sprintf("BenchmarkWarmAssess/n=%d", n)] = ToPerfResult(warmRes)
 	}
 	return out, nil
 }
 
-func toPerfResult(r testing.BenchmarkResult) PerfResult {
+// ToPerfResult converts a testing result to the JSON snapshot shape;
+// every benchmark family recorded in BENCH_<n>.json (including the
+// facade benchmarks in mdqa) goes through this one converter.
+func ToPerfResult(r testing.BenchmarkResult) PerfResult {
 	return PerfResult{
 		NsPerOp:     r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),

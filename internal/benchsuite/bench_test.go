@@ -3,8 +3,8 @@
 // scaling experiments behind the complexity claims, and the ablation
 // benchmarks for the design choices called out in DESIGN.md.
 //
-// Run with: go test -bench=. -benchmem
-package repro
+// Run with: go test ./internal/benchsuite -bench=. -benchmem
+package benchsuite
 
 import (
 	"context"
@@ -68,7 +68,7 @@ func BenchmarkScaling_Chase(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := chase.Run(prog, db, chase.Options{})
+				res, err := chase.Run(context.Background(), prog, db, chase.Options{})
 				if err != nil || !res.Saturated {
 					b.Fatalf("chase failed: %v", err)
 				}
@@ -87,7 +87,7 @@ func BenchmarkScaling_QA(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := qa.CertainAnswersViaChase(prog, db, q, qa.ChaseOptions{}); err != nil {
+				if _, err := qa.CertainAnswersViaChase(context.Background(), prog, db, q, qa.ChaseOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -102,7 +102,7 @@ func BenchmarkScaling_DetQA(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := qa.Answer(prog, db, q, qa.Options{}); err != nil {
+				if _, err := qa.Answer(context.Background(), prog, db, q, qa.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -133,7 +133,7 @@ func BenchmarkUpward_RewriteVsChase(b *testing.B) {
 		b.Run(fmt.Sprintf("rewrite/depth=%d", levels), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := rewrite.Answer(comp.Program, comp.Instance, q, rewrite.Options{}); err != nil {
+				if _, err := rewrite.Answer(context.Background(), comp.Program, comp.Instance, q, rewrite.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -141,7 +141,7 @@ func BenchmarkUpward_RewriteVsChase(b *testing.B) {
 		b.Run(fmt.Sprintf("chase/depth=%d", levels), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := qa.CertainAnswersViaChase(comp.Program, comp.Instance, q, qa.ChaseOptions{}); err != nil {
+				if _, err := qa.CertainAnswersViaChase(context.Background(), comp.Program, comp.Instance, q, qa.ChaseOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -181,7 +181,7 @@ func BenchmarkQualityMeasure_Sweep(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				a, err := wl.Context.Assess(wl.Instance)
+				a, err := wl.Context.Assess(context.Background(), wl.Instance)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -207,13 +207,13 @@ func BenchmarkColdAssess(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := wl.Base.Context.Prepare(); err != nil {
+			if _, err := wl.Base.Context.Prepare(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				a, err := wl.Base.Context.Assess(wl.Base.Instance)
+				a, err := wl.Base.Context.Assess(context.Background(), wl.Base.Instance)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -235,11 +235,11 @@ func BenchmarkWarmAssess(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			prep, err := wl.Base.Context.Prepare()
+			prep, err := wl.Base.Context.Prepare(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
-			sess, err := prep.NewSession(wl.Base.Instance)
+			sess, err := prep.NewSession(context.Background(), wl.Base.Instance)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -253,7 +253,7 @@ func BenchmarkWarmAssess(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if tick == bench.WarmResetTicks {
 					b.StopTimer()
-					sess, err = prep.NewSession(wl.Base.Instance)
+					sess, err = prep.NewSession(context.Background(), wl.Base.Instance)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -284,7 +284,7 @@ func BenchmarkAblation_RestrictedVsOblivious(b *testing.B) {
 		b.Run(variant.String(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := chase.Run(comp.Program, comp.Instance, chase.Options{Variant: variant}); err != nil {
+				if _, err := chase.Run(context.Background(), comp.Program, comp.Instance, chase.Options{Variant: variant}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -304,7 +304,7 @@ func BenchmarkAblation_MemoOnOff(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := qa.Answer(prog, db, q, qa.Options{DisableMemo: disable}); err != nil {
+				if _, err := qa.Answer(context.Background(), prog, db, q, qa.Options{DisableMemo: disable}); err != nil {
 					b.Fatal(err)
 				}
 			}

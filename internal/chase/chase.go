@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/datalog"
+	"repro/internal/qerr"
 	"repro/internal/storage"
 )
 
@@ -77,35 +78,20 @@ const DefaultMaxRounds = 10_000
 // DefaultMaxAtoms bounds instance growth when Options.MaxAtoms is 0.
 const DefaultMaxAtoms = 5_000_000
 
-// ViolationKind classifies constraint violations found during the chase.
-type ViolationKind uint8
+// ViolationKind classifies constraint violations found during the
+// chase. It is an alias of the shared qerr vocabulary so violations
+// travel unchanged into typed errors and through the mdqa facade.
+type ViolationKind = qerr.ViolationKind
 
 const (
 	// NCViolation: a negative constraint body matched.
-	NCViolation ViolationKind = iota
+	NCViolation = qerr.NCViolation
 	// EGDConflict: an EGD required two distinct constants to be equal.
-	EGDConflict
+	EGDConflict = qerr.EGDConflict
 )
 
-// String names the violation kind.
-func (k ViolationKind) String() string {
-	if k == EGDConflict {
-		return "egd-conflict"
-	}
-	return "nc-violation"
-}
-
 // Violation records one constraint violation.
-type Violation struct {
-	Kind   ViolationKind
-	ID     string // constraint ID
-	Detail string
-}
-
-// String renders the violation.
-func (v Violation) String() string {
-	return fmt.Sprintf("%s %s: %s", v.Kind, v.ID, v.Detail)
-}
+type Violation = qerr.Violation
 
 // Step records one TGD application (provenance), when Options.Trace is
 // set.
@@ -139,18 +125,13 @@ type Result struct {
 // Consistent reports whether no violations were found.
 func (r *Result) Consistent() bool { return len(r.Violations) == 0 }
 
-// Run chases the program over a copy of db and returns the result. The
-// error is non-nil only for invalid inputs; bound-exceeded runs return
-// Saturated=false with a nil error so callers can inspect partial
-// results.
-func Run(prog *datalog.Program, db *storage.Instance, opts Options) (*Result, error) {
-	return RunContext(context.Background(), prog, db, opts)
-}
-
-// RunContext is Run with cancellation: ctx is checked once per chase
-// round, so a serving process can time-bound a runaway chase. On
-// cancellation the context's error is returned.
-func RunContext(ctx context.Context, prog *datalog.Program, db *storage.Instance, opts Options) (*Result, error) {
+// Run chases the program over a copy of db and returns the result.
+// ctx is checked once per chase round, so a serving process can
+// time-bound a runaway chase; on cancellation the context's error is
+// returned. The error is otherwise non-nil only for invalid inputs;
+// bound-exceeded runs return Saturated=false with a nil error so
+// callers can inspect partial results.
+func Run(ctx context.Context, prog *datalog.Program, db *storage.Instance, opts Options) (*Result, error) {
 	st, err := NewState(prog, db, opts)
 	if err != nil {
 		return nil, err
@@ -161,19 +142,23 @@ func RunContext(ctx context.Context, prog *datalog.Program, db *storage.Instance
 	return st.Result(), nil
 }
 
-// Saturate is a convenience wrapper: it chases with default options and
-// returns an error when the chase does not saturate or finds
-// violations.
-func Saturate(prog *datalog.Program, db *storage.Instance) (*storage.Instance, error) {
-	res, err := Run(prog, db, Options{})
+// Saturate is a convenience wrapper: it chases with default options
+// and returns qerr.ErrBoundExceeded when the chase does not saturate
+// or qerr.ErrInconsistent when it finds violations.
+func Saturate(ctx context.Context, prog *datalog.Program, db *storage.Instance) (*storage.Instance, error) {
+	res, err := Run(ctx, prog, db, Options{})
 	if err != nil {
 		return nil, err
 	}
 	if !res.Saturated {
-		return nil, fmt.Errorf("chase: did not saturate within bounds (rounds=%d, atoms=%d)", res.Rounds, res.Instance.TotalTuples())
+		return nil, fmt.Errorf("chase: %w", &qerr.BoundExceededError{
+			Op:     "chase",
+			Rounds: res.Rounds,
+			Atoms:  res.Instance.TotalTuples(),
+		})
 	}
 	if !res.Consistent() {
-		return nil, fmt.Errorf("chase: %d constraint violations, first: %s", len(res.Violations), res.Violations[0])
+		return nil, fmt.Errorf("chase: %w", &qerr.InconsistentError{Violations: res.Violations})
 	}
 	return res.Instance, nil
 }

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -74,7 +75,7 @@ func ruleNine() *dl.TGD {
 func TestChaseUpwardNavigationRule7(t *testing.T) {
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleSeven())
-	res, err := Run(prog, hospitalEDB(), Options{})
+	res, err := Run(context.Background(), prog, hospitalEDB(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestChaseDownwardNavigationRule8(t *testing.T) {
 	// in W1 and W2, with a fresh null for the shift attribute.
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleEight())
-	res, err := Run(prog, hospitalEDB(), Options{})
+	res, err := Run(context.Background(), prog, hospitalEDB(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestChaseRestrictedDoesNotDuplicateSatisfiedHeads(t *testing.T) {
 	// the restricted chase must not invent another for that trigger.
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleEight())
-	res, err := Run(prog, hospitalEDB(), Options{})
+	res, err := Run(context.Background(), prog, hospitalEDB(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +159,11 @@ func TestChaseRestrictedDoesNotDuplicateSatisfiedHeads(t *testing.T) {
 func TestChaseObliviousFiresEverything(t *testing.T) {
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleEight())
-	restr, err := Run(prog, hospitalEDB(), Options{Variant: Restricted})
+	restr, err := Run(context.Background(), prog, hospitalEDB(), Options{Variant: Restricted})
 	if err != nil {
 		t.Fatal(err)
 	}
-	obl, err := Run(prog, hospitalEDB(), Options{Variant: Oblivious})
+	obl, err := Run(context.Background(), prog, hospitalEDB(), Options{Variant: Oblivious})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestChaseExistentialCategoricalRule9(t *testing.T) {
 	// InstitutionUnit with a shared fresh null per discharge.
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleNine())
-	res, err := Run(prog, hospitalEDB(), Options{})
+	res, err := Run(context.Background(), prog, hospitalEDB(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestChaseEGDMergesNulls(t *testing.T) {
 		dl.A("Shifts", dl.V("w"), dl.V("d"), dl.V("n"), dl.V("s")),
 		dl.A("Shifts", dl.V("w"), dl.V("d"), dl.V("n"), dl.V("s2")),
 	}))
-	res, err := Run(prog, db, Options{})
+	res, err := Run(context.Background(), prog, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestChaseEGDNullToConstant(t *testing.T) {
 		dl.A("Shifts", dl.V("w"), dl.V("d"), dl.V("n"), dl.V("s")),
 		dl.A("Shifts", dl.V("w"), dl.V("d"), dl.V("n"), dl.V("s2")),
 	}))
-	res, err := Run(prog, db, Options{})
+	res, err := Run(context.Background(), prog, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestChaseEGDHardConflict(t *testing.T) {
 	db.MustInsert("Thermometer", dl.C("W2"), dl.C("Tympanic"), dl.C("Mark"))
 	prog := dl.NewProgram()
 	prog.AddEGD(egdSix())
-	res, err := Run(prog, db, Options{})
+	res, err := Run(context.Background(), prog, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestChaseNCViolation(t *testing.T) {
 	prog.AddNC(dl.NewDenial("no-intensive",
 		dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p")),
 		dl.A("UnitWard", dl.C("Intensive"), dl.V("w"))))
-	res, err := Run(prog, db, Options{})
+	res, err := Run(context.Background(), prog, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestChaseNCWithNegation(t *testing.T) {
 	prog.AddNC(dl.NewNC("c5",
 		dl.Pos(dl.A("PatientUnit", dl.V("u"), dl.V("d"), dl.V("p"))),
 		dl.Neg(dl.A("Unit", dl.V("u")))))
-	res, err := Run(prog, db, Options{})
+	res, err := Run(context.Background(), prog, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestChaseMultiRuleFixpoint(t *testing.T) {
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleSeven())
 	prog.AddTGD(ruleEight())
-	res, err := Run(prog, hospitalEDB(), Options{})
+	res, err := Run(context.Background(), prog, hospitalEDB(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestChaseMultiRuleFixpoint(t *testing.T) {
 func TestChaseTrace(t *testing.T) {
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleSeven())
-	res, err := Run(prog, hospitalEDB(), Options{Trace: true})
+	res, err := Run(context.Background(), prog, hospitalEDB(), Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +402,7 @@ func TestChaseMaxAtomsBound(t *testing.T) {
 	prog.AddTGD(dl.NewTGD("succ",
 		[]dl.Atom{dl.A("Next", dl.V("x"), dl.V("y"))},
 		[]dl.Atom{dl.A("Next", dl.V("w"), dl.V("x"))}))
-	res, err := Run(prog, db, Options{MaxAtoms: 50})
+	res, err := Run(context.Background(), prog, db, Options{MaxAtoms: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +428,7 @@ func TestChaseGroundBodyTGDFires(t *testing.T) {
 	prog.AddTGD(dl.NewTGD("ground",
 		[]dl.Atom{dl.A("Q", dl.C("a"))},
 		[]dl.Atom{dl.A("P", dl.C("a"))}))
-	res, err := Run(prog, db, Options{})
+	res, err := Run(context.Background(), prog, db, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -449,7 +450,7 @@ func TestChaseMaxRoundsBound(t *testing.T) {
 	prog.AddTGD(dl.NewTGD("succ",
 		[]dl.Atom{dl.A("Next", dl.V("x"), dl.V("y"))},
 		[]dl.Atom{dl.A("Next", dl.V("w"), dl.V("x"))}))
-	res, err := Run(prog, db, Options{MaxRounds: 3})
+	res, err := Run(context.Background(), prog, db, Options{MaxRounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +467,7 @@ func TestChaseDoesNotMutateInput(t *testing.T) {
 	before := db.TotalTuples()
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleSeven())
-	if _, err := Run(prog, db, Options{}); err != nil {
+	if _, err := Run(context.Background(), prog, db, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if db.TotalTuples() != before {
@@ -481,7 +482,7 @@ func TestChaseFreshNullsAvoidCollisions(t *testing.T) {
 	db.MustInsert("UnitWard", dl.C("Standard"), dl.C("W1"))
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleEight())
-	res, err := Run(prog, db, Options{NullPrefix: ""})
+	res, err := Run(context.Background(), prog, db, Options{NullPrefix: ""})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -499,7 +500,7 @@ func TestChaseFreshNullsAvoidCollisions(t *testing.T) {
 func TestSaturateHelper(t *testing.T) {
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleSeven())
-	inst, err := Saturate(prog, hospitalEDB())
+	inst, err := Saturate(context.Background(), prog, hospitalEDB())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -510,7 +511,7 @@ func TestSaturateHelper(t *testing.T) {
 	bad := dl.NewProgram()
 	bad.AddTGD(ruleSeven())
 	bad.AddNC(dl.NewDenial("boom", dl.A("PatientUnit", dl.C("Intensive"), dl.V("d"), dl.V("p"))))
-	if _, err := Saturate(bad, hospitalEDB()); err == nil {
+	if _, err := Saturate(context.Background(), bad, hospitalEDB()); err == nil {
 		t.Error("Saturate must error on violations")
 	}
 }
@@ -518,17 +519,17 @@ func TestSaturateHelper(t *testing.T) {
 func TestRunRejectsInvalidRules(t *testing.T) {
 	prog := dl.NewProgram()
 	prog.AddTGD(dl.NewTGD("bad", nil, []dl.Atom{dl.A("B", dl.V("x"))}))
-	if _, err := Run(prog, storage.NewInstance(), Options{}); err == nil {
+	if _, err := Run(context.Background(), prog, storage.NewInstance(), Options{}); err == nil {
 		t.Error("invalid TGD must be rejected")
 	}
 	prog2 := dl.NewProgram()
 	prog2.AddEGD(dl.NewEGD("bad", dl.V("x"), dl.V("y"), []dl.Atom{dl.A("P", dl.V("x"))}))
-	if _, err := Run(prog2, storage.NewInstance(), Options{}); err == nil {
+	if _, err := Run(context.Background(), prog2, storage.NewInstance(), Options{}); err == nil {
 		t.Error("invalid EGD must be rejected")
 	}
 	prog3 := dl.NewProgram()
 	prog3.AddNC(dl.NewNC("bad"))
-	if _, err := Run(prog3, storage.NewInstance(), Options{}); err == nil {
+	if _, err := Run(context.Background(), prog3, storage.NewInstance(), Options{}); err == nil {
 		t.Error("invalid NC must be rejected")
 	}
 }

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func tracedHospitalChase(t *testing.T, tgds ...*dl.TGD) *Result {
 	for _, tgd := range tgds {
 		prog.AddTGD(tgd)
 	}
-	res, err := Run(prog, hospitalEDB(), Options{Trace: true})
+	res, err := Run(context.Background(), prog, hospitalEDB(), Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestExplainAbsentAtom(t *testing.T) {
 func TestDerivationChain(t *testing.T) {
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleSeven())
-	res, err := Run(prog, hospitalEDB(), Options{Trace: true})
+	res, err := Run(context.Background(), prog, hospitalEDB(), Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestDerivationChain(t *testing.T) {
 func TestDerivationChainDepthBound(t *testing.T) {
 	prog := dl.NewProgram()
 	prog.AddTGD(ruleSeven())
-	res, err := Run(prog, hospitalEDB(), Options{Trace: true})
+	res, err := Run(context.Background(), prog, hospitalEDB(), Options{Trace: true})
 	if err != nil {
 		t.Fatal(err)
 	}

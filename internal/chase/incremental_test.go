@@ -77,7 +77,7 @@ func scratchOn(t *testing.T, prog *dl.Program, w splitWorld, opts Options) *Resu
 			t.Fatal(err)
 		}
 	}
-	res, err := Run(prog, combined, opts)
+	res, err := Run(context.Background(), prog, combined, opts)
 	if err != nil || !res.Saturated {
 		t.Fatalf("scratch chase failed: %v (saturated=%v)", err, res != nil && res.Saturated)
 	}
@@ -237,11 +237,11 @@ func TestQuickIncrementalMatchesScratchEGDs(t *testing.T) {
 	}
 }
 
-func TestRunContextCancellation(t *testing.T) {
+func TestRunCancellation(t *testing.T) {
 	w := splitWorld{}.Generate(rand.New(rand.NewSource(1)), 0).Interface().(splitWorld)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := RunContext(ctx, navProgram(), w.Base, Options{}); err == nil {
+	if _, err := Run(ctx, navProgram(), w.Base, Options{}); err == nil {
 		t.Fatal("want cancellation error, got nil")
 	}
 }

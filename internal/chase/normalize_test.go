@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"testing"
 
 	dl "repro/internal/datalog"
@@ -28,11 +29,11 @@ func TestNormalizeHeadsPreservesChaseSemantics(t *testing.T) {
 		t.Fatalf("normalized TGDs = %d, want 5", len(norm.TGDs))
 	}
 
-	resOrig, err := Run(prog, hospitalEDB(), Options{})
+	resOrig, err := Run(context.Background(), prog, hospitalEDB(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resNorm, err := Run(norm, hospitalEDB(), Options{})
+	resNorm, err := Run(context.Background(), norm, hospitalEDB(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -55,7 +56,7 @@ func navProgram() *dl.Program {
 func TestQuickChaseMonotone(t *testing.T) {
 	// The chased instance contains every input atom.
 	f := func(w chainWorld) bool {
-		res, err := Run(navProgram(), w.DB, Options{})
+		res, err := Run(context.Background(), navProgram(), w.DB, Options{})
 		if err != nil || !res.Saturated {
 			return false
 		}
@@ -69,11 +70,11 @@ func TestQuickChaseMonotone(t *testing.T) {
 func TestQuickChaseIdempotent(t *testing.T) {
 	// Chasing a saturated instance fires nothing new.
 	f := func(w chainWorld) bool {
-		first, err := Run(navProgram(), w.DB, Options{})
+		first, err := Run(context.Background(), navProgram(), w.DB, Options{})
 		if err != nil || !first.Saturated {
 			return false
 		}
-		second, err := Run(navProgram(), first.Instance, Options{})
+		second, err := Run(context.Background(), navProgram(), first.Instance, Options{})
 		if err != nil || !second.Saturated {
 			return false
 		}
@@ -87,11 +88,11 @@ func TestQuickChaseIdempotent(t *testing.T) {
 func TestQuickChaseDeterministic(t *testing.T) {
 	// Same input, same result (instances and counters).
 	f := func(w chainWorld) bool {
-		a, err := Run(navProgram(), w.DB, Options{})
+		a, err := Run(context.Background(), navProgram(), w.DB, Options{})
 		if err != nil {
 			return false
 		}
-		b, err := Run(navProgram(), w.DB, Options{})
+		b, err := Run(context.Background(), navProgram(), w.DB, Options{})
 		if err != nil {
 			return false
 		}
@@ -107,11 +108,11 @@ func TestQuickRestrictedSubsetOfOblivious(t *testing.T) {
 	// oblivious chase too, up to null renaming — compare null-free
 	// projections, which are invariant.
 	f := func(w chainWorld) bool {
-		restr, err := Run(navProgram(), w.DB, Options{Variant: Restricted})
+		restr, err := Run(context.Background(), navProgram(), w.DB, Options{Variant: Restricted})
 		if err != nil || !restr.Saturated {
 			return false
 		}
-		obl, err := Run(navProgram(), w.DB, Options{Variant: Oblivious})
+		obl, err := Run(context.Background(), navProgram(), w.DB, Options{Variant: Oblivious})
 		if err != nil || !obl.Saturated {
 			return false
 		}
@@ -146,7 +147,7 @@ func TestQuickRestrictedSubsetOfOblivious(t *testing.T) {
 func TestQuickUpwardDerivesExactJoin(t *testing.T) {
 	// R1 must equal the join of R0 and Up computed independently.
 	f := func(w chainWorld) bool {
-		res, err := Run(navProgram(), w.DB, Options{})
+		res, err := Run(context.Background(), navProgram(), w.DB, Options{})
 		if err != nil || !res.Saturated {
 			return false
 		}

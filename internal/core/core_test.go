@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -361,7 +362,7 @@ func TestCompileTransitiveRollups(t *testing.T) {
 		t.Error("transitive rollup rule InstitutionWard missing")
 	}
 	// Chasing the compiled program materializes the composition.
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := chase.Run(context.Background(), comp.Program, comp.Instance, chase.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +420,7 @@ func TestChaseCompiledHospitalExamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := chase.Run(context.Background(), comp.Program, comp.Instance, chase.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/datalog"
 	"repro/internal/eval"
+	"repro/internal/qerr"
 	"repro/internal/storage"
 )
 
@@ -93,14 +94,9 @@ func (p *Prepared) Base() *storage.Instance { return p.base }
 
 // NewSession builds a session over the base plus the instance under
 // assessment, chased to saturation and with the derived layer
-// evaluated — the cold path every later Apply amortizes.
-func (p *Prepared) NewSession(d *storage.Instance) (*Session, error) {
-	return p.NewSessionContext(context.Background(), d)
-}
-
-// NewSessionContext is NewSession with cancellation, checked once per
-// chase round and eval stratum round.
-func (p *Prepared) NewSessionContext(ctx context.Context, d *storage.Instance) (*Session, error) {
+// evaluated — the cold path every later Apply amortizes. Cancellation
+// of ctx is checked once per chase round and eval stratum round.
+func (p *Prepared) NewSession(ctx context.Context, d *storage.Instance) (*Session, error) {
 	// The merge target is a detached clone: neither the shared base
 	// nor the caller's instance is ever touched, so one Prepared can
 	// serve many sessions (and repeated one-shot assessments) without
@@ -116,7 +112,11 @@ func (p *Prepared) NewSessionContext(ctx context.Context, d *storage.Instance) (
 		return nil, err
 	}
 	if !cs.Result().Saturated {
-		return nil, fmt.Errorf("engine: ontology chase did not saturate (rounds=%d)", cs.Result().Rounds)
+		return nil, fmt.Errorf("engine: %w", &qerr.BoundExceededError{
+			Op:     "ontology chase",
+			Rounds: cs.Result().Rounds,
+			Atoms:  inst.TotalTuples(),
+		})
 	}
 	s := &Session{prep: p, chase: cs}
 	if err := s.rebuildEval(ctx); err != nil {
@@ -195,7 +195,11 @@ func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*ApplyResult
 		return nil, err
 	}
 	if !info.Saturated {
-		return nil, fmt.Errorf("engine: incremental chase did not saturate (rounds=%d)", s.chase.Result().Rounds)
+		return nil, fmt.Errorf("engine: %w", &qerr.BoundExceededError{
+			Op:     "incremental chase",
+			Rounds: s.chase.Result().Rounds,
+			Atoms:  ci.TotalTuples(),
+		})
 	}
 	res := &ApplyResult{
 		Inserted:   info.Inserted,

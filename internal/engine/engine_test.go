@@ -46,7 +46,7 @@ func TestSessionApplyStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := p.NewSession(d0())
+	s, err := p.NewSession(context.Background(), d0())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestSessionNegationRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := p.NewSession(d0())
+	s, err := p.NewSession(context.Background(), d0())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestSessionSnapshotIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := p.NewSession(d0())
+	s, err := p.NewSession(context.Background(), d0())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestPreparedSharedAcrossSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, err := p.NewSession(d0())
+	s1, err := p.NewSession(context.Background(), d0())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestPreparedSharedAcrossSessions(t *testing.T) {
 	}
 	// A second session from the same Prepared must not see the first
 	// session's delta.
-	s2, err := p.NewSession(d0())
+	s2, err := p.NewSession(context.Background(), d0())
 	if err != nil {
 		t.Fatal(err)
 	}

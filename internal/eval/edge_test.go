@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"testing"
 
 	dl "repro/internal/datalog"
@@ -21,14 +22,14 @@ func TestEvalComparisonErrorPropagates(t *testing.T) {
 		Body: []dl.Atom{dl.A("P", dl.V("x"))},
 	}
 	p.Add(r)
-	if _, err := Eval(p, db); err != nil {
+	if _, err := Eval(context.Background(), p, db); err != nil {
 		t.Fatalf("valid rule: %v", err)
 	}
 	// Force an invalid comparison past Validate by mutating after
 	// validation would have passed: Eval re-validates, so it is
 	// caught up front.
 	r.Conds = append(r.Conds, dl.Comparison{Op: dl.OpLt, L: dl.V("zz"), R: dl.C("1")})
-	if _, err := Eval(p, db); err == nil {
+	if _, err := Eval(context.Background(), p, db); err == nil {
 		t.Error("unsafe condition must fail validation in Eval")
 	}
 }
@@ -36,7 +37,7 @@ func TestEvalComparisonErrorPropagates(t *testing.T) {
 func TestEvalEmptyProgram(t *testing.T) {
 	db := storage.NewInstance()
 	db.MustInsert("P", dl.C("a"))
-	out, err := Eval(NewProgram(), db)
+	out, err := Eval(context.Background(), NewProgram(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestEvalMultiStrataChain(t *testing.T) {
 	p.Add(NewRule("hasout", dl.A("HasOut", dl.V("x")), dl.A("E", dl.V("x"), dl.V("y"))))
 	p.Add(NewRule("top", dl.A("NonLeaf", dl.V("x")), dl.A("N", dl.V("x"))).
 		WithNegated(dl.A("Leaf", dl.V("x"))))
-	out, err := Eval(p, db)
+	out, err := Eval(context.Background(), p, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestEvalRuleFiltersNegationBeforeInsert(t *testing.T) {
 	p := NewProgram()
 	p.Add(NewRule("r", dl.A("H", dl.V("x")), dl.A("P", dl.V("x"))).
 		WithNegated(dl.A("Block", dl.V("x"))))
-	out, err := Eval(p, db)
+	out, err := Eval(context.Background(), p, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestEvalUCQPropagatesErrors(t *testing.T) {
 	db := storage.NewInstance()
 	good := dl.NewQuery(dl.A("Q", dl.V("x")), dl.A("P", dl.V("x")))
 	bad := dl.NewQuery(dl.A("Q", dl.V("x")))
-	if _, err := EvalUCQ([]*dl.Query{good, bad}, db); err == nil {
+	if _, err := EvalUCQ(context.Background(), []*dl.Query{good, bad}, db); err == nil {
 		t.Error("UCQ with an invalid disjunct must error")
 	}
 }
@@ -125,7 +126,7 @@ func TestEvalSelfRecursiveSingleRule(t *testing.T) {
 	p := NewProgram()
 	p.Add(NewRule("step", dl.A("LE", dl.V("x"), dl.V("z")),
 		dl.A("LE", dl.V("x"), dl.V("y")), dl.A("Succ", dl.V("y"), dl.V("z"))))
-	out, err := Eval(p, db)
+	out, err := Eval(context.Background(), p, db)
 	if err != nil {
 		t.Fatal(err)
 	}

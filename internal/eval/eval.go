@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/datalog"
+	"repro/internal/qerr"
 	"repro/internal/storage"
 )
 
@@ -52,7 +53,7 @@ func (r *Rule) WithCond(op datalog.CompOp, l, rt datalog.Term) *Rule {
 // and comparison variable must occur in the positive body.
 func (r *Rule) Validate() error {
 	if len(r.Body) == 0 {
-		return fmt.Errorf("eval: rule %s has empty body", r.ID)
+		return fmt.Errorf("eval: %w", &qerr.UnsafeRuleError{Rule: r.ID, Reason: "empty body"})
 	}
 	bodyVars := map[datalog.Term]bool{}
 	for _, v := range datalog.VarsOfAtoms(r.Body) {
@@ -60,20 +61,27 @@ func (r *Rule) Validate() error {
 	}
 	for _, v := range r.Head.Vars() {
 		if !bodyVars[v] {
-			return fmt.Errorf("eval: rule %s: head variable %s not bound in body (existential rules belong to the chase, not eval)", r.ID, v)
+			return fmt.Errorf("eval: %w", &qerr.UnsafeRuleError{
+				Rule: r.ID, Var: v.Name,
+				Reason: "head variable not bound in body (existential rules belong to the chase, not eval)",
+			})
 		}
 	}
 	for _, n := range r.Negated {
 		for _, v := range n.Vars() {
 			if !bodyVars[v] {
-				return fmt.Errorf("eval: rule %s: negated variable %s unsafe", r.ID, v)
+				return fmt.Errorf("eval: %w", &qerr.UnsafeRuleError{
+					Rule: r.ID, Var: v.Name, Reason: "negated variable not bound by a positive atom",
+				})
 			}
 		}
 	}
 	for _, c := range r.Conds {
 		for _, t := range []datalog.Term{c.L, c.R} {
 			if t.IsVar() && !bodyVars[t] {
-				return fmt.Errorf("eval: rule %s: condition variable %s unsafe", r.ID, t)
+				return fmt.Errorf("eval: %w", &qerr.UnsafeRuleError{
+					Rule: r.ID, Var: t.Name, Reason: "condition variable not bound by a positive atom",
+				})
 			}
 		}
 	}
@@ -163,21 +171,16 @@ func (p *Program) Stratify() ([][]*Rule, error) {
 
 // Eval computes the program's least fixpoint over a copy of db and
 // returns the resulting instance (EDB plus derived IDB atoms). The
-// input instance is not modified.
+// input instance is not modified. ctx is checked once per semi-naive
+// round of every stratum, so a serving process can time-bound a
+// runaway evaluation.
 //
 // Evaluation runs on compiled join plans over interned rows (see
 // storage.CompilePlan): every rule body is compiled once per stratum,
 // matches bind a flat register bank instead of cloning substitution
 // maps, and derived facts are projected and inserted as []int32 rows
 // without materializing atoms or string keys.
-func Eval(p *Program, db *storage.Instance) (*storage.Instance, error) {
-	return EvalContext(context.Background(), p, db)
-}
-
-// EvalContext is Eval with cancellation: ctx is checked once per
-// semi-naive round of every stratum, so a serving process can
-// time-bound a runaway evaluation.
-func EvalContext(ctx context.Context, p *Program, db *storage.Instance) (*storage.Instance, error) {
+func Eval(ctx context.Context, p *Program, db *storage.Instance) (*storage.Instance, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -572,8 +575,26 @@ func ruleFilters(r *Rule, s datalog.Subst, db *storage.Instance) (bool, error) {
 // nulls. Certain-answer filtering is the caller's concern (see qa).
 // The body is compiled to a join plan; the instance is not modified.
 func EvalQuery(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, error) {
-	if err := q.Validate(); err != nil {
+	answers := datalog.NewAnswerSet()
+	err := EvalQueryFunc(q, db, func(ans datalog.Answer) bool {
+		answers.Add(ans)
+		return true
+	})
+	if err != nil {
 		return nil, err
+	}
+	return answers, nil
+}
+
+// EvalQueryFunc is the streaming form of EvalQuery: each distinct
+// answer is passed to yield as it is produced by the join plan,
+// without materializing an answer set. Returning false from yield
+// stops the evaluation early. Answers are deduplicated (a seen-set of
+// answer keys is kept, but never the answers themselves), so yield
+// observes each answer exactly once.
+func EvalQueryFunc(q *datalog.Query, db *storage.Instance, yield func(datalog.Answer) bool) error {
+	if err := q.Validate(); err != nil {
+		return err
 	}
 	plan := storage.CompileQueryPlan(db, q.Body)
 	negs := make([]storage.Proj, len(q.Negated))
@@ -587,7 +608,7 @@ func EvalQuery(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, erro
 		}
 	}
 	buf := make([]int32, maxAr)
-	answers := datalog.NewAnswerSet()
+	seen := map[string]bool{}
 	ansVars := q.Head.Args
 	var derr error
 	plan.Execute(db, plan.NewRegs(), func(regs []int32) bool {
@@ -613,20 +634,25 @@ func EvalQuery(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, erro
 		for i, v := range ansVars {
 			terms[i] = plan.TermAt(regs, v)
 		}
-		answers.Add(datalog.Answer{Terms: terms})
+		ans := datalog.Answer{Terms: terms}
+		if key := ans.Key(); !seen[key] {
+			seen[key] = true
+			return yield(ans)
+		}
 		return true
 	})
-	if derr != nil {
-		return nil, derr
-	}
-	return answers, nil
+	return derr
 }
 
 // EvalUCQ evaluates a union of conjunctive queries, unioning the
-// answer sets. All queries must share the head arity.
-func EvalUCQ(qs []*datalog.Query, db *storage.Instance) (*datalog.AnswerSet, error) {
+// answer sets. All queries must share the head arity. ctx is checked
+// between disjuncts.
+func EvalUCQ(ctx context.Context, qs []*datalog.Query, db *storage.Instance) (*datalog.AnswerSet, error) {
 	answers := datalog.NewAnswerSet()
 	for _, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		as, err := EvalQuery(q, db)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func reachProgram() *Program {
 }
 
 func TestEvalTransitiveClosure(t *testing.T) {
-	out, err := Eval(reachProgram(), edgeGraph())
+	out, err := Eval(context.Background(), reachProgram(), edgeGraph())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestEvalTransitiveClosure(t *testing.T) {
 
 func TestEvalDoesNotMutateInput(t *testing.T) {
 	db := edgeGraph()
-	if _, err := Eval(reachProgram(), db); err != nil {
+	if _, err := Eval(context.Background(), reachProgram(), db); err != nil {
 		t.Fatal(err)
 	}
 	if db.Relation("Reach") != nil {
@@ -59,7 +60,7 @@ func TestEvalStratifiedNegation(t *testing.T) {
 	p.Add(NewRule("unreach", dl.A("Unreach", dl.V("x"), dl.V("y")),
 		dl.A("Node", dl.V("x")), dl.A("Node", dl.V("y"))).
 		WithNegated(dl.A("Reach", dl.V("x"), dl.V("y"))))
-	out, err := Eval(p, edgeGraph())
+	out, err := Eval(context.Background(), p, edgeGraph())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestEvalWithComparisons(t *testing.T) {
 	p.Add(NewRule("fever", dl.A("Fever", dl.V("t"), dl.V("p")),
 		dl.A("Measurements", dl.V("t"), dl.V("p"), dl.V("v"))).
 		WithCond(dl.OpGe, dl.V("v"), dl.C("38.0")))
-	out, err := Eval(p, db)
+	out, err := Eval(context.Background(), p, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestRuleValidate(t *testing.T) {
 func TestEvalRejectsInvalidProgram(t *testing.T) {
 	p := NewProgram()
 	p.Add(NewRule("b", dl.A("H", dl.V("z")), dl.A("B", dl.V("x"))))
-	if _, err := Eval(p, storage.NewInstance()); err == nil {
+	if _, err := Eval(context.Background(), p, storage.NewInstance()); err == nil {
 		t.Error("invalid program must be rejected")
 	}
 }
@@ -230,7 +231,7 @@ func TestEvalUCQ(t *testing.T) {
 	q1 := dl.NewQuery(dl.A("Q", dl.V("y")), dl.A("Edge", dl.C("a"), dl.V("y")))
 	q2 := dl.NewQuery(dl.A("Q", dl.V("y")), dl.A("Edge", dl.C("b"), dl.V("y")))
 	q3 := dl.NewQuery(dl.A("Q", dl.V("y")), dl.A("Edge", dl.C("a"), dl.V("y"))) // duplicate of q1
-	as, err := EvalUCQ([]*dl.Query{q1, q2, q3}, db)
+	as, err := EvalUCQ(context.Background(), []*dl.Query{q1, q2, q3}, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestEvalRecursiveRequiresSemiNaiveTermination(t *testing.T) {
 	db := storage.NewInstance()
 	db.MustInsert("Edge", dl.C("a"), dl.C("b"))
 	db.MustInsert("Edge", dl.C("b"), dl.C("a"))
-	out, err := Eval(reachProgram(), db)
+	out, err := Eval(context.Background(), reachProgram(), db)
 	if err != nil {
 		t.Fatal(err)
 	}

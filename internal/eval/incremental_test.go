@@ -65,7 +65,7 @@ func TestQuickStateExtendMatchesEval(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		want, err := Eval(chainProgram(), combined)
+		want, err := Eval(context.Background(), chainProgram(), combined)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +119,7 @@ func TestStateExtendRejectsNegation(t *testing.T) {
 	}
 }
 
-func TestEvalContextCancellation(t *testing.T) {
+func TestEvalCancellation(t *testing.T) {
 	db := storage.NewInstance()
 	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"}} {
 		db.MustInsert("E", datalog.C(e[0]), datalog.C(e[1]))
@@ -127,7 +127,7 @@ func TestEvalContextCancellation(t *testing.T) {
 	db.MustInsert("Mark", datalog.C("e"))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := EvalContext(ctx, chainProgram(), db); err == nil {
+	if _, err := Eval(ctx, chainProgram(), db); err == nil {
 		t.Fatal("want cancellation error, got nil")
 	}
 }

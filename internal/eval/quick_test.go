@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -82,7 +83,7 @@ func TestQuickSemiNaiveMatchesNaive(t *testing.T) {
 		p.Add(NewRule("base", dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("x"), dl.V("y"))))
 		p.Add(NewRule("step", dl.A("Reach", dl.V("x"), dl.V("z")),
 			dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("y"), dl.V("z"))))
-		fast, err := Eval(p, gv.DB)
+		fast, err := Eval(context.Background(), p, gv.DB)
 		if err != nil {
 			return false
 		}
@@ -107,7 +108,7 @@ func TestQuickSemiNaiveMatchesNaiveWithNegation(t *testing.T) {
 		p.Add(NewRule("n2", dl.A("Node", dl.V("y")), dl.A("Edge", dl.V("x"), dl.V("y"))))
 		p.Add(NewRule("sink", dl.A("Sink", dl.V("x")), dl.A("Node", dl.V("x"))).
 			WithNegated(dl.A("Edge", dl.V("x"), dl.V("x"))))
-		fast, err := Eval(p, gv.DB)
+		fast, err := Eval(context.Background(), p, gv.DB)
 		if err != nil {
 			return false
 		}
@@ -161,7 +162,7 @@ func TestQuickClosureContainsEdges(t *testing.T) {
 		p.Add(NewRule("base", dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("x"), dl.V("y"))))
 		p.Add(NewRule("step", dl.A("Reach", dl.V("x"), dl.V("z")),
 			dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Edge", dl.V("y"), dl.V("z"))))
-		out, err := Eval(p, gv.DB)
+		out, err := Eval(context.Background(), p, gv.DB)
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestQualityWorkloadCleanQueryAnswering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := w.Context.Assess(w.Instance)
+	a, err := w.Context.Assess(context.Background(), w.Instance)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestQualityWorkloadIsWeaklySticky(t *testing.T) {
 	}
 	// Reach the ontology through a version-definition assessment: the
 	// context was built over it; compile independently to classify.
-	a, err := w.Context.Assess(w.Instance)
+	a, err := w.Context.Assess(context.Background(), w.Instance)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestChainQueriesAnswerableByDetQA(t *testing.T) {
 		t.Fatalf("not WS: %s", comp.Report.WSWitness)
 	}
 	for i, q := range ChainQueries(spec) {
-		if _, err := qa.Answer(comp.Program, comp.Instance, q, qa.Options{MaxDepth: 12}); err != nil {
+		if _, err := qa.Answer(context.Background(), comp.Program, comp.Instance, q, qa.Options{MaxDepth: 12}); err != nil {
 			t.Errorf("query %d (%s): %v", i, q, err)
 		}
 	}

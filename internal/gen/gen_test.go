@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -85,7 +86,7 @@ func TestChainOntologyUpward(t *testing.T) {
 	if !comp.Report.WeaklySticky {
 		t.Errorf("generated ontology must be WS: %s", comp.Report.WSWitness)
 	}
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := chase.Run(context.Background(), comp.Program, comp.Instance, chase.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestChainOntologyDownward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := chase.Run(comp.Program, comp.Instance, chase.Options{})
+	res, err := chase.Run(context.Background(), comp.Program, comp.Instance, chase.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,11 +161,11 @@ func TestEnginesAgreeOnGeneratedOntologies(t *testing.T) {
 			t.Fatal(err)
 		}
 		for qi, q := range ChainQueries(spec) {
-			oracle, err := qa.CertainAnswersViaChase(comp.Program, comp.Instance, q, qa.ChaseOptions{})
+			oracle, err := qa.CertainAnswersViaChase(context.Background(), comp.Program, comp.Instance, q, qa.ChaseOptions{})
 			if err != nil {
 				t.Fatalf("spec %d query %d oracle: %v", si, qi, err)
 			}
-			det, err := qa.Answer(comp.Program, comp.Instance, q, qa.Options{
+			det, err := qa.Answer(context.Background(), comp.Program, comp.Instance, q, qa.Options{
 				MaxDepth: 2*spec.Dim.Levels + 4,
 			})
 			if err != nil {
@@ -175,7 +176,7 @@ func TestEnginesAgreeOnGeneratedOntologies(t *testing.T) {
 					si, qi, q, det.Len(), oracle.Len(), det, oracle)
 			}
 			if o.IsUpwardOnly() {
-				rew, err := rewrite.Answer(comp.Program, comp.Instance, q, rewrite.Options{})
+				rew, err := rewrite.Answer(context.Background(), comp.Program, comp.Instance, q, rewrite.Options{})
 				if err != nil {
 					t.Fatalf("spec %d query %d rewrite: %v", si, qi, err)
 				}
@@ -196,7 +197,7 @@ func TestQualityWorkloadExactCleanCount(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := w.Context.Assess(w.Instance)
+		a, err := w.Context.Assess(context.Background(), w.Instance)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -272,7 +273,7 @@ func TestChaseCertainAnswersDropInventedPayload(t *testing.T) {
 	}
 	q := dl.NewQuery(dl.A("Q", dl.V("z")),
 		dl.A(DownRelName(0), dl.V("c"), dl.V("x"), dl.V("z")))
-	oracle, err := qa.CertainAnswersViaChase(comp.Program, comp.Instance, q, qa.ChaseOptions{})
+	oracle, err := qa.CertainAnswersViaChase(context.Background(), comp.Program, comp.Instance, q, qa.ChaseOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

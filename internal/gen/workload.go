@@ -39,6 +39,11 @@ type QualitySpec struct {
 type QualityWorkload struct {
 	Context  *quality.Context
 	Instance *storage.Instance
+	// Ontology and Config are the pieces Context was built from, so
+	// callers can rebuild equivalent contexts through other entry
+	// points (the mdqa facade benchmarks do).
+	Ontology *core.Ontology
+	Config   quality.Config
 	// ExpectedClean is the number of measurements that must survive.
 	ExpectedClean int
 	// Total is the total number of measurements.
@@ -148,25 +153,33 @@ func NewQualityWorkload(spec QualitySpec) (*QualityWorkload, error) {
 		}
 	}
 
-	ctx := quality.NewContext(o)
 	t, p, v := datalog.V("t"), datalog.V("p"), datalog.V("v")
 	du := datalog.V("d")
-	if err := ctx.AddQualityRule(eval.NewRule("guideline",
-		datalog.A("RightTherm", t, p),
-		datalog.A("PatientUnit", datalog.C("GoodUnit"), du, p),
-		datalog.A("DayTime", du, t))); err != nil {
-		return nil, err
+	cfg := quality.Config{
+		QualityRules: []*eval.Rule{
+			eval.NewRule("guideline",
+				datalog.A("RightTherm", t, p),
+				datalog.A("PatientUnit", datalog.C("GoodUnit"), du, p),
+				datalog.A("DayTime", du, t)),
+		},
+		Versions: []quality.VersionSpec{{
+			Original: "Measurements",
+			Pred:     "Measurements_q",
+			Rules: []*eval.Rule{eval.NewRule("measurements-q",
+				datalog.A("Measurements_q", t, p, v),
+				datalog.A("Measurements", t, p, v),
+				datalog.A("RightTherm", t, p))},
+		}},
 	}
-	version := eval.NewRule("measurements-q",
-		datalog.A("Measurements_q", t, p, v),
-		datalog.A("Measurements", t, p, v),
-		datalog.A("RightTherm", t, p))
-	if err := ctx.DefineQualityVersion("Measurements", "Measurements_q", version); err != nil {
+	ctx, err := quality.NewContext(o, cfg)
+	if err != nil {
 		return nil, err
 	}
 	return &QualityWorkload{
 		Context:       ctx,
 		Instance:      d,
+		Ontology:      o,
+		Config:        cfg,
 		ExpectedClean: clean,
 		Total:         spec.Patients * spec.Days,
 	}, nil

@@ -33,45 +33,47 @@ const (
 // dimensional rule (7).
 func QualityContext(opts Options) (*quality.Context, error) {
 	o := NewOntology(opts)
-	ctx := quality.NewContext(o)
+	return quality.NewContext(o, QualityConfig())
+}
 
+// QualityConfig is the Example 7 context as a quality.Config, for
+// callers that want to extend it (different chase options, extra
+// external sources) before building the context.
+func QualityConfig() quality.Config {
 	t, p, v, n, y, b := datalog.V("t"), datalog.V("p"), datalog.V("v"), datalog.V("n"), datalog.V("y"), datalog.V("b")
 	u, d := datalog.V("u"), datalog.V("d")
 
-	if err := ctx.AddMapping(eval.NewRule("map-measurements",
-		datalog.A(MeasurementC, t, p, v),
-		datalog.A("Measurements", t, p, v))); err != nil {
-		return nil, err
-	}
-	if err := ctx.AddQualityRule(eval.NewRule("taken-by-nurse",
-		datalog.A(TakenByNurse, t, p, n, y),
-		datalog.A("WorkingSchedules", u, d, n, y),
-		datalog.A("DayTime", d, t),
-		datalog.A("PatientUnit", u, d, p))); err != nil {
-		return nil, err
-	}
-	if err := ctx.AddQualityRule(eval.NewRule("taken-with-therm",
-		datalog.A(TakenWithTherm, t, p, datalog.C("B1")),
-		datalog.A("PatientUnit", datalog.C("Standard"), d, p),
-		datalog.A("DayTime", d, t))); err != nil {
-		return nil, err
-	}
-	if err := ctx.AddQualityRule(eval.NewRule("measurement-expanded",
-		datalog.A(MeasurementX, t, p, v, y, b),
-		datalog.A(MeasurementC, t, p, v),
-		datalog.A(TakenByNurse, t, p, n, y),
-		datalog.A(TakenWithTherm, t, p, b))); err != nil {
-		return nil, err
-	}
 	versionRule := eval.NewRule("measurements-q",
 		datalog.A(MeasurementsQ, t, p, v),
 		datalog.A(MeasurementX, t, p, v, y, b)).
 		WithCond(datalog.OpEq, y, datalog.C("cert.")).
 		WithCond(datalog.OpEq, b, datalog.C("B1"))
-	if err := ctx.DefineQualityVersion("Measurements", MeasurementsQ, versionRule); err != nil {
-		return nil, err
+	return quality.Config{
+		Mappings: []*eval.Rule{
+			eval.NewRule("map-measurements",
+				datalog.A(MeasurementC, t, p, v),
+				datalog.A("Measurements", t, p, v)),
+		},
+		QualityRules: []*eval.Rule{
+			eval.NewRule("taken-by-nurse",
+				datalog.A(TakenByNurse, t, p, n, y),
+				datalog.A("WorkingSchedules", u, d, n, y),
+				datalog.A("DayTime", d, t),
+				datalog.A("PatientUnit", u, d, p)),
+			eval.NewRule("taken-with-therm",
+				datalog.A(TakenWithTherm, t, p, datalog.C("B1")),
+				datalog.A("PatientUnit", datalog.C("Standard"), d, p),
+				datalog.A("DayTime", d, t)),
+			eval.NewRule("measurement-expanded",
+				datalog.A(MeasurementX, t, p, v, y, b),
+				datalog.A(MeasurementC, t, p, v),
+				datalog.A(TakenByNurse, t, p, n, y),
+				datalog.A(TakenWithTherm, t, p, b)),
+		},
+		Versions: []quality.VersionSpec{
+			{Original: "Measurements", Pred: MeasurementsQ, Rules: []*eval.Rule{versionRule}},
+		},
 	}
-	return ctx, nil
 }
 
 // DoctorQuery is the doctor's request of Examples 1 and 7: Tom Waits'

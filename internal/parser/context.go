@@ -37,12 +37,10 @@ type ContextSpec struct {
 }
 
 // VersionSpec is one quality version: the original relation, the
-// version predicate and its defining rules.
-type VersionSpec struct {
-	Original string
-	Pred     string
-	Rules    []*eval.Rule
-}
+// version predicate and its defining rules. It is an alias of
+// quality.VersionSpec so parsed declarations flow into a
+// quality.Config unchanged.
+type VersionSpec = quality.VersionSpec
 
 // HasContext reports whether the file declared any context elements.
 func (f *File) HasContext() bool {
@@ -51,29 +49,31 @@ func (f *File) HasContext() bool {
 		len(c.QualityRules) > 0 || len(c.Versions) > 0)
 }
 
-// BuildContext assembles a quality.Context from the file's ontology
-// and context declarations.
-func (f *File) BuildContext() (*quality.Context, error) {
+// ContextConfig assembles the file's context declarations into a
+// quality.Config, ready to extend (chase bounds, external sources)
+// before building the immutable context.
+func (f *File) ContextConfig() (quality.Config, error) {
 	if f.Context == nil {
-		return nil, fmt.Errorf("mdq: file declares no quality context")
+		return quality.Config{}, fmt.Errorf("mdq: file declares no quality context")
 	}
-	ctx := quality.NewContext(f.Ontology)
-	for _, r := range f.Context.Mappings {
-		if err := ctx.AddMapping(r); err != nil {
-			return nil, err
-		}
+	// The slices are copied so appending options to the returned
+	// Config can never write into the File's backing arrays (two
+	// contexts built from one parsed file must not share state).
+	return quality.Config{
+		Mappings:     append([]*eval.Rule(nil), f.Context.Mappings...),
+		QualityRules: append([]*eval.Rule(nil), f.Context.QualityRules...),
+		Versions:     append([]VersionSpec(nil), f.Context.Versions...),
+	}, nil
+}
+
+// BuildContext assembles an immutable quality.Context from the file's
+// ontology and context declarations.
+func (f *File) BuildContext() (*quality.Context, error) {
+	cfg, err := f.ContextConfig()
+	if err != nil {
+		return nil, err
 	}
-	for _, r := range f.Context.QualityRules {
-		if err := ctx.AddQualityRule(r); err != nil {
-			return nil, err
-		}
-	}
-	for _, v := range f.Context.Versions {
-		if err := ctx.DefineQualityVersion(v.Original, v.Pred, v.Rules...); err != nil {
-			return nil, err
-		}
-	}
-	return ctx, nil
+	return quality.NewContext(f.Ontology, cfg)
 }
 
 // FormatHospitalQualityExample returns the running example extended

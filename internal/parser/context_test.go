@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestQualityExampleDerivesTableII(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := ctx.Assess(f.Context.Input)
+	a, err := ctx.Assess(context.Background(), f.Context.Input)
 	if err != nil {
 		t.Fatal(err)
 	}

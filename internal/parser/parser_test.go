@@ -1,6 +1,7 @@
 package parser
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -56,7 +57,7 @@ func TestParsedOntologyAnswersExample5(t *testing.T) {
 	if !comp.Report.WeaklySticky {
 		t.Error("parsed ontology must classify as WS")
 	}
-	ans, err := qa.Answer(comp.Program, comp.Instance, f.QueryByName("marks"), qa.Options{})
+	ans, err := qa.Answer(context.Background(), comp.Program, comp.Instance, f.QueryByName("marks"), qa.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package qa
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -109,7 +110,7 @@ func TestProveAgreesWithAnswerBool(t *testing.T) {
 			dl.A("PatientUnit", dl.V("u"), dl.C("Oct/5"), dl.V("p"))),
 	}
 	for i, q := range queries {
-		want, err := AnswerBool(prog, db, q, Options{})
+		want, err := AnswerBool(context.Background(), prog, db, q, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

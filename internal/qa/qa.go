@@ -15,10 +15,12 @@
 package qa
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/qerr"
 	"repro/internal/storage"
 )
 
@@ -45,8 +47,9 @@ func (o Options) maxDepth(prog *datalog.Program, q *datalog.Query) int {
 // Answer runs DeterministicWSQAns on an open (or Boolean) conjunctive
 // query, returning its certain answers. The extensional instance is
 // not modified. Queries with negated atoms are rejected: certain
-// answers under negation are outside the paper's language.
-func Answer(prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts Options) (*datalog.AnswerSet, error) {
+// answers under negation are outside the paper's language. ctx cancels
+// the top-down search between proof steps.
+func Answer(ctx context.Context, prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts Options) (*datalog.AnswerSet, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,6 +57,7 @@ func Answer(prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts 
 		return nil, fmt.Errorf("qa: query %s has negated atoms; certain-answer engines accept positive CQs only", q.Head.Pred)
 	}
 	r := &resolver{
+		ctx:      ctx,
 		byHead:   prog.TGDsByHeadPred(),
 		db:       db,
 		fresh:    datalog.NewCounter("κ"),
@@ -71,15 +75,18 @@ func Answer(prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts 
 		}
 		return true
 	})
+	if r.ctxErr != nil {
+		return nil, r.ctxErr
+	}
 	return answers, nil
 }
 
 // AnswerBool runs DeterministicWSQAns on a Boolean conjunctive query.
-func AnswerBool(prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts Options) (bool, error) {
+func AnswerBool(ctx context.Context, prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts Options) (bool, error) {
 	if !q.IsBoolean() {
 		return false, fmt.Errorf("qa: query %s has answer variables; use Answer", q.Head.Pred)
 	}
-	as, err := Answer(prog, db, q, opts)
+	as, err := Answer(ctx, prog, db, q, opts)
 	if err != nil {
 		return false, err
 	}
@@ -88,6 +95,9 @@ func AnswerBool(prog *datalog.Program, db *storage.Instance, q *datalog.Query, o
 
 // resolver carries the state of the top-down search.
 type resolver struct {
+	ctx      context.Context
+	ctxErr   error // set when ctx cancellation stopped the search
+	steps    int   // resolve calls since the last cancellation check
 	byHead   map[string][]*datalog.TGD
 	db       *storage.Instance
 	fresh    *datalog.Counter
@@ -104,6 +114,21 @@ type resolver struct {
 // returns false to stop the search. resolve reports whether the search
 // ran to exhaustion (false = stopped early by onSuccess).
 func (r *resolver) resolve(goals []datalog.Atom, s datalog.Subst, depth int, onSuccess func(datalog.Subst) bool) bool {
+	// Cancellation is sticky: once observed, every frame unwinds
+	// immediately (a false return anywhere below is otherwise
+	// ambiguous between "stopped early" and "goal unprovable").
+	if r.ctxErr != nil {
+		return false
+	}
+	// Check cancellation every few thousand proof steps: often enough
+	// to time-bound a runaway search, rarely enough to stay off the
+	// hot path.
+	if r.steps++; r.steps&0xfff == 0 {
+		if err := r.ctx.Err(); err != nil {
+			r.ctxErr = err
+			return false
+		}
+	}
 	if len(goals) == 0 {
 		return onSuccess(s)
 	}
@@ -113,7 +138,11 @@ func (r *resolver) resolve(goals []datalog.Atom, s datalog.Subst, depth int, onS
 	// Ground goals have no variable interaction with their siblings:
 	// prove them in isolation (memoizable), then move on.
 	if g.IsGround() {
-		if !r.proveGround(g, depth) {
+		proven := r.proveGround(g, depth)
+		if r.ctxErr != nil {
+			return false
+		}
+		if !proven {
 			return true
 		}
 		return r.resolve(rest, s, depth, onSuccess)
@@ -173,7 +202,9 @@ func (r *resolver) proveGround(g datalog.Atom, depth int) bool {
 			}
 		}
 	}
-	if r.useMemo {
+	// A cancelled search proves nothing: skip memoization so the
+	// aborted attempt is not misremembered as a definitive failure.
+	if r.useMemo && r.ctxErr == nil {
 		if proven {
 			r.memoOK[key] = true
 		} else if old, ok := r.memoFail[key]; !ok || depth > old {
@@ -304,19 +335,23 @@ type ChaseOptions struct {
 // discarding answers that contain labeled nulls. It is the executable
 // counterpart of the non-deterministic WeaklyStickyQAns and the oracle
 // that DeterministicWSQAns is validated against.
-func CertainAnswersViaChase(prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts ChaseOptions) (*datalog.AnswerSet, error) {
+func CertainAnswersViaChase(ctx context.Context, prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts ChaseOptions) (*datalog.AnswerSet, error) {
 	if len(q.Negated) > 0 {
 		return nil, fmt.Errorf("qa: query %s has negated atoms; certain-answer engines accept positive CQs only", q.Head.Pred)
 	}
-	res, err := chase.Run(prog, db, opts.Chase)
+	res, err := chase.Run(ctx, prog, db, opts.Chase)
 	if err != nil {
 		return nil, err
 	}
 	if !res.Saturated {
-		return nil, fmt.Errorf("qa: chase did not saturate (rounds=%d, atoms=%d)", res.Rounds, res.Instance.TotalTuples())
+		return nil, fmt.Errorf("qa: %w", &qerr.BoundExceededError{
+			Op:     "chase",
+			Rounds: res.Rounds,
+			Atoms:  res.Instance.TotalTuples(),
+		})
 	}
 	if !res.Consistent() && !opts.AllowViolations {
-		return nil, fmt.Errorf("qa: ontology inconsistent: %d violations, first: %s", len(res.Violations), res.Violations[0])
+		return nil, fmt.Errorf("qa: %w", &qerr.InconsistentError{Violations: res.Violations})
 	}
 	return evalCertain(q, res.Instance)
 }

@@ -1,6 +1,7 @@
 package qa
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/chase"
@@ -27,14 +28,14 @@ func TestExample5DownwardNavigation(t *testing.T) {
 	prog, db := compiled(t, hospital.Options{})
 	q := dl.NewQuery(dl.A("Q", dl.V("d")),
 		dl.A("Shifts", dl.C("W1"), dl.V("d"), dl.C("Mark"), dl.V("s")))
-	det, err := Answer(prog, db, q, Options{})
+	det, err := Answer(context.Background(), prog, db, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if det.Len() != 1 || det.All()[0].Terms[0] != dl.C("Sep/9") {
 		t.Errorf("DetQA answers = %v, want exactly Sep/9", det)
 	}
-	ora, err := CertainAnswersViaChase(prog, db, q, ChaseOptions{})
+	ora, err := CertainAnswersViaChase(context.Background(), prog, db, q, ChaseOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestExample5DownwardNavigation(t *testing.T) {
 	// Same for W2, the other Standard ward (Example 2's query).
 	q2 := dl.NewQuery(dl.A("Q", dl.V("d")),
 		dl.A("Shifts", dl.C("W2"), dl.V("d"), dl.C("Mark"), dl.V("s")))
-	det2, err := Answer(prog, db, q2, Options{})
+	det2, err := Answer(context.Background(), prog, db, q2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +60,14 @@ func TestInventedValuesAreNotCertain(t *testing.T) {
 	prog, db := compiled(t, hospital.Options{})
 	q := dl.NewQuery(dl.A("Q", dl.V("s")),
 		dl.A("Shifts", dl.C("W2"), dl.V("d"), dl.C("Mark"), dl.V("s")))
-	det, err := Answer(prog, db, q, Options{})
+	det, err := Answer(context.Background(), prog, db, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if det.Len() != 0 {
 		t.Errorf("invented shift must not be a certain answer: %v", det)
 	}
-	ora, err := CertainAnswersViaChase(prog, db, q, ChaseOptions{})
+	ora, err := CertainAnswersViaChase(context.Background(), prog, db, q, ChaseOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestInventedValuesAreNotCertain(t *testing.T) {
 	// But a known shift (Helen's Table IV tuple) is certain.
 	q2 := dl.NewQuery(dl.A("Q", dl.V("s")),
 		dl.A("Shifts", dl.C("W1"), dl.C("Sep/6"), dl.C("Helen"), dl.V("s")))
-	det2, err := Answer(prog, db, q2, Options{})
+	det2, err := Answer(context.Background(), prog, db, q2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestUpwardNavigationAnswers(t *testing.T) {
 	prog, db := compiled(t, hospital.Options{})
 	q := dl.NewQuery(dl.A("Q", dl.V("u"), dl.V("d")),
 		dl.A("PatientUnit", dl.V("u"), dl.V("d"), dl.C(hospital.TomWaits)))
-	det, err := Answer(prog, db, q, Options{})
+	det, err := Answer(context.Background(), prog, db, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestUpwardNavigationAnswers(t *testing.T) {
 			t.Errorf("unexpected answer %v", a)
 		}
 	}
-	ora, err := CertainAnswersViaChase(prog, db, q, ChaseOptions{})
+	ora, err := CertainAnswersViaChase(context.Background(), prog, db, q, ChaseOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestPieceResolutionJoinOnInventedNull(t *testing.T) {
 	bcq := dl.NewQuery(dl.A("Q"),
 		dl.A("InstitutionUnit", dl.C("H2"), dl.V("u")),
 		dl.A("PatientUnit", dl.V("u"), dl.C("Oct/5"), dl.V("p")))
-	ok, err := AnswerBool(prog, db, bcq, Options{})
+	ok, err := AnswerBool(context.Background(), prog, db, bcq, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,14 +136,14 @@ func TestPieceResolutionJoinOnInventedNull(t *testing.T) {
 	qp := dl.NewQuery(dl.A("Q", dl.V("p")),
 		dl.A("InstitutionUnit", dl.C("H2"), dl.V("u")),
 		dl.A("PatientUnit", dl.V("u"), dl.C("Oct/5"), dl.V("p")))
-	det, err := Answer(prog, db, qp, Options{})
+	det, err := Answer(context.Background(), prog, db, qp, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if det.Len() != 1 || det.All()[0].Terms[0] != dl.C(hospital.ElvisCostello) {
 		t.Errorf("patient answers = %v, want Elvis Costello", det)
 	}
-	ora, err := CertainAnswersViaChase(prog, db, qp, ChaseOptions{})
+	ora, err := CertainAnswersViaChase(context.Background(), prog, db, qp, ChaseOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestPieceResolutionJoinOnInventedNull(t *testing.T) {
 	qu := dl.NewQuery(dl.A("Q", dl.V("u")),
 		dl.A("InstitutionUnit", dl.C("H2"), dl.V("u")),
 		dl.A("PatientUnit", dl.V("u"), dl.C("Oct/5"), dl.V("p")))
-	detU, err := Answer(prog, db, qu, Options{})
+	detU, err := Answer(context.Background(), prog, db, qu, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,14 +169,14 @@ func TestQueryWithComparisons(t *testing.T) {
 	q := dl.NewQuery(dl.A("Q", dl.V("u"), dl.V("d")),
 		dl.A("PatientUnit", dl.V("u"), dl.V("d"), dl.C(hospital.TomWaits))).
 		WithCond(dl.OpGe, dl.V("d"), dl.C("Sep/6"))
-	det, err := Answer(prog, db, q, Options{})
+	det, err := Answer(context.Background(), prog, db, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if det.Len() != 3 { // Sep/6, Sep/7, Sep/9
 		t.Errorf("answers = %v, want 3", det)
 	}
-	ora, err := CertainAnswersViaChase(prog, db, q, ChaseOptions{})
+	ora, err := CertainAnswersViaChase(context.Background(), prog, db, q, ChaseOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,18 +189,18 @@ func TestBooleanQueries(t *testing.T) {
 	prog, db := compiled(t, hospital.Options{})
 	yes := dl.NewQuery(dl.A("Q"),
 		dl.A("PatientUnit", dl.C("Standard"), dl.C("Sep/5"), dl.V("p")))
-	ok, err := AnswerBool(prog, db, yes, Options{})
+	ok, err := AnswerBool(context.Background(), prog, db, yes, Options{})
 	if err != nil || !ok {
 		t.Errorf("BCQ must hold: ok=%v err=%v", ok, err)
 	}
 	no := dl.NewQuery(dl.A("Q"),
 		dl.A("PatientUnit", dl.C("Surgery"), dl.V("d"), dl.V("p")))
-	ok2, err := AnswerBool(prog, db, no, Options{})
+	ok2, err := AnswerBool(context.Background(), prog, db, no, Options{})
 	if err != nil || ok2 {
 		t.Errorf("BCQ must fail: ok=%v err=%v", ok2, err)
 	}
 	open := dl.NewQuery(dl.A("Q", dl.V("p")), dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p")))
-	if _, err := AnswerBool(prog, db, open, Options{}); err == nil {
+	if _, err := AnswerBool(context.Background(), prog, db, open, Options{}); err == nil {
 		t.Error("AnswerBool must reject open queries")
 	}
 }
@@ -208,10 +209,10 @@ func TestNegationRejected(t *testing.T) {
 	prog, db := compiled(t, hospital.Options{})
 	q := dl.NewQuery(dl.A("Q", dl.V("w")), dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p"))).
 		WithNegated(dl.A("UnitWard", dl.C("Standard"), dl.V("w")))
-	if _, err := Answer(prog, db, q, Options{}); err == nil {
+	if _, err := Answer(context.Background(), prog, db, q, Options{}); err == nil {
 		t.Error("Answer must reject negated atoms")
 	}
-	if _, err := CertainAnswersViaChase(prog, db, q, ChaseOptions{}); err == nil {
+	if _, err := CertainAnswersViaChase(context.Background(), prog, db, q, ChaseOptions{}); err == nil {
 		t.Error("oracle must reject negated atoms")
 	}
 }
@@ -228,11 +229,11 @@ func TestMemoizationEquivalence(t *testing.T) {
 			dl.A("PatientUnit", dl.V("u"), dl.C("Oct/5"), dl.V("p"))),
 	}
 	for i, q := range queries {
-		with, err := Answer(prog, db, q, Options{})
+		with, err := Answer(context.Background(), prog, db, q, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		without, err := Answer(prog, db, q, Options{DisableMemo: true})
+		without, err := Answer(context.Background(), prog, db, q, Options{DisableMemo: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -261,11 +262,11 @@ func TestDetQAMatchesOracleOnQueryBattery(t *testing.T) {
 			dl.A("MonthDay", dl.V("m"), dl.V("d"))),
 	}
 	for i, q := range queries {
-		det, err := Answer(prog, db, q, Options{})
+		det, err := Answer(context.Background(), prog, db, q, Options{})
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
-		ora, err := CertainAnswersViaChase(prog, db, q, ChaseOptions{})
+		ora, err := CertainAnswersViaChase(context.Background(), prog, db, q, ChaseOptions{})
 		if err != nil {
 			t.Fatalf("query %d oracle: %v", i, err)
 		}
@@ -292,14 +293,14 @@ func TestDepthBound(t *testing.T) {
 		[]dl.Atom{dl.A("Reach", dl.V("x"), dl.V("y")), dl.A("Next", dl.V("y"), dl.V("z"))}))
 	q := dl.NewQuery(dl.A("Q"), dl.A("Reach", dl.C("a0"), dl.C("a5")))
 	// Depth 2 is insufficient (needs 5 Reach applications).
-	if ok, err := AnswerBool(prog, db, q, Options{MaxDepth: 2}); err != nil || ok {
+	if ok, err := AnswerBool(context.Background(), prog, db, q, Options{MaxDepth: 2}); err != nil || ok {
 		t.Errorf("depth 2 must fail: ok=%v err=%v", ok, err)
 	}
-	if ok, err := AnswerBool(prog, db, q, Options{MaxDepth: 8}); err != nil || !ok {
+	if ok, err := AnswerBool(context.Background(), prog, db, q, Options{MaxDepth: 8}); err != nil || !ok {
 		t.Errorf("depth 8 must succeed: ok=%v err=%v", ok, err)
 	}
 	// The default depth heuristic covers this chain too.
-	if ok, err := AnswerBool(prog, db, q, Options{}); err != nil || !ok {
+	if ok, err := AnswerBool(context.Background(), prog, db, q, Options{}); err != nil || !ok {
 		t.Errorf("default depth must succeed: ok=%v err=%v", ok, err)
 	}
 }
@@ -309,7 +310,7 @@ func TestExistentialCannotMatchConstant(t *testing.T) {
 	prog, db := compiled(t, hospital.Options{})
 	q := dl.NewQuery(dl.A("Q"),
 		dl.A("Shifts", dl.C("W2"), dl.C("Sep/9"), dl.C("Mark"), dl.C("night")))
-	ok, err := AnswerBool(prog, db, q, Options{})
+	ok, err := AnswerBool(context.Background(), prog, db, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,10 +324,10 @@ func TestCertainAnswersViaChaseViolations(t *testing.T) {
 	prog.AddNC(dl.NewDenial("always",
 		dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p"))))
 	q := dl.NewQuery(dl.A("Q", dl.V("w")), dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p")))
-	if _, err := CertainAnswersViaChase(prog, db, q, ChaseOptions{}); err == nil {
+	if _, err := CertainAnswersViaChase(context.Background(), prog, db, q, ChaseOptions{}); err == nil {
 		t.Error("violations must surface as an error by default")
 	}
-	if _, err := CertainAnswersViaChase(prog, db, q, ChaseOptions{AllowViolations: true}); err != nil {
+	if _, err := CertainAnswersViaChase(context.Background(), prog, db, q, ChaseOptions{AllowViolations: true}); err != nil {
 		t.Errorf("AllowViolations must evaluate anyway: %v", err)
 	}
 }
@@ -339,7 +340,7 @@ func TestCertainAnswersViaChaseNonTerminating(t *testing.T) {
 		[]dl.Atom{dl.A("Next", dl.V("x"), dl.V("y"))},
 		[]dl.Atom{dl.A("Next", dl.V("w"), dl.V("x"))}))
 	q := dl.NewQuery(dl.A("Q"), dl.A("Next", dl.C("a"), dl.C("b")))
-	_, err := CertainAnswersViaChase(prog, db, q, ChaseOptions{
+	_, err := CertainAnswersViaChase(context.Background(), prog, db, q, ChaseOptions{
 		Chase: chase.Options{MaxAtoms: 100},
 	})
 	if err == nil {
@@ -350,7 +351,7 @@ func TestCertainAnswersViaChaseNonTerminating(t *testing.T) {
 func TestAnswerValidatesQuery(t *testing.T) {
 	prog, db := compiled(t, hospital.Options{})
 	bad := dl.NewQuery(dl.A("Q", dl.V("zz")), dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p")))
-	if _, err := Answer(prog, db, bad, Options{}); err == nil {
+	if _, err := Answer(context.Background(), prog, db, bad, Options{}); err == nil {
 		t.Error("unsafe query must be rejected")
 	}
 }
@@ -360,10 +361,48 @@ func TestDetQADoesNotMutateInstance(t *testing.T) {
 	before := db.TotalTuples()
 	q := dl.NewQuery(dl.A("Q", dl.V("d")),
 		dl.A("Shifts", dl.C("W1"), dl.V("d"), dl.C("Mark"), dl.V("s")))
-	if _, err := Answer(prog, db, q, Options{}); err != nil {
+	if _, err := Answer(context.Background(), prog, db, q, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if db.TotalTuples() != before {
 		t.Error("DetQA is read-only; the instance must be unchanged")
+	}
+}
+
+// TestAnswerCancellation pins the cancellation contract: once the
+// context is cancelled, the search stops (even when the signal
+// surfaces inside a ground-goal frame, which must not be misread as
+// "proof found" or memoized as a definitive failure) and the
+// context's error is returned.
+func TestAnswerCancellation(t *testing.T) {
+	prog, db := compiled(t, hospital.Options{WithRuleNine: true})
+	q := dl.NewQuery(dl.A("Q", dl.V("u"), dl.V("d"), dl.V("p")),
+		dl.A("PatientUnit", dl.V("u"), dl.V("d"), dl.V("p")))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &resolver{
+		ctx:      ctx,
+		steps:    -1, // the very next resolve call hits the ctx check
+		byHead:   prog.TGDsByHeadPred(),
+		db:       db,
+		fresh:    dl.NewCounter("κ"),
+		ansVars:  q.Head.Args,
+		memoFail: map[string]int{},
+		memoOK:   map[string]bool{},
+		useMemo:  true,
+	}
+	r.resolve(q.Body, dl.NewSubst(), 8, func(dl.Subst) bool { return true })
+	if r.ctxErr == nil {
+		t.Fatal("cancelled resolve must record the context error")
+	}
+	if len(r.memoFail) != 0 || len(r.memoOK) != 0 {
+		t.Errorf("cancelled search must not memoize: fail=%v ok=%v", r.memoFail, r.memoOK)
+	}
+	// And through the public entry point: the error surfaces.
+	if _, err := Answer(ctx, prog, db, q, Options{}); err == nil {
+		// The periodic check fires every 4096 steps; a small search
+		// can legitimately finish first, but the sticky path above
+		// already covers the in-search behavior.
+		t.Log("search finished before the periodic cancellation check")
 	}
 }

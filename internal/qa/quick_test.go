@@ -1,6 +1,7 @@
 package qa
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -61,11 +62,11 @@ func TestQuickDetQAMatchesChaseOracle(t *testing.T) {
 	// answers the chase yields, on random worlds and queries.
 	prog := navProgram()
 	f := func(w worldValue) bool {
-		oracle, err := CertainAnswersViaChase(prog, w.DB, w.Query, ChaseOptions{})
+		oracle, err := CertainAnswersViaChase(context.Background(), prog, w.DB, w.Query, ChaseOptions{})
 		if err != nil {
 			return false
 		}
-		det, err := Answer(prog, w.DB, w.Query, Options{})
+		det, err := Answer(context.Background(), prog, w.DB, w.Query, Options{})
 		if err != nil {
 			return false
 		}
@@ -80,7 +81,7 @@ func TestQuickDetQAReadOnly(t *testing.T) {
 	prog := navProgram()
 	f := func(w worldValue) bool {
 		before := w.DB.TotalTuples()
-		if _, err := Answer(prog, w.DB, w.Query, Options{}); err != nil {
+		if _, err := Answer(context.Background(), prog, w.DB, w.Query, Options{}); err != nil {
 			return false
 		}
 		return w.DB.TotalTuples() == before
@@ -93,11 +94,11 @@ func TestQuickDetQAReadOnly(t *testing.T) {
 func TestQuickMemoInvariance(t *testing.T) {
 	prog := navProgram()
 	f := func(w worldValue) bool {
-		with, err := Answer(prog, w.DB, w.Query, Options{})
+		with, err := Answer(context.Background(), prog, w.DB, w.Query, Options{})
 		if err != nil {
 			return false
 		}
-		without, err := Answer(prog, w.DB, w.Query, Options{DisableMemo: true})
+		without, err := Answer(context.Background(), prog, w.DB, w.Query, Options{DisableMemo: true})
 		if err != nil {
 			return false
 		}
@@ -112,11 +113,11 @@ func TestQuickMoreDepthNeverLosesAnswers(t *testing.T) {
 	// Answers are monotone in the depth budget.
 	prog := navProgram()
 	f := func(w worldValue) bool {
-		shallow, err := Answer(prog, w.DB, w.Query, Options{MaxDepth: 1})
+		shallow, err := Answer(context.Background(), prog, w.DB, w.Query, Options{MaxDepth: 1})
 		if err != nil {
 			return false
 		}
-		deep, err := Answer(prog, w.DB, w.Query, Options{MaxDepth: 6})
+		deep, err := Answer(context.Background(), prog, w.DB, w.Query, Options{MaxDepth: 6})
 		if err != nil {
 			return false
 		}

@@ -6,6 +6,12 @@
 // answering rewrites a query over the original schema into one over
 // the quality versions and answers it over the context — triggering
 // dimensional navigation through the ontology's rules.
+//
+// Contexts are immutable: NewContext validates a Config once and the
+// resulting Context can be shared freely. All potentially expensive
+// entry points (Prepare, Assess, NewSession, Apply) take a leading
+// context.Context; the repro/mdqa package is the public facade over
+// this one.
 package quality
 
 import (
@@ -18,6 +24,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/engine"
 	"repro/internal/eval"
+	"repro/internal/qerr"
 	"repro/internal/storage"
 )
 
@@ -25,32 +32,56 @@ import (
 // the paper's S^q rendered as "<name>_q".
 func VersionName(rel string) string { return rel + "_q" }
 
-// Context assembles the quality-assessment context of Figure 2.
-type Context struct {
-	ontology *core.Ontology
-	compile  core.CompileOptions
-	chaseOpt chase.Options
+// VersionSpec declares the quality version of one original relation:
+// Pred is the predicate the Rules define (use VersionName(Original) by
+// convention).
+type VersionSpec struct {
+	Original string
+	Pred     string
+	Rules    []*eval.Rule
+}
 
-	// mappings define contextual predicates from the original schema
+// Config collects everything a quality context is built from. The
+// zero value is a context with no mappings, rules or versions over
+// default compile and chase options.
+type Config struct {
+	// Compile sets the ontology compilation options.
+	Compile core.CompileOptions
+	// Chase sets the chase options used during assessment.
+	Chase chase.Options
+	// Mappings define contextual predicates from the original schema
 	// (the paper's "footprint" step: Measurement_c is a contextual
 	// copy — or expansion — of Measurements).
-	mappings []*eval.Rule
-	// qualityRules define contextual/quality predicates P_i, e.g.
+	Mappings []*eval.Rule
+	// QualityRules define contextual/quality predicates P_i, e.g.
 	// TakenByNurse and TakenWithTherm in Example 7.
-	qualityRules []*eval.Rule
-	// versions maps an original relation name to the predicate name
-	// and rules defining its quality version.
+	QualityRules []*eval.Rule
+	// Versions declare the quality versions of original relations.
+	Versions []VersionSpec
+	// Externals are additional data sources E_i merged into the
+	// context.
+	Externals []*storage.Instance
+	// StrictConsistency makes Assess fail with qerr.ErrInconsistent
+	// when the chase finds constraint violations, instead of
+	// reporting them on the Assessment.
+	StrictConsistency bool
+}
+
+// Context assembles the quality-assessment context of Figure 2. It is
+// immutable after NewContext; a single cached compilation (Prepare) is
+// shared by every Assess call and session.
+type Context struct {
+	ontology *core.Ontology
+	cfg      Config
 	versions map[string]*versionDef
 	vorder   []string
-	// externals are additional data sources E_i merged into the
-	// context.
-	externals []*storage.Instance
 
-	// mu guards prepared, the cached compiled form of the context.
-	// Every mutating method invalidates it, so repeated Assess calls
-	// (and explicit Prepare callers) share one compilation.
-	mu       sync.Mutex
-	prepared *Prepared
+	// prepareOnce guards prepared, the cached compiled form of the
+	// context: the context never mutates, so one compilation serves
+	// its whole lifetime.
+	prepareOnce sync.Once
+	prepared    *Prepared
+	prepareErr  error
 }
 
 type versionDef struct {
@@ -58,87 +89,75 @@ type versionDef struct {
 	rules []*eval.Rule
 }
 
-// NewContext creates a context around the MD ontology.
-func NewContext(o *core.Ontology) *Context {
-	return &Context{
+// NewContext builds and validates a context around the MD ontology.
+// Every mapping, quality rule and version rule is safety-checked up
+// front (qerr.ErrUnsafeRule), and duplicate or empty version
+// definitions are rejected, so a returned Context cannot fail
+// validation later. The Config's slices are copied: callers may reuse
+// or extend a Config to build further contexts without aliasing (two
+// contexts built from one ontology never share option state).
+func NewContext(o *core.Ontology, cfg Config) (*Context, error) {
+	if o == nil {
+		return nil, fmt.Errorf("quality: nil ontology")
+	}
+	c := &Context{
 		ontology: o,
 		versions: map[string]*versionDef{},
 	}
-}
-
-// invalidate drops the cached compilation after a context mutation.
-func (c *Context) invalidate() {
-	c.mu.Lock()
-	c.prepared = nil
-	c.mu.Unlock()
-}
-
-// WithCompileOptions sets the ontology compilation options.
-func (c *Context) WithCompileOptions(opts core.CompileOptions) *Context {
-	c.compile = opts
-	c.invalidate()
-	return c
-}
-
-// WithChaseOptions sets the chase options used during assessment.
-func (c *Context) WithChaseOptions(opts chase.Options) *Context {
-	c.chaseOpt = opts
-	c.invalidate()
-	return c
-}
-
-// AddMapping registers a rule mapping original-schema predicates into
-// contextual predicates.
-func (c *Context) AddMapping(r *eval.Rule) error {
-	if err := r.Validate(); err != nil {
-		return err
+	c.cfg = Config{
+		Compile:           cfg.Compile,
+		Chase:             cfg.Chase,
+		Mappings:          append([]*eval.Rule(nil), cfg.Mappings...),
+		QualityRules:      append([]*eval.Rule(nil), cfg.QualityRules...),
+		Externals:         append([]*storage.Instance(nil), cfg.Externals...),
+		StrictConsistency: cfg.StrictConsistency,
 	}
-	c.mappings = append(c.mappings, r)
-	c.invalidate()
-	return nil
-}
-
-// AddQualityRule registers a rule defining a contextual or quality
-// predicate P_i.
-func (c *Context) AddQualityRule(r *eval.Rule) error {
-	if err := r.Validate(); err != nil {
-		return err
-	}
-	c.qualityRules = append(c.qualityRules, r)
-	c.invalidate()
-	return nil
-}
-
-// AddExternalSource merges an external data source E_i into the
-// context at assessment time.
-func (c *Context) AddExternalSource(db *storage.Instance) {
-	c.externals = append(c.externals, db)
-	c.invalidate()
-}
-
-// DefineQualityVersion declares the quality version of an original
-// relation: versionPred is the predicate the rules define (use
-// VersionName(rel) by convention).
-func (c *Context) DefineQualityVersion(rel, versionPred string, rules ...*eval.Rule) error {
-	if _, dup := c.versions[rel]; dup {
-		return fmt.Errorf("quality: version of %s already defined", rel)
-	}
-	if len(rules) == 0 {
-		return fmt.Errorf("quality: version of %s needs at least one rule", rel)
-	}
-	for _, r := range rules {
+	for _, r := range c.cfg.Mappings {
 		if err := r.Validate(); err != nil {
-			return err
-		}
-		if r.Head.Pred != versionPred {
-			return fmt.Errorf("quality: rule %s defines %s, want %s", r.ID, r.Head.Pred, versionPred)
+			return nil, err
 		}
 	}
-	c.versions[rel] = &versionDef{pred: versionPred, rules: rules}
-	c.vorder = append(c.vorder, rel)
-	c.invalidate()
-	return nil
+	for _, r := range c.cfg.QualityRules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range cfg.Versions {
+		if _, dup := c.versions[v.Original]; dup {
+			return nil, fmt.Errorf("quality: version of %s already defined", v.Original)
+		}
+		if len(v.Rules) == 0 {
+			return nil, fmt.Errorf("quality: version of %s needs at least one rule", v.Original)
+		}
+		for _, r := range v.Rules {
+			if err := r.Validate(); err != nil {
+				return nil, err
+			}
+			if r.Head.Pred != v.Pred {
+				return nil, fmt.Errorf("quality: rule %s defines %s, want %s", r.ID, r.Head.Pred, v.Pred)
+			}
+		}
+		c.versions[v.Original] = &versionDef{pred: v.Pred, rules: append([]*eval.Rule(nil), v.Rules...)}
+		c.vorder = append(c.vorder, v.Original)
+	}
+	return c, nil
 }
+
+// Ontology returns the MD ontology the context is built around.
+func (c *Context) Ontology() *core.Ontology { return c.ontology }
+
+// VersionPred returns the version predicate defined for an original
+// relation, or "" when none is.
+func (c *Context) VersionPred(rel string) string {
+	if def, ok := c.versions[rel]; ok {
+		return def.pred
+	}
+	return ""
+}
+
+// Versioned lists the original relations with defined quality
+// versions, in declaration order.
+func (c *Context) Versioned() []string { return append([]string(nil), c.vorder...) }
 
 // Measure quantifies how much an original relation departs from its
 // quality version, following the paper's "quality is measured in terms
@@ -173,7 +192,8 @@ func (m Measure) CleanFraction() float64 {
 type Assessment struct {
 	// Contextual is the full contextual instance: chased ontology
 	// data, the mapped original instance, external sources, quality
-	// predicates and quality versions.
+	// predicates and quality versions. It is a frozen snapshot, safe
+	// for concurrent readers.
 	Contextual *storage.Instance
 	// Versions holds the computed quality version of each original
 	// relation with a defined version.
@@ -197,35 +217,43 @@ type Assessment struct {
 // sessions from one Prepared.
 type Prepared struct {
 	eng      *engine.Prepared
-	chaseOpt chase.Options
+	strict   bool
 	versions map[string]*versionDef
 	vorder   []string
 }
 
-// Prepare compiles the context once, caching the result until the
-// next context mutation. Repeated Assess calls on one context share
-// the compilation.
-func (c *Context) Prepare() (*Prepared, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.prepared != nil {
-		return c.prepared, nil
+// Prepare compiles the context once, caching the result for the
+// context's lifetime: repeated Assess calls and sessions all share one
+// compilation.
+func (c *Context) Prepare(ctx context.Context) (*Prepared, error) {
+	// The ctx check stays outside the Once: a cancelled first call
+	// must not poison the cache for later callers.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	comp, err := c.ontology.Compile(c.compile)
+	c.prepareOnce.Do(func() {
+		c.prepared, c.prepareErr = c.compile()
+	})
+	return c.prepared, c.prepareErr
+}
+
+// compile does the actual one-time compilation behind Prepare.
+func (c *Context) compile() (*Prepared, error) {
+	comp, err := c.ontology.Compile(c.cfg.Compile)
 	if err != nil {
 		return nil, err
 	}
 	// The compiled instance is freshly built and owned here; external
 	// sources merge into it once, at prepare time, not per assessment.
 	base := comp.Instance
-	for _, ext := range c.externals {
+	for _, ext := range c.cfg.Externals {
 		if err := storage.Merge(base, ext); err != nil {
 			return nil, err
 		}
 	}
 	evalProg := eval.NewProgram()
-	evalProg.Add(c.mappings...)
-	evalProg.Add(c.qualityRules...)
+	evalProg.Add(c.cfg.Mappings...)
+	evalProg.Add(c.cfg.QualityRules...)
 	for _, rel := range c.vorder {
 		evalProg.Add(c.versions[rel].rules...)
 	}
@@ -233,21 +261,20 @@ func (c *Context) Prepare() (*Prepared, error) {
 		Program:      comp.Program,
 		Base:         base,
 		Rules:        evalProg,
-		ChaseOptions: c.chaseOpt,
+		ChaseOptions: c.cfg.Chase,
 	})
 	if err != nil {
 		return nil, err
 	}
 	p := &Prepared{
 		eng:      eng,
-		chaseOpt: c.chaseOpt,
+		strict:   c.cfg.StrictConsistency,
 		versions: make(map[string]*versionDef, len(c.versions)),
 		vorder:   append([]string(nil), c.vorder...),
 	}
 	for rel, def := range c.versions {
 		p.versions[rel] = def
 	}
-	c.prepared = p
 	return p, nil
 }
 
@@ -255,14 +282,10 @@ func (c *Context) Prepare() (*Prepared, error) {
 // assessment is merged into a private clone of the static context,
 // chased to saturation and evaluated. Apply then extends the session
 // incrementally as new data arrives; Snapshot and Assessment serve
-// concurrent readers.
-func (p *Prepared) NewSession(d *storage.Instance) (*Session, error) {
-	return p.NewSessionContext(context.Background(), d)
-}
-
-// NewSessionContext is NewSession with cancellation.
-func (p *Prepared) NewSessionContext(ctx context.Context, d *storage.Instance) (*Session, error) {
-	eng, err := p.eng.NewSessionContext(ctx, d)
+// concurrent readers. Cancellation of ctx is checked once per chase
+// round and eval stratum round.
+func (p *Prepared) NewSession(ctx context.Context, d *storage.Instance) (*Session, error) {
+	eng, err := p.eng.NewSession(ctx, d)
 	if err != nil {
 		return nil, err
 	}
@@ -317,20 +340,42 @@ func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*engine.Appl
 // instance as of the last Apply, safe for concurrent readers.
 func (s *Session) Snapshot() *storage.Instance { return s.eng.Snapshot() }
 
+// Violations returns the session's cumulative constraint violations.
+func (s *Session) Violations() []chase.Violation { return s.eng.Violations() }
+
+// VersionPred returns the version predicate defined for an original
+// relation, or "" when none is.
+func (s *Session) VersionPred(rel string) string {
+	if def, ok := s.prep.versions[rel]; ok {
+		return def.pred
+	}
+	return ""
+}
+
+// Versioned lists the original relations with defined quality
+// versions, in declaration order.
+func (s *Session) Versioned() []string { return append([]string(nil), s.prep.vorder...) }
+
 // Assessment materializes the session's current state as the
 // Figure 2 assessment outcome: quality versions, departure measures
-// and accumulated violations over a consistent snapshot.
+// and accumulated violations over a consistent snapshot. Under
+// Config.StrictConsistency it fails with qerr.ErrInconsistent when
+// the chase found violations.
 func (s *Session) Assessment() (*Assessment, error) {
 	// The lock pairs the engine snapshot with the measure bookkeeping
 	// atomically against Apply.
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	violations := s.eng.Violations()
+	if s.prep.strict && len(violations) > 0 {
+		return nil, fmt.Errorf("quality: %w", &qerr.InconsistentError{Violations: violations})
+	}
 	final := s.eng.Snapshot()
 	out := &Assessment{
 		Contextual:  final,
 		Versions:    map[string]*storage.Relation{},
 		Measures:    map[string]Measure{},
-		Violations:  s.eng.Violations(),
+		Violations:  violations,
 		versionPred: map[string]string{},
 	}
 	for _, rel := range s.prep.vorder {
@@ -376,19 +421,14 @@ func (s *Session) Assessment() (*Assessment, error) {
 // a private clone, so successive assessments never contaminate each
 // other or the inputs. Assess is a one-shot session — long-lived
 // callers use Prepare/NewSession directly and Apply deltas instead of
-// re-assessing from scratch.
-func (c *Context) Assess(d *storage.Instance) (*Assessment, error) {
-	return c.AssessContext(context.Background(), d)
-}
-
-// AssessContext is Assess with cancellation, checked once per chase
-// round and eval stratum round.
-func (c *Context) AssessContext(ctx context.Context, d *storage.Instance) (*Assessment, error) {
-	p, err := c.Prepare()
+// re-assessing from scratch. Cancellation of ctx is checked once per
+// chase round and eval stratum round.
+func (c *Context) Assess(ctx context.Context, d *storage.Instance) (*Assessment, error) {
+	p, err := c.Prepare(ctx)
 	if err != nil {
 		return nil, err
 	}
-	s, err := p.NewSessionContext(ctx, d)
+	s, err := p.NewSession(ctx, d)
 	if err != nil {
 		return nil, err
 	}
@@ -412,14 +452,21 @@ func measure(orig, version *storage.Relation) Measure {
 // version predicate. Unmapped predicates are left untouched (they
 // resolve against the contextual instance).
 func (a *Assessment) RewriteClean(q *datalog.Query) *datalog.Query {
+	return RewriteCleanQuery(q, a.versionPred)
+}
+
+// RewriteCleanQuery renames version-mapped predicates in a copy of q —
+// the one shared implementation of the paper's clean rewriting, used
+// by Assessment.RewriteClean and the mdqa snapshot streams.
+func RewriteCleanQuery(q *datalog.Query, versionPred map[string]string) *datalog.Query {
 	out := q.Clone()
 	for i, atom := range out.Body {
-		if vp, ok := a.versionPred[atom.Pred]; ok {
+		if vp, ok := versionPred[atom.Pred]; ok {
 			out.Body[i].Pred = vp
 		}
 	}
 	for i, atom := range out.Negated {
-		if vp, ok := a.versionPred[atom.Pred]; ok {
+		if vp, ok := versionPred[atom.Pred]; ok {
 			out.Negated[i].Pred = vp
 		}
 	}

@@ -1,6 +1,7 @@
 package quality_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ func assess(t *testing.T, opts hospital.Options) *quality.Assessment {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := ctx.Assess(hospital.MeasurementsInstance())
+	a, err := ctx.Assess(context.Background(), hospital.MeasurementsInstance())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,16 +156,17 @@ func TestExternalSources(t *testing.T) {
 	// the quality version stays at 2. Supply instead an external
 	// PatientWard fact placing a new patient in W1 with a matching
 	// measurement: the version grows.
-	ctx, err := hospital.QualityContext(hospital.Options{})
+	ext := storage.NewInstance()
+	ext.MustInsert("PatientWard", dl.C("W1"), dl.C("Sep/5"), dl.C("Nick Cave"))
+	cfg := hospital.QualityConfig()
+	cfg.Externals = append(cfg.Externals, ext)
+	ctx, err := quality.NewContext(hospital.NewOntology(hospital.Options{}), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ext := storage.NewInstance()
-	ext.MustInsert("PatientWard", dl.C("W1"), dl.C("Sep/5"), dl.C("Nick Cave"))
-	ctx.AddExternalSource(ext)
 	d := hospital.MeasurementsInstance()
 	d.MustInsert("Measurements", dl.C("Sep/5-12:15"), dl.C("Nick Cave"), dl.C("36.9"))
-	a, err := ctx.Assess(d)
+	a, err := ctx.Assess(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,26 +199,37 @@ func TestRewriteClean(t *testing.T) {
 
 func TestContextValidation(t *testing.T) {
 	o := hospital.NewOntology(hospital.Options{})
-	ctx := quality.NewContext(o)
 	bad := eval.NewRule("bad", dl.A("X", dl.V("z")), dl.A("Y", dl.V("w")))
-	if err := ctx.AddMapping(bad); err == nil {
+	if _, err := quality.NewContext(o, quality.Config{Mappings: []*eval.Rule{bad}}); err == nil {
 		t.Error("invalid mapping must be rejected")
 	}
-	if err := ctx.AddQualityRule(bad); err == nil {
+	if _, err := quality.NewContext(o, quality.Config{QualityRules: []*eval.Rule{bad}}); err == nil {
 		t.Error("invalid quality rule must be rejected")
 	}
 	okRule := eval.NewRule("ok", dl.A("M_q", dl.V("x")), dl.A("M", dl.V("x")))
-	if err := ctx.DefineQualityVersion("M", "M_q"); err == nil {
+	if _, err := quality.NewContext(o, quality.Config{Versions: []quality.VersionSpec{
+		{Original: "M", Pred: "M_q"},
+	}}); err == nil {
 		t.Error("version without rules must be rejected")
 	}
-	if err := ctx.DefineQualityVersion("M", "Other", okRule); err == nil {
+	if _, err := quality.NewContext(o, quality.Config{Versions: []quality.VersionSpec{
+		{Original: "M", Pred: "Other", Rules: []*eval.Rule{okRule}},
+	}}); err == nil {
 		t.Error("rule head must match the version predicate")
 	}
-	if err := ctx.DefineQualityVersion("M", "M_q", okRule); err != nil {
+	if _, err := quality.NewContext(o, quality.Config{Versions: []quality.VersionSpec{
+		{Original: "M", Pred: "M_q", Rules: []*eval.Rule{okRule}},
+	}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctx.DefineQualityVersion("M", "M_q", okRule); err == nil {
+	if _, err := quality.NewContext(o, quality.Config{Versions: []quality.VersionSpec{
+		{Original: "M", Pred: "M_q", Rules: []*eval.Rule{okRule}},
+		{Original: "M", Pred: "M_q", Rules: []*eval.Rule{okRule}},
+	}}); err == nil {
 		t.Error("duplicate version must be rejected")
+	}
+	if _, err := quality.NewContext(nil, quality.Config{}); err == nil {
+		t.Error("nil ontology must be rejected")
 	}
 }
 
@@ -224,15 +237,17 @@ func TestEmptyVersionExposedAsEmptyRelation(t *testing.T) {
 	// A quality version whose rules derive nothing still appears in
 	// the assessment, with zero tuples.
 	o := hospital.NewOntology(hospital.Options{})
-	ctx := quality.NewContext(o)
 	rule := eval.NewRule("never",
 		dl.A("Measurements_q", dl.V("t"), dl.V("p"), dl.V("v")),
 		dl.A("Measurements", dl.V("t"), dl.V("p"), dl.V("v"))).
 		WithCond(dl.OpEq, dl.V("p"), dl.C("Nobody"))
-	if err := ctx.DefineQualityVersion("Measurements", "Measurements_q", rule); err != nil {
+	ctx, err := quality.NewContext(o, quality.Config{Versions: []quality.VersionSpec{
+		{Original: "Measurements", Pred: "Measurements_q", Rules: []*eval.Rule{rule}},
+	}})
+	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := ctx.Assess(hospital.MeasurementsInstance())
+	a, err := ctx.Assess(context.Background(), hospital.MeasurementsInstance())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +267,7 @@ func TestAssessDoesNotMutateInput(t *testing.T) {
 	}
 	d := hospital.MeasurementsInstance()
 	before := d.TotalTuples()
-	if _, err := ctx.Assess(d); err != nil {
+	if _, err := ctx.Assess(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
 	if d.TotalTuples() != before {
@@ -267,14 +282,16 @@ func TestCleanAnswerFiltersNulls(t *testing.T) {
 	// A version defined over a relation completed downward (Shifts
 	// via rule (8)) can contain nulls; clean answers must drop them.
 	o := hospital.NewOntology(hospital.Options{})
-	ctx := quality.NewContext(o)
 	rule := eval.NewRule("shifts-q",
 		dl.A("ShiftLog_q", dl.V("w"), dl.V("d"), dl.V("n"), dl.V("s")),
 		dl.A("Shifts", dl.V("w"), dl.V("d"), dl.V("n"), dl.V("s")))
-	if err := ctx.DefineQualityVersion("ShiftLog", "ShiftLog_q", rule); err != nil {
+	ctx, err := quality.NewContext(o, quality.Config{Versions: []quality.VersionSpec{
+		{Original: "ShiftLog", Pred: "ShiftLog_q", Rules: []*eval.Rule{rule}},
+	}})
+	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := ctx.Assess(storage.NewInstance())
+	a, err := ctx.Assess(context.Background(), storage.NewInstance())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,21 +335,78 @@ func TestAssessWithRuleNineInteroperates(t *testing.T) {
 
 func TestCompileOptionsPlumbing(t *testing.T) {
 	o := hospital.NewOntology(hospital.Options{})
-	ctx := quality.NewContext(o).
-		WithCompileOptions(core.CompileOptions{TransitiveRollups: true})
 	rule := eval.NewRule("pw-q",
 		dl.A("PW_q", dl.V("w"), dl.V("i")),
 		dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p")),
 		dl.A("InstitutionWard", dl.V("i"), dl.V("w")))
-	if err := ctx.DefineQualityVersion("PW", "PW_q", rule); err != nil {
+	ctx, err := quality.NewContext(o, quality.Config{
+		Compile: core.CompileOptions{TransitiveRollups: true},
+		Versions: []quality.VersionSpec{
+			{Original: "PW", Pred: "PW_q", Rules: []*eval.Rule{rule}},
+		},
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := ctx.Assess(storage.NewInstance())
+	a, err := ctx.Assess(context.Background(), storage.NewInstance())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// InstitutionWard only exists via transitive rollup compilation.
 	if a.Versions["PW"].Len() == 0 {
 		t.Error("transitive rollups must be available to quality rules")
+	}
+}
+
+// TestNoOptionAliasingBetweenContexts is the regression test for the
+// old mutate-and-return option chainers: two contexts built from the
+// same ontology and a shared base Config with different options must
+// not interfere — neither through the Config value nor through shared
+// compilation state.
+func TestNoOptionAliasingBetweenContexts(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{})
+	base := quality.Config{Versions: []quality.VersionSpec{{
+		Original: "PW",
+		Pred:     "PW_q",
+		Rules: []*eval.Rule{eval.NewRule("pw-q",
+			dl.A("PW_q", dl.V("w"), dl.V("i")),
+			dl.A("PatientWard", dl.V("w"), dl.V("d"), dl.V("p")),
+			dl.A("InstitutionWard", dl.V("i"), dl.V("w")))},
+	}}}
+
+	plain, err := quality.NewContext(o, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transitive := base // same Config value, different options
+	transitive.Compile = core.CompileOptions{TransitiveRollups: true}
+	trans, err := quality.NewContext(o, transitive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Assess through the transitive context first: under the old
+	// mutator API this is the order that leaked options into the
+	// shared "copy".
+	at, err := trans.Assess(context.Background(), storage.NewInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Versions["PW"].Len() == 0 {
+		t.Fatal("transitive context must see InstitutionWard rollups")
+	}
+	ap, err := plain.Assess(context.Background(), storage.NewInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Versions["PW"].Len() != 0 {
+		t.Errorf("plain context leaked the other context's TransitiveRollups option: %d tuples",
+			ap.Versions["PW"].Len())
+	}
+	// And mutating the caller's Config after construction must not
+	// reach either context.
+	base.Versions[0].Pred = "corrupted"
+	if _, err := plain.Assess(context.Background(), storage.NewInstance()); err != nil {
+		t.Errorf("context must not alias the caller's Config: %v", err)
 	}
 }

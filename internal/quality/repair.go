@@ -1,6 +1,7 @@
 package quality
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,8 +48,8 @@ func (r *Repair) String() string {
 // RepairByDeletion removes ontology facts until the compiled program's
 // negative constraints hold. It mutates a copy: the returned instance
 // is the repaired extensional data of the categorical relations; the
-// ontology itself is untouched.
-func RepairByDeletion(o *core.Ontology, opts core.CompileOptions, maxIterations int) (*storage.Instance, *Repair, error) {
+// ontology itself is untouched. ctx bounds each chase round.
+func RepairByDeletion(ctx context.Context, o *core.Ontology, opts core.CompileOptions, maxIterations int) (*storage.Instance, *Repair, error) {
 	if maxIterations <= 0 {
 		maxIterations = 10_000
 	}
@@ -66,7 +67,7 @@ func RepairByDeletion(o *core.Ontology, opts core.CompileOptions, maxIterations 
 	rep := &Repair{}
 	for it := 0; it < maxIterations; it++ {
 		rep.Iterations = it + 1
-		res, err := chase.Run(comp.Program, work, chase.Options{})
+		res, err := chase.Run(ctx, comp.Program, work, chase.Options{})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package quality_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestRepairByDeletionIntensiveClosed(t *testing.T) {
 	// (Tom Sep/7, Lou Sep/6). Repair deletes exactly those two
 	// PatientWard tuples.
 	o := hospital.NewOntology(hospital.Options{WithConstraints: true})
-	repaired, rep, err := quality.RepairByDeletion(o, core.CompileOptions{}, 0)
+	repaired, rep, err := quality.RepairByDeletion(context.Background(), o, core.CompileOptions{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestRepairByDeletionIntensiveClosed(t *testing.T) {
 
 func TestRepairLeavesConsistentDataAlone(t *testing.T) {
 	o := hospital.NewOntology(hospital.Options{})
-	repaired, rep, err := quality.RepairByDeletion(o, core.CompileOptions{}, 0)
+	repaired, rep, err := quality.RepairByDeletion(context.Background(), o, core.CompileOptions{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestRepairReportsEGDConflictsAsUnresolved(t *testing.T) {
 	if err := o.AddFact("Thermometer", "W2", "Tympanic", "Mark"); err != nil {
 		t.Fatal(err)
 	}
-	_, rep, err := quality.RepairByDeletion(o, core.CompileOptions{}, 0)
+	_, rep, err := quality.RepairByDeletion(context.Background(), o, core.CompileOptions{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRepairHandlesQuotedConstants(t *testing.T) {
 	if err := o.AddNC(nc); err != nil {
 		t.Fatal(err)
 	}
-	repaired, rep, err := quality.RepairByDeletion(o, core.CompileOptions{}, 0)
+	repaired, rep, err := quality.RepairByDeletion(context.Background(), o, core.CompileOptions{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

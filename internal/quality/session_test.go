@@ -30,11 +30,11 @@ func TestSessionApplyMatchesColdAssess(t *testing.T) {
 	})
 	const ticks = 3
 
-	p, err := wl.Base.Context.Prepare()
+	p, err := wl.Base.Context.Prepare(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := p.NewSession(wl.Base.Instance)
+	sess, err := p.NewSession(context.Background(), wl.Base.Instance)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestSessionApplyMatchesColdAssess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := wl.Base.Context.Assess(combined)
+	cold, err := wl.Base.Context.Assess(context.Background(), combined)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestAssessRepeatedNoContamination(t *testing.T) {
 		Base:         gen.QualitySpec{Patients: 12, Days: 2, Wards: 2, DirtyRatio: 0.5, Seed: 5},
 		TickPatients: 2,
 	})
-	first, err := wl.Base.Context.Assess(wl.Base.Instance)
+	first, err := wl.Base.Context.Assess(context.Background(), wl.Base.Instance)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +100,11 @@ func TestAssessRepeatedNoContamination(t *testing.T) {
 		t.Fatal(err)
 	}
 	other.MustInsert("Measurements", dl.C("d000-t0000"), dl.C("intruder"), dl.C("37.0"))
-	if _, err := wl.Base.Context.Assess(other); err != nil {
+	if _, err := wl.Base.Context.Assess(context.Background(), other); err != nil {
 		t.Fatal(err)
 	}
 
-	second, err := wl.Base.Context.Assess(wl.Base.Instance)
+	second, err := wl.Base.Context.Assess(context.Background(), wl.Base.Instance)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +143,11 @@ func TestSessionConcurrentSnapshotReaders(t *testing.T) {
 	const ticks = 6
 	const readers = 4
 
-	p, err := wl.Base.Context.Prepare()
+	p, err := wl.Base.Context.Prepare(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := p.NewSession(wl.Base.Instance)
+	sess, err := p.NewSession(context.Background(), wl.Base.Instance)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,20 +236,20 @@ func itoa(n int) string {
 	return string(b)
 }
 
-// TestAssessContextCancellation verifies the cancellation plumbing
+// TestAssessCancellation verifies the cancellation plumbing
 // through the chase round loop and the eval stratum loop.
-func TestAssessContextCancellation(t *testing.T) {
+func TestAssessCancellation(t *testing.T) {
 	wl := streamWorkload(t, gen.StreamSpec{
 		Base:         gen.QualitySpec{Patients: 8, Days: 2, Wards: 2, DirtyRatio: 0.5, Seed: 3},
 		TickPatients: 2,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := wl.Base.Context.AssessContext(ctx, wl.Base.Instance); err == nil {
+	if _, err := wl.Base.Context.Assess(ctx, wl.Base.Instance); err == nil {
 		t.Fatal("want cancellation error, got nil")
 	}
 	// The context stays usable after a cancelled attempt.
-	if _, err := wl.Base.Context.Assess(wl.Base.Instance); err != nil {
+	if _, err := wl.Base.Context.Assess(context.Background(), wl.Base.Instance); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -14,6 +14,7 @@
 package rewrite
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -294,13 +295,14 @@ func pruneSubsumed(qs []*datalog.Query) []*datalog.Query {
 // Answer rewrites the query and evaluates the UCQ over the extensional
 // instance, filtering answers that contain labeled nulls (certain
 // answers). For upward-only MD ontologies this is equivalent to
-// chase-based certain answers, without materializing any data.
-func Answer(prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts Options) (*datalog.AnswerSet, error) {
+// chase-based certain answers, without materializing any data. ctx is
+// checked between UCQ disjuncts.
+func Answer(ctx context.Context, prog *datalog.Program, db *storage.Instance, q *datalog.Query, opts Options) (*datalog.AnswerSet, error) {
 	ucq, err := Rewrite(prog, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := eval.EvalUCQ(ucq, db)
+	raw, err := eval.EvalUCQ(ctx, ucq, db)
 	if err != nil {
 		return nil, err
 	}

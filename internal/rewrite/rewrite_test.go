@@ -1,6 +1,7 @@
 package rewrite
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -100,11 +101,11 @@ func TestRewriteAnswersMatchChase(t *testing.T) {
 			WithCond(dl.OpNe, dl.V("u"), dl.C("Intensive")),
 	}
 	for i, q := range queries {
-		viaRewrite, err := Answer(prog, db, q, Options{})
+		viaRewrite, err := Answer(context.Background(), prog, db, q, Options{})
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
-		viaChase, err := qa.CertainAnswersViaChase(prog, db, q, qa.ChaseOptions{})
+		viaChase, err := qa.CertainAnswersViaChase(context.Background(), prog, db, q, qa.ChaseOptions{})
 		if err != nil {
 			t.Fatalf("query %d oracle: %v", i, err)
 		}
@@ -134,7 +135,7 @@ func TestRewriteMultiLevel(t *testing.T) {
 	if len(ucq) != 3 {
 		t.Fatalf("UCQ size = %d, want 3:\n%v", len(ucq), ucq)
 	}
-	ans, err := Answer(prog, db, q, Options{})
+	ans, err := Answer(context.Background(), prog, db, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestRewriteMultiLevel(t *testing.T) {
 	if ans.Len() != 1 || ans.All()[0].Terms[0] != dl.C("H1") {
 		t.Errorf("answers = %v, want H1", ans)
 	}
-	viaChase, err := qa.CertainAnswersViaChase(prog, db, q, qa.ChaseOptions{})
+	viaChase, err := qa.CertainAnswersViaChase(context.Background(), prog, db, q, qa.ChaseOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestRewriteExistentialNonCategorical(t *testing.T) {
 	if len(ucq) != 2 {
 		t.Fatalf("UCQ size = %d, want 2:\n%v", len(ucq), ucq)
 	}
-	ans, err := Answer(comp.Program, comp.Instance, q, Options{})
+	ans, err := Answer(context.Background(), comp.Program, comp.Instance, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestRewritePieceAbsorption(t *testing.T) {
 	if !foundDischarge {
 		t.Errorf("piece rewriting must reach DischargePatients:\n%v", ucq)
 	}
-	ans, err := Answer(comp.Program, comp.Instance, q, Options{})
+	ans, err := Answer(context.Background(), comp.Program, comp.Instance, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestRewriteCarriesConditions(t *testing.T) {
 			t.Errorf("conditions lost in rewriting: %v", cq)
 		}
 	}
-	ans, err := Answer(prog, db, q, Options{})
+	ans, err := Answer(context.Background(), prog, db, q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,163 @@
+package mdqa
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+)
+
+// The benchmark and experiment harness behind cmd/mdbench, re-exported
+// so tooling compiles against the facade alone. RunPerf additionally
+// measures the facade's own assessment path (FacadeColdAssess /
+// FacadeWarmApply) next to the engine-level numbers, pinning the
+// facade's overhead in every BENCH_<n>.json snapshot.
+
+// Experiment is one paper table/figure reproduction or complexity
+// experiment.
+type Experiment = bench.Experiment
+
+// Experiments returns every registered experiment in report order.
+func Experiments() []Experiment { return bench.All() }
+
+// ExperimentByID finds one experiment.
+func ExperimentByID(id string) (Experiment, bool) { return bench.ByID(id) }
+
+// ExperimentIDs lists the registered experiment IDs.
+func ExperimentIDs() []string { return bench.IDs() }
+
+// PerfResult is one benchmark measurement (ns, allocs, bytes per op).
+type PerfResult = bench.PerfResult
+
+// ScaleRow is one row of the chase/QA scaling sweep.
+type ScaleRow = bench.ScaleRow
+
+// RunScaling runs the C1 scaling sweep at the given base sizes.
+func RunScaling(sizes []int) ([]ScaleRow, error) { return bench.RunScaling(sizes) }
+
+// WritePerfJSON writes benchmark results as deterministic JSON.
+func WritePerfJSON(path string, results map[string]PerfResult) error {
+	return bench.WritePerfJSON(path, results)
+}
+
+// PerfNames returns result names in sorted order.
+func PerfNames(results map[string]PerfResult) []string { return bench.PerfNames(results) }
+
+// RunPerf measures the engine scaling benchmarks plus the facade
+// assessment path at the given base sizes. Engine-level numbers come
+// from the internal harness; FacadeColdAssess and FacadeWarmApply run
+// the identical workload through the public NewContext/Assess and
+// Prepare/NewSession/Apply entry points, so the two families are
+// directly comparable — the facade must stay within noise of the
+// engine.
+func RunPerf(sizes []int) (map[string]PerfResult, error) {
+	out, err := bench.RunPerf(sizes)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range sizes {
+		if err := facadePerf(out, n); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// facadeContext rebuilds a generated workload's context through the
+// public functional-options constructor, exactly as an external
+// consumer would.
+func facadeContext(wl *gen.QualityWorkload) (*Context, error) {
+	opts := []Option{}
+	for _, r := range wl.Config.Mappings {
+		opts = append(opts, WithMapping(r))
+	}
+	for _, r := range wl.Config.QualityRules {
+		opts = append(opts, WithQualityRule(r))
+	}
+	for _, v := range wl.Config.Versions {
+		opts = append(opts, WithQualityVersion(v.Original, v.Pred, v.Rules...))
+	}
+	return NewContext(wl.Ontology, opts...)
+}
+
+// facadePerf measures FacadeColdAssess and FacadeWarmApply at one
+// base size, mirroring the engine-level BenchmarkColdAssess /
+// BenchmarkWarmAssess loops.
+func facadePerf(out map[string]PerfResult, n int) error {
+	wl, err := gen.NewStreamingWorkload(bench.StreamWorkloadSpec(n))
+	if err != nil {
+		return err
+	}
+	qc, err := facadeContext(wl.Base)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	prep, err := qc.Prepare(ctx)
+	if err != nil {
+		return err
+	}
+
+	var benchErr error
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, err := qc.Assess(ctx, wl.Base.Instance)
+			if err != nil {
+				benchErr = fmt.Errorf("facade cold assess failed at n=%d: %w", n, err)
+				return
+			}
+			if v := a.Versions()["Measurements"]; v == nil || v.Len() != wl.Base.ExpectedClean {
+				benchErr = fmt.Errorf("facade cold assess wrong at n=%d", n)
+				return
+			}
+		}
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	out[fmt.Sprintf("BenchmarkFacadeColdAssess/n=%d", n)] = bench.ToPerfResult(cold)
+
+	warm := testing.Benchmark(func(b *testing.B) {
+		sess, err := prep.NewSession(ctx, wl.Base.Instance)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		tick := 0
+		for i := 0; i < b.N; i++ {
+			if tick == bench.WarmResetTicks {
+				// Rebuild the session (off-timer) every few ticks so
+				// the measured instance stays near n instead of
+				// growing with b.N.
+				b.StopTimer()
+				sess, err = prep.NewSession(ctx, wl.Base.Instance)
+				if err != nil {
+					benchErr = err
+					return
+				}
+				tick = 0
+				b.StartTimer()
+			}
+			delta, _ := wl.Tick(tick)
+			tick++
+			if _, err := sess.Apply(ctx, delta); err != nil {
+				benchErr = fmt.Errorf("facade warm apply failed at n=%d: %w", n, err)
+				return
+			}
+		}
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	out[fmt.Sprintf("BenchmarkFacadeWarmApply/n=%d", n)] = bench.ToPerfResult(warm)
+	return nil
+}
+
+// RunExperiment runs one experiment, writing its report to w.
+func RunExperiment(e Experiment, w io.Writer) error { return e.Run(w) }

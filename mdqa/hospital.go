@@ -1,0 +1,39 @@
+package mdqa
+
+import (
+	"repro/internal/hospital"
+)
+
+// The paper's running example as a ready-made ontology and context,
+// used by the examples, the CLI's example subcommand and the godoc
+// examples.
+
+// HospitalOptions configures which optional pieces of the running
+// example are included.
+type HospitalOptions = hospital.Options
+
+// HospitalOntology builds the running-example MD ontology (Figure 1:
+// the Hospital and Time dimensions, Tables III–V, rules (7)–(9) and
+// the constraints, per the options).
+func HospitalOntology(opts HospitalOptions) *Ontology { return hospital.NewOntology(opts) }
+
+// HospitalQualityContext builds the Example 7 quality context around
+// the running-example ontology: the contextual mapping of
+// Measurements, the TakenByNurse and TakenWithTherm quality
+// predicates, and the Measurements_q version definition. Extra
+// options apply on top.
+func HospitalQualityContext(opts HospitalOptions, extra ...Option) (*Context, error) {
+	cfg := hospital.QualityConfig()
+	for _, opt := range extra {
+		opt(&cfg)
+	}
+	return newContext(hospital.NewOntology(opts), cfg)
+}
+
+// HospitalMeasurements returns Table I — the instance under
+// assessment in Examples 1 and 7.
+func HospitalMeasurements() *Instance { return hospital.MeasurementsInstance() }
+
+// HospitalDoctorQuery is the doctor's request of Examples 1 and 7:
+// Tom Waits' temperatures around noon on September 5.
+func HospitalDoctorQuery() *Query { return hospital.DoctorQuery() }

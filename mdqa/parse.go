@@ -1,0 +1,58 @@
+package mdqa
+
+import (
+	"repro/internal/parser"
+)
+
+// File is a parsed .mdq ontology file: dimensions, relations, rules,
+// constraints, named queries and (optionally) a quality context
+// declaration.
+type File = parser.File
+
+// NamedQuery is a named query declared in a .mdq file.
+type NamedQuery = parser.NamedQuery
+
+// ParseFile parses a .mdq multidimensional ontology file from disk.
+func ParseFile(path string) (*File, error) { return parser.ParseFile(path) }
+
+// ParseSource parses .mdq source text.
+func ParseSource(src string) (*File, error) { return parser.Parse(src) }
+
+// NewContextFromFile builds a quality Context from a parsed file's
+// ontology and context declarations (input relations aside — the
+// instance under assessment is passed to Assess or NewSession; see
+// InputInstance). Extra options apply on top of the file's
+// declarations, e.g. chase bounds or external sources.
+func NewContextFromFile(f *File, opts ...Option) (*Context, error) {
+	cfg, err := f.ContextConfig()
+	if err != nil {
+		return nil, err
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return newContext(f.Ontology, cfg)
+}
+
+// InputInstance returns the file's declared input relations — the
+// instance D under assessment — or nil when the file declares none.
+func InputInstance(f *File) *Instance {
+	if f.Context == nil {
+		return nil
+	}
+	return f.Context.Input
+}
+
+// HasQualityContext reports whether the file declared quality-context
+// elements (inputs, mappings, quality rules or versions).
+func HasQualityContext(f *File) bool { return f.HasContext() }
+
+// HospitalExampleSource returns the paper's running example (Tables
+// I–V, Figure 1 dimensions, rules (7)–(9) and constraints) in .mdq
+// form.
+func HospitalExampleSource() string { return parser.FormatHospitalExample() }
+
+// HospitalQualityExampleSource returns the running example extended
+// with the Example 7 quality context (input instance, contextual
+// mapping, quality predicates, version definition) in .mdq form.
+func HospitalQualityExampleSource() string { return parser.FormatHospitalQualityExample() }

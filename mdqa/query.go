@@ -1,0 +1,116 @@
+package mdqa
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/eval"
+	"repro/internal/qa"
+	"repro/internal/rewrite"
+)
+
+// Chase runs the chase over a compiled ontology: bottom-up data
+// completion enforcing the dimensional rules (inventing labeled nulls
+// for existential variables), EGDs (merging nulls, reporting hard
+// conflicts) and negative constraints. The compiled instance is not
+// modified. ctx is checked once per chase round.
+func Chase(ctx context.Context, comp *Compiled, opts ChaseOptions) (*ChaseResult, error) {
+	return chase.Run(ctx, comp.Program, comp.Instance, opts)
+}
+
+// QueryEngine selects the certain-answer engine behind CertainAnswers.
+type QueryEngine uint8
+
+const (
+	// EngineDeterministic is DeterministicWSQAns: the paper's
+	// top-down resolution search. No materialization; the default.
+	EngineDeterministic QueryEngine = iota
+	// EngineChase materializes the chase and evaluates the query over
+	// the result — the executable counterpart of WeaklyStickyQAns,
+	// used as the reference oracle.
+	EngineChase
+	// EngineRewrite compiles the query to a union of conjunctive
+	// queries via FO rewriting (sound and complete for upward-only
+	// ontologies) and evaluates it over the extensional instance.
+	EngineRewrite
+)
+
+// String names the engine.
+func (e QueryEngine) String() string {
+	switch e {
+	case EngineChase:
+		return "chase"
+	case EngineRewrite:
+		return "rewrite"
+	default:
+		return "det"
+	}
+}
+
+// QueryEngineByName parses an engine name ("det", "chase",
+// "rewrite").
+func QueryEngineByName(name string) (QueryEngine, error) {
+	switch name {
+	case "det", "deterministic", "":
+		return EngineDeterministic, nil
+	case "chase":
+		return EngineChase, nil
+	case "rewrite":
+		return EngineRewrite, nil
+	default:
+		return 0, fmt.Errorf("mdqa: unknown query engine %q (det, chase, rewrite)", name)
+	}
+}
+
+// AnswerOptions configures CertainAnswers.
+type AnswerOptions struct {
+	// Engine selects the certain-answer algorithm.
+	Engine QueryEngine
+	// MaxDepth bounds resolution depth for EngineDeterministic
+	// (0 derives a default from program and query size).
+	MaxDepth int
+	// Chase configures EngineChase's materialization.
+	Chase ChaseOptions
+	// AllowViolations lets EngineChase answer even when constraints
+	// are violated (quality workflows inspect violations separately).
+	AllowViolations bool
+}
+
+// CertainAnswers computes the certain answers of a conjunctive query
+// over a compiled ontology — answers that hold in every model, i.e.
+// contain no labeled nulls. The instance is not modified.
+func CertainAnswers(ctx context.Context, comp *Compiled, q *Query, opts AnswerOptions) (*AnswerSet, error) {
+	switch opts.Engine {
+	case EngineChase:
+		return qa.CertainAnswersViaChase(ctx, comp.Program, comp.Instance, q, qa.ChaseOptions{
+			Chase:           opts.Chase,
+			AllowViolations: opts.AllowViolations,
+		})
+	case EngineRewrite:
+		return rewrite.Answer(ctx, comp.Program, comp.Instance, q, rewrite.Options{})
+	default:
+		return qa.Answer(ctx, comp.Program, comp.Instance, q, qa.Options{MaxDepth: opts.MaxDepth})
+	}
+}
+
+// HasCertainAnswer decides a Boolean conjunctive query: does it hold
+// in every model of the ontology and instance?
+func HasCertainAnswer(ctx context.Context, comp *Compiled, q *Query, opts AnswerOptions) (bool, error) {
+	if opts.Engine == EngineDeterministic {
+		return qa.AnswerBool(ctx, comp.Program, comp.Instance, q, qa.Options{MaxDepth: opts.MaxDepth})
+	}
+	as, err := CertainAnswers(ctx, comp, q, opts)
+	if err != nil {
+		return false, err
+	}
+	return as.Len() > 0, nil
+}
+
+// EvalQuery evaluates a conjunctive query (with optional negation and
+// comparisons, closed-world) directly over an instance, returning all
+// answers including those containing labeled nulls. For streaming
+// consumption prefer Snapshot.Answers.
+func EvalQuery(q *Query, db *Instance) (*AnswerSet, error) {
+	return eval.EvalQuery(q, db)
+}

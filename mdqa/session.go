@@ -1,0 +1,95 @@
+package mdqa
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/quality"
+)
+
+// ApplyResult reports what one Session.Apply call did: facts
+// inserted, chase rows derived, derived-layer growth, TGD firings and
+// EGD merges, and whether the derived layer had to be rebuilt.
+type ApplyResult = engine.ApplyResult
+
+// Prepared is the compiled, immutable form of a quality context:
+// everything that does not depend on the instance under assessment,
+// compiled exactly once. Any number of goroutines can open sessions
+// from one Prepared.
+type Prepared struct {
+	p *quality.Prepared
+	c *Context
+}
+
+// Context returns the context this compilation came from.
+func (p *Prepared) Context() *Context { return p.c }
+
+// NewSession opens an assessment session: the instance under
+// assessment is merged into a private clone of the static context,
+// chased to saturation and evaluated — the cold path every later
+// Apply amortizes. The caller's instance is never mutated.
+// Cancellation of ctx is checked once per chase round and eval
+// stratum round.
+func (p *Prepared) NewSession(ctx context.Context, d *Instance) (*Session, error) {
+	s, err := p.p.NewSession(ctx, d)
+	if err != nil {
+		return nil, err
+	}
+	// The version metadata is immutable for the session's lifetime:
+	// build it once and share it with every snapshot and assessment.
+	vorder := s.Versioned()
+	vp := make(map[string]string, len(vorder))
+	for _, rel := range vorder {
+		vp[rel] = s.VersionPred(rel)
+	}
+	return &Session{s: s, versionPred: vp, vorder: vorder}, nil
+}
+
+// Session is a live assessment: a saturated contextual instance that
+// grows incrementally via Apply while readers take consistent
+// snapshots. One goroutine applies deltas; any number of goroutines
+// read snapshots and assessments concurrently.
+type Session struct {
+	s           *quality.Session
+	versionPred map[string]string // immutable after NewSession
+	vorder      []string
+}
+
+// Apply extends the assessment with a batch of new ground facts —
+// measurements, dimension members, rollups — chasing and re-evaluating
+// incrementally from the delta frontier (semi-naive: only the delta is
+// re-matched). Readers holding earlier snapshots are unaffected.
+func (s *Session) Apply(ctx context.Context, delta []Atom) (*ApplyResult, error) {
+	return s.s.Apply(ctx, delta)
+}
+
+// Snapshot returns a frozen, consistent view of the contextual
+// instance as of the last Apply, for streaming reads. Snapshots are
+// cheap (copy-on-write) and safe to consume from any number of
+// goroutines while the writer keeps applying deltas.
+func (s *Session) Snapshot() *Snapshot {
+	return &Snapshot{
+		inst:        s.s.Snapshot(),
+		versionPred: s.versionPred,
+		vorder:      s.vorder,
+	}
+}
+
+// Violations returns the session's cumulative constraint violations.
+func (s *Session) Violations() []Violation { return s.s.Violations() }
+
+// Assess materializes the session's current state as the Figure 2
+// assessment outcome: quality versions, departure measures and
+// accumulated violations over a consistent snapshot. Under
+// WithStrictConsistency it fails with ErrInconsistent when the chase
+// found violations.
+func (s *Session) Assess(ctx context.Context) (*Assessment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a, err := s.s.Assessment()
+	if err != nil {
+		return nil, err
+	}
+	return newAssessment(a, s.versionPred, s.vorder), nil
+}

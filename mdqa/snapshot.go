@@ -1,0 +1,129 @@
+package mdqa
+
+import (
+	"iter"
+
+	"repro/internal/eval"
+	"repro/internal/quality"
+	"repro/internal/storage"
+)
+
+// Snapshot is a frozen, consistent view of a contextual instance:
+// chased ontology data, mapped input, quality predicates and quality
+// versions as of one Apply. It is immutable and safe for any number
+// of concurrent readers, and its accessors stream — relations and
+// query answers are exposed as iter.Seq iterators, so consumers can
+// stop early or process tuples one at a time without materializing
+// whole answer sets.
+type Snapshot struct {
+	inst        *storage.Instance
+	versionPred map[string]string
+	vorder      []string
+}
+
+// Instance returns the underlying frozen instance, for interop with
+// formatting helpers (FormatRelation) and direct relation access.
+func (s *Snapshot) Instance() *Instance { return s.inst }
+
+// Relations lists the snapshot's relation names in sorted order.
+func (s *Snapshot) Relations() []string { return s.inst.RelationNames() }
+
+// Versioned lists the original relations with defined quality
+// versions, in declaration order.
+func (s *Snapshot) Versioned() []string { return append([]string(nil), s.vorder...) }
+
+// NumTuples returns the tuple count of one relation, or
+// ErrUnknownRelation.
+func (s *Snapshot) NumTuples(rel string) (int, error) {
+	r := s.inst.Relation(rel)
+	if r == nil {
+		return 0, &UnknownRelationError{Relation: rel}
+	}
+	return r.Len(), nil
+}
+
+// Tuples streams the tuples of one relation in insertion order. The
+// error is ErrUnknownRelation when the relation does not exist in the
+// snapshot. The yielded slices are owned by the snapshot: copy before
+// retaining.
+func (s *Snapshot) Tuples(rel string) (iter.Seq[[]Term], error) {
+	r := s.inst.Relation(rel)
+	if r == nil {
+		return nil, &UnknownRelationError{Relation: rel}
+	}
+	return func(yield func([]Term) bool) {
+		for _, tup := range r.Tuples() {
+			if !yield(tup) {
+				return
+			}
+		}
+	}, nil
+}
+
+// VersionTuples streams the quality version of an original relation
+// (rel is the original name, e.g. "Measurements"; the stream reads
+// the version predicate, e.g. "Measurements_q"). A version whose
+// rules derived nothing streams zero tuples; a relation with no
+// declared version is ErrUnknownRelation.
+func (s *Snapshot) VersionTuples(rel string) (iter.Seq[[]Term], error) {
+	pred, ok := s.versionPred[rel]
+	if !ok {
+		return nil, &UnknownRelationError{Relation: rel}
+	}
+	r := s.inst.Relation(pred)
+	if r == nil {
+		// The version predicate exists but derived no tuples, so the
+		// relation was never created: stream nothing.
+		return func(func([]Term) bool) {}, nil
+	}
+	return func(yield func([]Term) bool) {
+		for _, tup := range r.Tuples() {
+			if !yield(tup) {
+				return
+			}
+		}
+	}, nil
+}
+
+// RewriteClean rewrites a query over the original schema into the
+// query Q^q over quality versions (the paper's problem (b)): every
+// atom whose predicate has a defined quality version is renamed to
+// the version predicate.
+func (s *Snapshot) RewriteClean(q *Query) *Query {
+	return quality.RewriteCleanQuery(q, s.versionPred)
+}
+
+// Answers streams the answers of a conjunctive query evaluated
+// directly over the snapshot (closed-world, including answers that
+// contain labeled nulls). Each element pairs an answer with a nil
+// error; an evaluation failure is yielded once as a final (zero,
+// err) element. Answers are deduplicated and produced as the join
+// plan finds them — breaking out of the loop stops the evaluation.
+func (s *Snapshot) Answers(q *Query) iter.Seq2[Answer, error] {
+	return streamQuery(q, s.inst, false)
+}
+
+// CleanAnswers streams the clean answers of a query over the original
+// schema (the paper's quality query answering): the query is
+// rewritten over the quality versions, evaluated on the contextual
+// snapshot, and answers containing labeled nulls are dropped (certain
+// answers). Error handling follows Answers.
+func (s *Snapshot) CleanAnswers(q *Query) iter.Seq2[Answer, error] {
+	return streamQuery(s.RewriteClean(q), s.inst, true)
+}
+
+// streamQuery adapts the engine's callback-style streaming evaluation
+// to an iter.Seq2, optionally dropping null-carrying answers.
+func streamQuery(q *Query, db *storage.Instance, certainOnly bool) iter.Seq2[Answer, error] {
+	return func(yield func(Answer, error) bool) {
+		err := eval.EvalQueryFunc(q, db, func(ans Answer) bool {
+			if certainOnly && ans.HasNull() {
+				return true
+			}
+			return yield(ans, nil)
+		})
+		if err != nil {
+			yield(Answer{}, err)
+		}
+	}
+}
