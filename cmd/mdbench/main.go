@@ -8,6 +8,9 @@
 //	mdbench -exp T2                  # one experiment
 //	mdbench -scale 6400              # extend the C1 scaling sweep
 //	mdbench -benchjson BENCH_1.json  # machine-readable perf snapshot
+//	mdbench -benchjson BENCH_4.json -parallelism 1,2,4,8
+//	                                 # parallel sweep: chase + cold/warm
+//	                                 # assessment at each worker-pool level
 package main
 
 import (
@@ -25,14 +28,25 @@ func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all); one of "+strings.Join(mdqa.ExperimentIDs(), ","))
 	scale := flag.String("scale", "", "comma-separated base sizes for an extended C1 scaling sweep")
 	benchJSON := flag.String("benchjson", "", "write the scaling benchmarks (name -> ns/op, allocs/op) to this JSON file; used to track the perf trajectory across PRs")
+	parallelism := flag.String("parallelism", "", "comma-separated worker-pool levels for a -benchjson parallel sweep (e.g. 1,2,4,8; 1 = sequential engine); a single value also works")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
+		var err error
+		if *parallelism != "" {
+			err = runBenchSweep(*benchJSON, *parallelism)
+		} else {
+			err = runBenchJSON(*benchJSON)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "mdbench:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *parallelism != "" {
+		fmt.Fprintln(os.Stderr, "mdbench: -parallelism requires -benchjson")
+		os.Exit(1)
 	}
 
 	if *scale != "" {
@@ -85,14 +99,47 @@ func runBenchJSON(path string) error {
 	return nil
 }
 
-func runScale(spec string) error {
-	var sizes []int
+// runBenchSweep records the parallel speedup curve: every benchmark
+// family at n in {400, 1600} crossed with the requested worker-pool
+// levels.
+func runBenchSweep(path, levels string) error {
+	ps, err := parseInts(levels)
+	if err != nil {
+		return err
+	}
+	results, err := mdqa.RunPerfSweep([]int{400, 1600}, ps)
+	if err != nil {
+		return err
+	}
+	for _, name := range mdqa.PerfNames(results) {
+		r := results[name]
+		fmt.Printf("%-45s  %12d ns/op  %9d allocs/op  %10d B/op\n",
+			name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if err := mdqa.WritePerfJSON(path, results); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(spec string) ([]int, error) {
+	var out []int
 	for _, part := range strings.Split(spec, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
-			return fmt.Errorf("bad size %q", part)
+			return nil, fmt.Errorf("bad value %q", part)
 		}
-		sizes = append(sizes, n)
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func runScale(spec string) error {
+	sizes, err := parseInts(spec)
+	if err != nil {
+		return fmt.Errorf("bad -scale: %w", err)
 	}
 	rows, err := mdqa.RunScaling(sizes)
 	if err != nil {

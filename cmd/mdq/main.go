@@ -3,9 +3,10 @@
 // chase it, check its constraints, answer its named queries with a
 // chosen engine, or run the quality-assessment pipeline.
 //
-// Usage:
+// Usage (a global -parallelism flag before the command bounds the
+// worker pool: 0 = all cores, 1 = sequential):
 //
-//	mdq describe file.mdq
+//	mdq [-parallelism n] describe file.mdq
 //	mdq classify file.mdq
 //	mdq chase    file.mdq
 //	mdq check    file.mdq
@@ -23,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +45,21 @@ func main() {
 
 // run dispatches the CLI; out receives all normal output.
 func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mdq", flag.ContinueOnError)
+	fs.SetOutput(out)
+	parallelism := fs.Int("parallelism", 0,
+		"worker pool bound for chase/eval rounds (0 = all cores, 1 = sequential)")
+	fs.Usage = func() {
+		fmt.Fprintln(out, usageError().Error())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help printed the usage; a clean exit
+		}
+		return err
+	}
+	args = fs.Args()
 	if len(args) < 1 {
 		return usageError()
 	}
@@ -70,15 +87,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "classify":
 		return classify(file, out)
 	case "chase":
-		return runChase(ctx, file, out)
+		return runChase(ctx, file, *parallelism, out)
 	case "check":
-		return check(ctx, file, out)
+		return check(ctx, file, *parallelism, out)
 	case "query":
-		return runQuery(ctx, file, rest, out)
+		return runQuery(ctx, file, rest, *parallelism, out)
 	case "assess":
-		return assess(ctx, file, out)
+		return assess(ctx, file, *parallelism, out)
 	case "clean":
-		return cleanAnswer(ctx, file, rest, out)
+		return cleanAnswer(ctx, file, rest, *parallelism, out)
 	default:
 		return usageError()
 	}
@@ -125,12 +142,12 @@ func classify(f *mdqa.File, out io.Writer) error {
 	return nil
 }
 
-func runChase(ctx context.Context, f *mdqa.File, out io.Writer) error {
+func runChase(ctx context.Context, f *mdqa.File, parallelism int, out io.Writer) error {
 	comp, err := f.Ontology.Compile(mdqa.CompileOptions{})
 	if err != nil {
 		return err
 	}
-	res, err := mdqa.Chase(ctx, comp, mdqa.ChaseOptions{})
+	res, err := mdqa.Chase(ctx, comp, mdqa.ChaseOptions{Parallelism: parallelism})
 	if err != nil {
 		return err
 	}
@@ -147,12 +164,12 @@ func runChase(ctx context.Context, f *mdqa.File, out io.Writer) error {
 	return nil
 }
 
-func check(ctx context.Context, f *mdqa.File, out io.Writer) error {
+func check(ctx context.Context, f *mdqa.File, parallelism int, out io.Writer) error {
 	comp, err := f.Ontology.Compile(mdqa.CompileOptions{ReferentialNCs: true})
 	if err != nil {
 		return err
 	}
-	res, err := mdqa.Chase(ctx, comp, mdqa.ChaseOptions{})
+	res, err := mdqa.Chase(ctx, comp, mdqa.ChaseOptions{Parallelism: parallelism})
 	if err != nil {
 		return err
 	}
@@ -167,7 +184,7 @@ func check(ctx context.Context, f *mdqa.File, out io.Writer) error {
 	return nil
 }
 
-func runQuery(ctx context.Context, f *mdqa.File, args []string, out io.Writer) error {
+func runQuery(ctx context.Context, f *mdqa.File, args []string, parallelism int, out io.Writer) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	fs.SetOutput(out)
 	engineName := fs.String("engine", "det", "answering engine: chase, det, or rewrite")
@@ -196,6 +213,7 @@ func runQuery(ctx context.Context, f *mdqa.File, args []string, out io.Writer) e
 	for _, nq := range queries {
 		as, err := mdqa.CertainAnswers(ctx, comp, nq.Query, mdqa.AnswerOptions{
 			Engine:          engine,
+			Chase:           mdqa.ChaseOptions{Parallelism: parallelism},
 			AllowViolations: true,
 		})
 		if err != nil {
@@ -208,19 +226,19 @@ func runQuery(ctx context.Context, f *mdqa.File, args []string, out io.Writer) e
 
 // assessFile runs the quality pipeline through the facade's prepared
 // session layer; shared by assess and clean.
-func assessFile(ctx context.Context, f *mdqa.File) (*mdqa.Assessment, error) {
+func assessFile(ctx context.Context, f *mdqa.File, parallelism int) (*mdqa.Assessment, error) {
 	if !mdqa.HasQualityContext(f) {
 		return nil, fmt.Errorf("the file declares no quality context (input/mapping/quality/version statements)")
 	}
-	qc, err := mdqa.NewContextFromFile(f)
+	qc, err := mdqa.NewContextFromFile(f, mdqa.WithParallelism(parallelism))
 	if err != nil {
 		return nil, err
 	}
 	return qc.Assess(ctx, mdqa.InputInstance(f))
 }
 
-func assess(ctx context.Context, f *mdqa.File, out io.Writer) error {
-	a, err := assessFile(ctx, f)
+func assess(ctx context.Context, f *mdqa.File, parallelism int, out io.Writer) error {
+	a, err := assessFile(ctx, f, parallelism)
 	if err != nil {
 		return err
 	}
@@ -242,8 +260,8 @@ func assess(ctx context.Context, f *mdqa.File, out io.Writer) error {
 	return nil
 }
 
-func cleanAnswer(ctx context.Context, f *mdqa.File, args []string, out io.Writer) error {
-	a, err := assessFile(ctx, f)
+func cleanAnswer(ctx context.Context, f *mdqa.File, args []string, parallelism int, out io.Writer) error {
+	a, err := assessFile(ctx, f, parallelism)
 	if err != nil {
 		return err
 	}

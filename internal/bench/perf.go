@@ -13,6 +13,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/gen"
 	"repro/internal/qa"
+	"repro/internal/quality"
 	"repro/internal/storage"
 )
 
@@ -169,6 +170,113 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 			return nil, benchErr
 		}
 		out[fmt.Sprintf("BenchmarkWarmAssess/n=%d", n)] = ToPerfResult(warmRes)
+	}
+	return out, nil
+}
+
+// RunPerfSweep measures the parallel scaling sweep: the chase scaling
+// benchmark and the cold/warm assessment pair at every requested
+// parallelism level, keyed "<name>/n=<size>/p=<level>" so one
+// BENCH_<n>.json records the whole parallel-vs-sequential curve.
+// Level 1 is the exact sequential engine; level 0 resolves to
+// GOMAXPROCS.
+func RunPerfSweep(sizes, levels []int) (map[string]PerfResult, error) {
+	out := map[string]PerfResult{}
+	ctx := context.Background()
+	for _, n := range sizes {
+		prog, db, _, err := ScalingWorkload(n)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := gen.NewStreamingWorkload(StreamWorkloadSpec(n))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range levels {
+			var benchErr error
+			chaseRes := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := chase.Run(ctx, prog, db, chase.Options{Parallelism: p})
+					if err != nil {
+						benchErr = fmt.Errorf("chase failed at n=%d p=%d: %v", n, p, err)
+						return
+					}
+					if !res.Saturated {
+						benchErr = fmt.Errorf("chase did not saturate at n=%d p=%d", n, p)
+						return
+					}
+				}
+			})
+			if benchErr != nil {
+				return nil, benchErr
+			}
+			out[fmt.Sprintf("BenchmarkScaling_Chase/n=%d/p=%d", n, p)] = ToPerfResult(chaseRes)
+
+			// A fresh context per level: parallelism is fixed at
+			// construction and the compilation cache is per context.
+			cfg := wl.Base.Config
+			cfg.Parallelism = p
+			qc, err := quality.NewContext(wl.Base.Ontology, cfg)
+			if err != nil {
+				return nil, err
+			}
+			prep, err := qc.Prepare(ctx)
+			if err != nil {
+				return nil, err
+			}
+			coldRes := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					a, err := qc.Assess(ctx, wl.Base.Instance)
+					if err != nil {
+						benchErr = fmt.Errorf("cold assess failed at n=%d p=%d: %v", n, p, err)
+						return
+					}
+					if got := a.Versions["Measurements"].Len(); got != wl.Base.ExpectedClean {
+						benchErr = fmt.Errorf("cold assess wrong at n=%d p=%d: clean=%d, want %d", n, p, got, wl.Base.ExpectedClean)
+						return
+					}
+				}
+			})
+			if benchErr != nil {
+				return nil, benchErr
+			}
+			out[fmt.Sprintf("BenchmarkColdAssess/n=%d/p=%d", n, p)] = ToPerfResult(coldRes)
+
+			warmRes := testing.Benchmark(func(b *testing.B) {
+				sess, err := prep.NewSession(ctx, wl.Base.Instance)
+				if err != nil {
+					benchErr = err
+					return
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				tick := 0
+				for i := 0; i < b.N; i++ {
+					if tick == WarmResetTicks {
+						b.StopTimer()
+						sess, err = prep.NewSession(ctx, wl.Base.Instance)
+						if err != nil {
+							benchErr = err
+							return
+						}
+						tick = 0
+						b.StartTimer()
+					}
+					delta, _ := wl.Tick(tick)
+					tick++
+					if _, err := sess.Apply(ctx, delta); err != nil {
+						benchErr = fmt.Errorf("warm assess failed at n=%d p=%d: %v", n, p, err)
+						return
+					}
+				}
+			})
+			if benchErr != nil {
+				return nil, benchErr
+			}
+			out[fmt.Sprintf("BenchmarkWarmAssess/n=%d/p=%d", n, p)] = ToPerfResult(warmRes)
+		}
 	}
 	return out, nil
 }

@@ -70,6 +70,15 @@ type Options struct {
 	// SkipEGDs leaves EGDs unenforced (used by the separability
 	// ablation, which runs TGDs first and EGDs afterwards).
 	SkipEGDs bool
+	// Parallelism bounds the worker pool that fans TGD trigger
+	// discovery, EGD body matching and NC checking out across
+	// goroutines (0 = runtime.GOMAXPROCS(0), 1 = the exact sequential
+	// code path). Discovery is sharded within each dependency and
+	// merged in shard order, and all applications (fresh nulls, EGD
+	// merges, insertions) stay on the single writer goroutine, so the
+	// chase result — instance, insertion order, null labels, counters
+	// and violations — is identical at every parallelism degree.
+	Parallelism int
 }
 
 // DefaultMaxRounds bounds chase rounds when Options.MaxRounds is 0.
@@ -126,8 +135,10 @@ type Result struct {
 func (r *Result) Consistent() bool { return len(r.Violations) == 0 }
 
 // Run chases the program over a copy of db and returns the result.
-// ctx is checked once per chase round, so a serving process can
-// time-bound a runaway chase; on cancellation the context's error is
+// ctx is checked once per work unit — at most one dependency's
+// discovery pass, and once per worker batch under parallelism — so a
+// serving process can time-bound a runaway chase with bounded
+// cancellation latency; on cancellation the context's error is
 // returned. The error is otherwise non-nil only for invalid inputs;
 // bound-exceeded runs return Saturated=false with a nil error so
 // callers can inspect partial results.
@@ -246,6 +257,25 @@ func newTriggerMemo() triggerMemo {
 // separately rather than by a nil sentinel.
 func (m *triggerMemo) add(regs []int32) ([]int32, bool) {
 	h := datalog.HashInt32s(regs)
+	if m.hasHashed(h, regs) {
+		return nil, false
+	}
+	snap := m.arena.Copy(regs)
+	m.buckets[h] = append(m.buckets[h], snap)
+	return snap, true
+}
+
+// has reports whether the snapshot is already memoized, without
+// modifying the memo. Parallel delta-round discovery workers probe
+// the quiescent memo so triggers memoized in earlier rounds are not
+// re-staged through other pivots (the authoritative dedup stays with
+// add on the merge goroutine).
+func (m *triggerMemo) has(regs []int32) bool {
+	return m.hasHashed(datalog.HashInt32s(regs), regs)
+}
+
+// hasHashed is has with the row hash precomputed, so add hashes once.
+func (m *triggerMemo) hasHashed(h uint64, regs []int32) bool {
 	for _, s := range m.buckets[h] {
 		if len(s) == len(regs) {
 			same := true
@@ -256,11 +286,9 @@ func (m *triggerMemo) add(regs []int32) ([]int32, bool) {
 				}
 			}
 			if same {
-				return nil, false
+				return true
 			}
 		}
 	}
-	snap := m.arena.Copy(regs)
-	m.buckets[h] = append(m.buckets[h], snap)
-	return snap, true
+	return false
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/datalog"
+	"repro/internal/par"
 	"repro/internal/storage"
 )
 
@@ -152,6 +153,12 @@ type State struct {
 	cp   *CompiledProgram
 	opts Options
 	inst *storage.Instance
+	// pool bounds the workers that fan trigger discovery and EGD/NC
+	// body matching out per round (Options.Parallelism). Only the
+	// read-only match phases run on workers; firing, EGD merges and
+	// every insertion stay on the caller goroutine, so the chase
+	// result is identical at every pool width.
+	pool par.Pool
 
 	fresh *datalog.Counter
 	res   *Result
@@ -237,6 +244,7 @@ func (cp *CompiledProgram) NewState(inst *storage.Instance, opts Options) *State
 		cp:          cp,
 		opts:        opts,
 		inst:        inst,
+		pool:        par.New(opts.Parallelism),
 		fresh:       freshCounter(inst, opts.NullPrefix),
 		res:         &Result{Instance: inst},
 		watermark:   map[string]int{},
@@ -301,7 +309,10 @@ func (st *State) Chase(ctx context.Context) error {
 
 		progress := false
 		for _, ts := range st.tgds {
-			applied := st.applyTGD(ts, full, roundStart)
+			applied, err := st.applyTGD(ctx, ts, full, roundStart)
+			if err != nil {
+				return err
+			}
 			if applied < 0 {
 				atomBound = true
 				break
@@ -311,7 +322,10 @@ func (st *State) Chase(ctx context.Context) error {
 			}
 		}
 		if !atomBound && !st.opts.SkipEGDs && len(st.egds) > 0 {
-			merged, hard := st.applyEGDs()
+			merged, hard, err := st.applyEGDs(ctx)
+			if err != nil {
+				return err
+			}
 			if merged > 0 {
 				progress = true
 				// Merges rewrite row storage in place (indices shift),
@@ -360,8 +374,7 @@ func (st *State) Chase(ctx context.Context) error {
 		}
 	}
 
-	st.checkNCs()
-	return nil
+	return st.checkNCs(ctx)
 }
 
 // relationLens snapshots every relation's current length.
@@ -414,41 +427,52 @@ func (st *State) Extend(ctx context.Context, delta []datalog.Atom) (*ExtendInfo,
 // applyTGD enumerates this round's triggers of one TGD — full-plan in
 // a full round, delta-frontier-driven otherwise — and fires them. It
 // returns the number of applications, or -1 when MaxAtoms was
-// exceeded.
-func (st *State) applyTGD(ts *tgdState, full bool, roundStart map[string]int) int {
+// exceeded. With a parallel pool, phase 1 (discovery) is sharded
+// across workers against the frozen round view and merged in shard
+// order — the trigger list, and therefore everything downstream
+// (insertion order, null labels), is identical to the sequential
+// enumeration; phase 2 (firing) always runs on the caller goroutine.
+func (st *State) applyTGD(ctx context.Context, ts *tgdState, full bool, roundStart map[string]int) (int, error) {
 	// Phase 1: enumerate new triggers, snapshotting register banks.
 	// (Insertion happens afterwards so the enumeration never observes
 	// its own derivations mid-round.)
 	ts.triggers = ts.triggers[:0]
-	collect := func(regs []int32) bool {
-		if snap, isNew := ts.fired.add(regs); isNew {
-			ts.triggers = append(ts.triggers, snap)
+	if st.pool.Sequential() {
+		if err := ctx.Err(); err != nil {
+			return 0, err
 		}
-		return true
-	}
-	if full {
-		ts.body.ResetRegs(ts.regs)
-		ts.body.Execute(st.inst, ts.regs, collect)
-	} else {
-		for i := range ts.delta {
-			proj := &ts.tp.pivot[i]
-			rel := st.inst.Relation(proj.Pred)
-			if rel == nil {
-				continue
+		collect := func(regs []int32) bool {
+			if snap, isNew := ts.fired.add(regs); isNew {
+				ts.triggers = append(ts.triggers, snap)
 			}
-			lo, hi := st.watermark[proj.Pred], roundStart[proj.Pred]
-			if lo >= hi {
-				continue
-			}
-			rows := rel.Rows()
-			for _, row := range rows[lo:hi] {
-				ts.body.ResetRegs(ts.regs)
-				if !proj.Bind(row, ts.regs) {
+			return true
+		}
+		if full {
+			ts.body.ResetRegs(ts.regs)
+			ts.body.Execute(st.inst, ts.regs, collect)
+		} else {
+			for i := range ts.delta {
+				proj := &ts.tp.pivot[i]
+				rel := st.inst.Relation(proj.Pred)
+				if rel == nil {
 					continue
 				}
-				ts.delta[i].Execute(st.inst, ts.regs, collect)
+				lo, hi := st.watermark[proj.Pred], roundStart[proj.Pred]
+				if lo >= hi {
+					continue
+				}
+				rows := rel.Rows()
+				for _, row := range rows[lo:hi] {
+					ts.body.ResetRegs(ts.regs)
+					if !proj.Bind(row, ts.regs) {
+						continue
+					}
+					ts.delta[i].Execute(st.inst, ts.regs, collect)
+				}
 			}
 		}
+	} else if err := st.discoverPar(ctx, ts, full, roundStart); err != nil {
+		return 0, err
 	}
 
 	// Phase 2: fire.
@@ -502,10 +526,103 @@ func (st *State) applyTGD(ts *tgdState, full bool, roundStart map[string]int) in
 			}
 		}
 		if st.inst.TotalTuples() > st.maxAtoms {
-			return -1
+			return -1, nil
 		}
 	}
-	return applied
+	return applied, nil
+}
+
+// tgdUnit is one parallel discovery work unit of a TGD: a shard of
+// the full body plan (pivot < 0) or a chunk of one pivot's delta
+// window. Units are ordered (pivot, chunk/shard); the merge walks
+// them in that order, reproducing the sequential enumeration order
+// exactly.
+type tgdUnit struct {
+	pivot  int
+	shard  int
+	nshard int
+	lo, hi int
+}
+
+// discoverPar fans one TGD's trigger discovery out across the pool.
+// Workers only read (plan execution over the frozen round view) and
+// record raw register snapshots per unit; the caller deduplicates
+// through the shared trigger memo in unit order afterwards, so the
+// resulting trigger list is identical to sequential discovery.
+func (st *State) discoverPar(ctx context.Context, ts *tgdState, full bool, roundStart map[string]int) error {
+	w := st.pool.Width()
+	var units []tgdUnit
+	if full {
+		for s := 0; s < w; s++ {
+			units = append(units, tgdUnit{pivot: -1, shard: s, nshard: w})
+		}
+	} else {
+		for i := range ts.delta {
+			proj := &ts.tp.pivot[i]
+			rel := st.inst.Relation(proj.Pred)
+			if rel == nil {
+				continue
+			}
+			lo, hi := st.watermark[proj.Pred], roundStart[proj.Pred]
+			if lo >= hi {
+				continue
+			}
+			for _, c := range par.Chunks(hi-lo, w) {
+				units = append(units, tgdUnit{pivot: i, lo: lo + c[0], hi: lo + c[1]})
+			}
+		}
+	}
+	if len(units) == 0 {
+		return nil
+	}
+	snaps, err := par.Map(ctx, st.pool, len(units), func(t int) ([][]int32, error) {
+		u := &units[t]
+		var arena datalog.Int32Arena
+		var local [][]int32
+		collect := func(regs []int32) bool {
+			local = append(local, arena.Copy(regs))
+			return true
+		}
+		regs := ts.body.NewRegs()
+		if u.pivot < 0 {
+			// Full rounds start with a fresh memo (the initial round,
+			// and EGD merges/bound aborts reset it), so there is
+			// nothing to probe — stage every match.
+			ts.body.ExecuteShard(st.inst, regs, u.shard, u.nshard, collect)
+		} else {
+			// Delta rounds probe the quiescent memo read-only so
+			// triggers memoized in earlier rounds are not re-staged
+			// through other pivots; add still dedups authoritatively
+			// at merge.
+			collectNew := func(regs []int32) bool {
+				if ts.fired.has(regs) {
+					return true
+				}
+				return collect(regs)
+			}
+			proj := &ts.tp.pivot[u.pivot]
+			rows := st.inst.Relation(proj.Pred).Rows()
+			for _, row := range rows[u.lo:u.hi] {
+				ts.body.ResetRegs(regs)
+				if !proj.Bind(row, regs) {
+					continue
+				}
+				ts.delta[u.pivot].Execute(st.inst, regs, collectNew)
+			}
+		}
+		return local, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, local := range snaps {
+		for _, s := range local {
+			if snap, isNew := ts.fired.add(s); isNew {
+				ts.triggers = append(ts.triggers, snap)
+			}
+		}
+	}
+	return nil
 }
 
 // headSatisfied reports whether the head conjunction already has a
@@ -535,7 +652,13 @@ func (st *State) headSatisfied(ts *tgdState, trigger []int32) bool {
 // batched ReplaceTerms — one index rebuild per relation per pass
 // instead of one per merge. Passes repeat until no merge is found,
 // since rewritten tuples can expose new EGD matches.
-func (st *State) applyEGDs() (int, []Violation) {
+//
+// With a parallel pool, each pass shards the EGD body matching across
+// workers that collect raw (left, right) term pairs; the union-find
+// fold then consumes the pairs in (EGD, shard, match) order — the
+// same sequence the sequential enumeration produces — so merges,
+// representatives and hard violations are identical at every width.
+func (st *State) applyEGDs(ctx context.Context) (int, []Violation, error) {
 	totalMerged := 0
 	var hard []Violation
 	for {
@@ -551,43 +674,53 @@ func (st *State) applyEGDs() (int, []Violation) {
 			return root
 		}
 		anyMerge := false
-		for _, es := range st.egds {
-			if es.regs == nil {
-				es.regs = es.plan.NewRegs()
+		// fold processes one required equality l = r for egd.
+		fold := func(egd *datalog.EGD, l, r datalog.Term) {
+			a, b := find(l), find(r)
+			if a == b {
+				return
 			}
-			es.plan.ResetRegs(es.regs)
-			es.plan.Execute(st.inst, es.regs, func(regs []int32) bool {
-				a := find(es.plan.TermAt(regs, es.ep.egd.Left))
-				b := find(es.plan.TermAt(regs, es.ep.egd.Right))
-				if a == b {
+			if a.IsConst() && b.IsConst() {
+				key := egd.ID + "§" + a.Name + "§" + b.Name
+				if !st.reportedEGD[key] {
+					st.reportedEGD[key] = true
+					hard = append(hard, Violation{
+						Kind:   EGDConflict,
+						ID:     egd.ID,
+						Detail: fmt.Sprintf("requires %s = %s", a, b),
+					})
+				}
+				return
+			}
+			// Merge the null into the other term; prefer keeping
+			// constants, and for null/null pairs keep the smaller
+			// label for determinism.
+			keep, drop := a, b
+			if b.IsConst() || (a.IsNull() && b.IsNull() && b.Name < a.Name) {
+				keep, drop = b, a
+			}
+			parent[drop] = keep
+			anyMerge = true
+		}
+		if st.pool.Sequential() {
+			for _, es := range st.egds {
+				if err := ctx.Err(); err != nil {
+					return totalMerged, hard, err
+				}
+				if es.regs == nil {
+					es.regs = es.plan.NewRegs()
+				}
+				es.plan.ResetRegs(es.regs)
+				es.plan.Execute(st.inst, es.regs, func(regs []int32) bool {
+					fold(es.ep.egd, es.plan.TermAt(regs, es.ep.egd.Left), es.plan.TermAt(regs, es.ep.egd.Right))
 					return true
-				}
-				if a.IsConst() && b.IsConst() {
-					key := es.ep.egd.ID + "§" + a.Name + "§" + b.Name
-					if !st.reportedEGD[key] {
-						st.reportedEGD[key] = true
-						hard = append(hard, Violation{
-							Kind:   EGDConflict,
-							ID:     es.ep.egd.ID,
-							Detail: fmt.Sprintf("requires %s = %s", a, b),
-						})
-					}
-					return true
-				}
-				// Merge the null into the other term; prefer keeping
-				// constants, and for null/null pairs keep the smaller
-				// label for determinism.
-				keep, drop := a, b
-				if b.IsConst() || (a.IsNull() && b.IsNull() && b.Name < a.Name) {
-					keep, drop = b, a
-				}
-				parent[drop] = keep
-				anyMerge = true
-				return true
-			})
+				})
+			}
+		} else if err := st.collectEGDPairsPar(ctx, fold); err != nil {
+			return totalMerged, hard, err
 		}
 		if !anyMerge {
-			return totalMerged, hard
+			return totalMerged, hard, nil
 		}
 		repl := make(map[datalog.Term]datalog.Term, len(parent))
 		for t := range parent {
@@ -601,41 +734,139 @@ func (st *State) applyEGDs() (int, []Violation) {
 	}
 }
 
-// checkNCs evaluates negative constraints over the current instance,
-// appending violations not yet reported. Negated atoms are checked
-// under closed-world assumption.
-func (st *State) checkNCs() {
-	var out []Violation
-	for _, ns := range st.ncs {
-		if ns.regs == nil {
-			ns.regs = ns.plan.NewRegs()
+// egdPair is one required equality found by an EGD body match.
+type egdPair struct {
+	l, r datalog.Term
+}
+
+// collectEGDPairsPar shards every EGD's body matching across the pool
+// and feeds the collected pairs to fold in (EGD, shard, match) order.
+func (st *State) collectEGDPairsPar(ctx context.Context, fold func(*datalog.EGD, datalog.Term, datalog.Term)) error {
+	w := st.pool.Width()
+	type egdUnit struct {
+		es    *egdState
+		shard int
+	}
+	units := make([]egdUnit, 0, len(st.egds)*w)
+	for _, es := range st.egds {
+		for s := 0; s < w; s++ {
+			units = append(units, egdUnit{es: es, shard: s})
 		}
-		ns.plan.ResetRegs(ns.regs)
-		nc := ns.np.nc
-		ns.plan.Execute(st.inst, ns.regs, func(regs []int32) bool {
-			for i := range ns.np.negs {
-				n := &ns.np.negs[i]
-				nb := ns.buf[:n.Len()]
-				n.Project(regs, nb)
-				if st.inst.ContainsRow(n.Pred, nb) {
-					return true // negated atom present: body not satisfied
-				}
-			}
-			for _, c := range nc.Conds {
-				// Safety is validated up front, so EvalTerms cannot see
-				// unbound variables here.
-				ok, err := c.EvalTerms(ns.plan.TermAt(regs, c.L), ns.plan.TermAt(regs, c.R))
-				if err != nil || !ok {
-					return true
-				}
-			}
-			s := ns.plan.SubstAt(regs, datalog.NewSubst())
-			detail := datalog.AtomsString(s.ApplyAtoms(nc.PositiveBody()))
-			out = append(out, Violation{Kind: NCViolation, ID: nc.ID, Detail: detail})
+	}
+	pairs, err := par.Map(ctx, st.pool, len(units), func(t int) ([]egdPair, error) {
+		u := &units[t]
+		es := u.es
+		regs := es.plan.NewRegs()
+		var local []egdPair
+		es.plan.ExecuteShard(st.inst, regs, u.shard, w, func(regs []int32) bool {
+			local = append(local, egdPair{
+				l: es.plan.TermAt(regs, es.ep.egd.Left),
+				r: es.plan.TermAt(regs, es.ep.egd.Right),
+			})
 			return true
 		})
+		return local, nil
+	})
+	if err != nil {
+		return err
 	}
-	st.addViolations(out)
+	for t, local := range pairs {
+		egd := units[t].es.ep.egd
+		for _, p := range local {
+			fold(egd, p.l, p.r)
+		}
+	}
+	return nil
+}
+
+// checkNCs evaluates negative constraints over the current instance,
+// appending violations not yet reported. Negated atoms are checked
+// under closed-world assumption. With a parallel pool, NC bodies are
+// matched concurrently in shards (read-only) and the found violations
+// merged in (NC, shard, match) order — the sequential report order.
+func (st *State) checkNCs(ctx context.Context) error {
+	// matchNC evaluates one complete body match of ns, returning the
+	// violation when the NC fires (negated atoms absent, conditions
+	// hold). buf is projection scratch of at least len(ns.buf).
+	matchNC := func(ns *ncState, regs []int32, buf []int32) (Violation, bool) {
+		nc := ns.np.nc
+		for i := range ns.np.negs {
+			n := &ns.np.negs[i]
+			nb := buf[:n.Len()]
+			n.Project(regs, nb)
+			if st.inst.ContainsRow(n.Pred, nb) {
+				return Violation{}, false // negated atom present: body not satisfied
+			}
+		}
+		for _, c := range nc.Conds {
+			// Safety is validated up front, so EvalTerms cannot see
+			// unbound variables here.
+			ok, err := c.EvalTerms(ns.plan.TermAt(regs, c.L), ns.plan.TermAt(regs, c.R))
+			if err != nil || !ok {
+				return Violation{}, false
+			}
+		}
+		s := ns.plan.SubstAt(regs, datalog.NewSubst())
+		detail := datalog.AtomsString(s.ApplyAtoms(nc.PositiveBody()))
+		return Violation{Kind: NCViolation, ID: nc.ID, Detail: detail}, true
+	}
+
+	if st.pool.Sequential() {
+		var out []Violation
+		for _, ns := range st.ncs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if ns.regs == nil {
+				ns.regs = ns.plan.NewRegs()
+			}
+			ns.plan.ResetRegs(ns.regs)
+			ns.plan.Execute(st.inst, ns.regs, func(regs []int32) bool {
+				if v, ok := matchNC(ns, regs, ns.buf); ok {
+					out = append(out, v)
+				}
+				return true
+			})
+		}
+		st.addViolations(out)
+		return nil
+	}
+
+	w := st.pool.Width()
+	type ncUnit struct {
+		ns    *ncState
+		shard int
+	}
+	units := make([]ncUnit, 0, len(st.ncs)*w)
+	for _, ns := range st.ncs {
+		for s := 0; s < w; s++ {
+			units = append(units, ncUnit{ns: ns, shard: s})
+		}
+	}
+	if len(units) == 0 {
+		return nil
+	}
+	found, err := par.Map(ctx, st.pool, len(units), func(t int) ([]Violation, error) {
+		u := &units[t]
+		ns := u.ns
+		regs := ns.plan.NewRegs()
+		buf := make([]int32, len(ns.buf))
+		var local []Violation
+		ns.plan.ExecuteShard(st.inst, regs, u.shard, w, func(regs []int32) bool {
+			if v, ok := matchNC(ns, regs, buf); ok {
+				local = append(local, v)
+			}
+			return true
+		})
+		return local, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, local := range found {
+		st.addViolations(local)
+	}
+	return nil
 }
 
 // addViolations appends violations not seen before (the same EGD

@@ -33,6 +33,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/datalog"
 	"repro/internal/eval"
+	"repro/internal/par"
 	"repro/internal/qerr"
 	"repro/internal/storage"
 )
@@ -52,16 +53,30 @@ type Spec struct {
 	Rules *eval.Program
 	// ChaseOptions configures every session's chase.
 	ChaseOptions chase.Options
+	// Parallelism bounds the worker pool every session's chase and
+	// eval rounds fan out across: 0 resolves to runtime.GOMAXPROCS(0)
+	// (the default), 1 selects the exact sequential engine, n > 1
+	// bounds workers at n. A non-zero value overrides
+	// ChaseOptions.Parallelism.
+	Parallelism int
 }
 
 // Prepared is the immutable compiled form of a Spec. It is safe to
 // share across goroutines: sessions only read it.
+//
+// Prepared owns the parallel execution pool's lifecycle: the
+// requested degree is resolved once at Prepare time and every session
+// opened from this Prepared inherits the same bounded worker pool
+// configuration for its chase and eval rounds (the pool is a width,
+// not live goroutines — workers exist only for the duration of a
+// round's fan-out, so there is nothing to shut down).
 type Prepared struct {
 	cp     *chase.CompiledProgram
 	base   *storage.Instance
 	rules  *eval.Program
 	strata [][]*eval.Rule
 	opts   chase.Options
+	pool   par.Pool
 }
 
 // Prepare validates and compiles the spec once. The returned Prepared
@@ -76,7 +91,14 @@ func Prepare(spec Spec) (*Prepared, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: compile chase program: %w", err)
 	}
-	p := &Prepared{cp: cp, base: base, rules: spec.Rules, opts: spec.ChaseOptions}
+	width := spec.Parallelism
+	if width == 0 {
+		width = spec.ChaseOptions.Parallelism
+	}
+	p := &Prepared{cp: cp, base: base, rules: spec.Rules, opts: spec.ChaseOptions, pool: par.New(width)}
+	// Sessions share one resolved pool width across their chase and
+	// eval halves; the chase state builds its pool from the option.
+	p.opts.Parallelism = p.pool.Width()
 	if spec.Rules != nil && len(spec.Rules.Rules) > 0 {
 		if err := spec.Rules.Validate(); err != nil {
 			return nil, err
@@ -95,7 +117,8 @@ func (p *Prepared) Base() *storage.Instance { return p.base }
 // NewSession builds a session over the base plus the instance under
 // assessment, chased to saturation and with the derived layer
 // evaluated — the cold path every later Apply amortizes. Cancellation
-// of ctx is checked once per chase round and eval stratum round.
+// of ctx is checked once per chase/eval work unit (per worker batch
+// when the pool is parallel).
 func (p *Prepared) NewSession(ctx context.Context, d *storage.Instance) (*Session, error) {
 	// The merge target is a detached clone: neither the shared base
 	// nor the caller's instance is ever touched, so one Prepared can
@@ -148,6 +171,7 @@ func (s *Session) rebuildEval(ctx context.Context) error {
 	inst := s.chase.Instance().Clone()
 	if s.eval == nil {
 		s.eval = eval.NewState(s.prep.strata, inst)
+		s.eval.SetParallelism(s.prep.pool.Width())
 	} else {
 		s.eval.Reset(inst)
 	}

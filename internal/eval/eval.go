@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/datalog"
+	"repro/internal/par"
 	"repro/internal/qerr"
 	"repro/internal/storage"
 )
@@ -171,9 +172,10 @@ func (p *Program) Stratify() ([][]*Rule, error) {
 
 // Eval computes the program's least fixpoint over a copy of db and
 // returns the resulting instance (EDB plus derived IDB atoms). The
-// input instance is not modified. ctx is checked once per semi-naive
-// round of every stratum, so a serving process can time-bound a
-// runaway evaluation.
+// input instance is not modified. ctx is checked once per rule pass
+// of every semi-naive round (per worker unit under parallelism), so a
+// serving process can time-bound a runaway evaluation with bounded
+// cancellation latency.
 //
 // Evaluation runs on compiled join plans over interned rows (see
 // storage.CompilePlan): every rule body is compiled once per stratum,
@@ -259,13 +261,15 @@ func compileRule(r *Rule, db *storage.Instance, idb map[string]bool, allDelta bo
 }
 
 // filters checks the rule's negated atoms (closed world) and
-// comparisons against the register bank.
-func (cr *compiledRule) filters(db *storage.Instance, regs []int32) (bool, error) {
+// comparisons against the register bank. buf is projection scratch of
+// at least len(cr.buf); parallel workers pass their own so one rule
+// can be filtered from many goroutines.
+func (cr *compiledRule) filters(db *storage.Instance, regs []int32, buf []int32) (bool, error) {
 	for i := range cr.negs {
 		n := &cr.negs[i]
-		buf := cr.buf[:n.Len()]
-		n.Project(regs, buf)
-		if db.ContainsRow(n.Pred, buf) {
+		nb := buf[:n.Len()]
+		n.Project(regs, nb)
+		if db.ContainsRow(n.Pred, nb) {
 			return false, nil
 		}
 	}
@@ -284,7 +288,7 @@ func (cr *compiledRule) filters(db *storage.Instance, regs []int32) (bool, error
 // derive applies filters and, on success, inserts the head row,
 // appending newly derived facts to *out.
 func (cr *compiledRule) derive(db *storage.Instance, regs []int32, out *[]Fact) error {
-	ok, err := cr.filters(db, regs)
+	ok, err := cr.filters(db, regs, cr.buf)
 	if err != nil || !ok {
 		return err
 	}
@@ -312,10 +316,21 @@ func (cr *compiledRule) derive(db *storage.Instance, regs []int32, out *[]Fact) 
 //
 // A State is single-writer: Init and Extend must not be called
 // concurrently. Concurrent readers use Instance().Snapshot().
+//
+// A State may still evaluate in parallel internally (SetParallelism):
+// each semi-naive round fans its rule passes out across a bounded
+// worker pool, every worker matching against the frozen round view
+// and staging derived rows into a private storage.Batch, and the
+// single writer merges the batches in deterministic unit order (rule
+// index, then shard/chunk index, then emission order) before the next
+// round. Parallelism 1 runs the exact sequential code path; higher
+// degrees produce the same fixpoint (set-identical instances), with
+// insertion order deterministic for a fixed degree.
 type State struct {
 	strata [][]*Rule
 	inst   *storage.Instance
 	comp   [][]*compiledRule
+	pool   par.Pool
 	hasNeg bool
 	inited bool
 }
@@ -325,7 +340,7 @@ type State struct {
 // an untouched input pass a clone). The strata come from
 // Program.Stratify; rules are assumed validated.
 func NewState(strata [][]*Rule, inst *storage.Instance) *State {
-	st := &State{strata: strata, inst: inst}
+	st := &State{strata: strata, inst: inst, pool: par.New(0)}
 	for _, rules := range strata {
 		for _, r := range rules {
 			if len(r.Negated) > 0 {
@@ -335,6 +350,12 @@ func NewState(strata [][]*Rule, inst *storage.Instance) *State {
 	}
 	return st
 }
+
+// SetParallelism bounds the state's worker pool: n <= 0 resolves to
+// runtime.GOMAXPROCS(0) (the default), 1 selects the exact sequential
+// code path, n > 1 fans rule passes out across up to n workers. Call
+// it before Init; the degree is fixed for the state's lifetime.
+func (st *State) SetParallelism(n int) { st.pool = par.New(n) }
 
 // Instance returns the state's live instance (EDB + derived facts).
 // Callers must not mutate it; take a Snapshot for concurrent reads.
@@ -359,7 +380,8 @@ func (st *State) Reset(inst *storage.Instance) {
 }
 
 // Init computes the least fixpoint stratum by stratum. ctx is checked
-// once per semi-naive round. Rule plans are compiled on the first Init
+// once per rule pass (per worker unit when the pool is parallel).
+// Rule plans are compiled on the first Init
 // and reused by later Reset+Init cycles.
 func (st *State) Init(ctx context.Context) error {
 	if st.comp == nil {
@@ -396,18 +418,27 @@ func (st *State) Init(ctx context.Context) error {
 		}
 		comp := st.comp[si]
 
-		// Round 0: full naive pass.
+		// Round 0: full naive pass — sequential rule-by-rule, or rule
+		// passes sharded across the worker pool with a deterministic
+		// batch merge.
 		var delta []Fact
-		for _, cr := range comp {
-			var derr error
-			cr.plan.ResetRegs(cr.regs)
-			cr.plan.Execute(st.inst, cr.regs, func(regs []int32) bool {
-				derr = cr.derive(st.inst, regs, &delta)
-				return derr == nil
-			})
-			if derr != nil {
-				return derr
+		if st.pool.Sequential() {
+			for _, cr := range comp {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				var derr error
+				cr.plan.ResetRegs(cr.regs)
+				cr.plan.Execute(st.inst, cr.regs, func(regs []int32) bool {
+					derr = cr.derive(st.inst, regs, &delta)
+					return derr == nil
+				})
+				if derr != nil {
+					return derr
+				}
 			}
+		} else if err := st.fullRoundPar(ctx, comp, &delta); err != nil {
+			return err
 		}
 
 		// Subsequent rounds: a rule re-fires only with at least one
@@ -427,15 +458,127 @@ func (st *State) Init(ctx context.Context) error {
 				}
 			}
 			var next []Fact
-			for _, cr := range comp {
-				if err := deltaPass(cr, st.inst, deltaByPred, &next); err != nil {
-					return err
-				}
+			if err := st.deltaRound(ctx, comp, deltaByPred, &next); err != nil {
+				return err
 			}
 			delta = next
 		}
 	}
 	st.inited = true
+	return nil
+}
+
+// deltaRound runs one semi-naive delta round over every rule:
+// sequentially via deltaPass, or — with a parallel pool — as delta-row
+// chunks fanned across workers staging into private batches.
+func (st *State) deltaRound(ctx context.Context, comp []*compiledRule, deltaByPred map[string][][]int32, next *[]Fact) error {
+	if st.pool.Sequential() {
+		for _, cr := range comp {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := deltaPass(cr, st.inst, deltaByPred, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	units := make([]evalUnit, 0, len(comp))
+	for _, cr := range comp {
+		for i := range cr.r.Body {
+			if cr.deltaPlans[i] == nil {
+				continue
+			}
+			rows := deltaByPred[cr.pivotProj[i].Pred]
+			for _, c := range par.Chunks(len(rows), st.pool.Width()) {
+				units = append(units, evalUnit{cr: cr, pivot: i, lo: c[0], hi: c[1]})
+			}
+		}
+	}
+	return st.runUnits(ctx, units, deltaByPred, next)
+}
+
+// evalUnit is one parallel work unit of a round: a shard of a rule's
+// full-body plan (pivot < 0) or a chunk of one pivot's delta rows.
+// Units are built in (rule index, pivot, chunk/shard) order, which
+// fixes the batch merge order.
+type evalUnit struct {
+	cr     *compiledRule
+	pivot  int // -1: full pass
+	shard  int // full pass: shard index
+	nshard int // full pass: shard count
+	lo, hi int // delta pass: row range within the pivot's delta
+}
+
+// fullRoundPar shards every rule's full-body pass across the pool.
+func (st *State) fullRoundPar(ctx context.Context, comp []*compiledRule, out *[]Fact) error {
+	w := st.pool.Width()
+	units := make([]evalUnit, 0, len(comp)*w)
+	for _, cr := range comp {
+		for s := 0; s < w; s++ {
+			units = append(units, evalUnit{cr: cr, pivot: -1, shard: s, nshard: w})
+		}
+	}
+	return st.runUnits(ctx, units, nil, out)
+}
+
+// runUnits executes the units on the worker pool — every worker
+// matching against the round's frozen instance view and staging head
+// rows into the unit's private batch — then merges all batches in
+// unit order on the calling goroutine, appending each genuinely new
+// fact to *out. Cancellation is checked once per unit (par.Map),
+// bounding latency by a single work unit rather than a whole round.
+func (st *State) runUnits(ctx context.Context, units []evalUnit, deltaByPred map[string][][]int32, out *[]Fact) error {
+	if len(units) == 0 {
+		return nil
+	}
+	batches, err := par.Map(ctx, st.pool, len(units), func(t int) (*storage.Batch, error) {
+		u := &units[t]
+		cr := u.cr
+		regs := cr.plan.NewRegs()
+		buf := make([]int32, len(cr.buf))
+		b := &storage.Batch{}
+		var serr error
+		stage := func(regs []int32) bool {
+			ok, err := cr.filters(st.inst, regs, buf)
+			if err != nil {
+				serr = err
+				return false
+			}
+			if ok {
+				hb := buf[:cr.head.Len()]
+				cr.head.Project(regs, hb)
+				b.Add(cr.head.Pred, hb)
+			}
+			return true
+		}
+		if u.pivot < 0 {
+			cr.plan.ExecuteShard(st.inst, regs, u.shard, u.nshard, stage)
+			return b, serr
+		}
+		proj := &cr.pivotProj[u.pivot]
+		dp := cr.deltaPlans[u.pivot]
+		for _, row := range deltaByPred[proj.Pred][u.lo:u.hi] {
+			cr.plan.ResetRegs(regs)
+			if !proj.Bind(row, regs) {
+				continue
+			}
+			if !dp.Execute(st.inst, regs, stage) {
+				break // aborted on a filter error
+			}
+		}
+		return b, serr
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range batches {
+		if _, err := st.inst.MergeBatch(b, func(pred string, row []int32) {
+			*out = append(*out, Fact{Pred: pred, Row: row})
+		}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -487,10 +630,8 @@ func (st *State) Extend(ctx context.Context, delta []Fact) ([]Fact, error) {
 			for _, f := range all[start:end] {
 				deltaByPred[f.Pred] = append(deltaByPred[f.Pred], f.Row)
 			}
-			for _, cr := range comp {
-				if err := deltaPass(cr, st.inst, deltaByPred, &all); err != nil {
-					return nil, err
-				}
+			if err := st.deltaRound(ctx, comp, deltaByPred, &all); err != nil {
+				return nil, err
 			}
 			start = end
 		}

@@ -65,6 +65,11 @@ type Config struct {
 	// when the chase finds constraint violations, instead of
 	// reporting them on the Assessment.
 	StrictConsistency bool
+	// Parallelism bounds the worker pool assessments fan chase and
+	// eval rounds out across: 0 resolves to runtime.GOMAXPROCS(0)
+	// (the default), 1 reproduces the sequential engine exactly, n > 1
+	// bounds workers at n.
+	Parallelism int
 }
 
 // Context assembles the quality-assessment context of Figure 2. It is
@@ -111,6 +116,7 @@ func NewContext(o *core.Ontology, cfg Config) (*Context, error) {
 		QualityRules:      append([]*eval.Rule(nil), cfg.QualityRules...),
 		Externals:         append([]*storage.Instance(nil), cfg.Externals...),
 		StrictConsistency: cfg.StrictConsistency,
+		Parallelism:       cfg.Parallelism,
 	}
 	for _, r := range c.cfg.Mappings {
 		if err := r.Validate(); err != nil {
@@ -262,6 +268,7 @@ func (c *Context) compile() (*Prepared, error) {
 		Base:         base,
 		Rules:        evalProg,
 		ChaseOptions: c.cfg.Chase,
+		Parallelism:  c.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -394,7 +401,11 @@ func (s *Session) Assessment() (*Assessment, error) {
 		}
 		renamed := storage.NewRelation(storage.Schema{Name: def.pred, Attrs: attrs})
 		if vrel != nil {
-			for _, tup := range vrel.Tuples() {
+			// Sorted, not insertion, order: the derived layer's
+			// insertion order varies with the engine's parallelism
+			// degree, and the materialized version relations are public
+			// output — they must not differ across machines.
+			for _, tup := range vrel.SortedTuples() {
 				if _, err := renamed.Insert(tup); err != nil {
 					return nil, err
 				}

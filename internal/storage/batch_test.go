@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	dl "repro/internal/datalog"
+)
+
+// joinDB builds a two-relation instance for shard/batch tests.
+func joinDB(t *testing.T, seed int64, rows int) *Instance {
+	t.Helper()
+	db := NewInstance()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		db.MustInsert("R", dl.C(fmt.Sprintf("a%d", rng.Intn(8))), dl.C(fmt.Sprintf("b%d", rng.Intn(8))))
+		db.MustInsert("S", dl.C(fmt.Sprintf("b%d", rng.Intn(8))), dl.C(fmt.Sprintf("c%d", rng.Intn(8))))
+	}
+	return db
+}
+
+// TestExecuteShardPartitionsExecute pins the sharding contract: the
+// concatenation of shards 0..n-1 must reproduce Execute's matches in
+// Execute's order, for any shard count.
+func TestExecuteShardPartitionsExecute(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		db := joinDB(t, seed, 30)
+		body := []dl.Atom{
+			dl.A("R", dl.V("x"), dl.V("y")),
+			dl.A("S", dl.V("y"), dl.V("z")),
+		}
+		plan := CompilePlan(db, body)
+		collect := func(run func(fn func([]int32) bool)) [][]int32 {
+			var out [][]int32
+			run(func(regs []int32) bool {
+				out = append(out, append([]int32(nil), regs...))
+				return true
+			})
+			return out
+		}
+		want := collect(func(fn func([]int32) bool) {
+			plan.Execute(db, plan.NewRegs(), fn)
+		})
+		for _, nshards := range []int{1, 2, 3, 7, 64} {
+			var got [][]int32
+			for s := 0; s < nshards; s++ {
+				got = append(got, collect(func(fn func([]int32) bool) {
+					plan.ExecuteShard(db, plan.NewRegs(), s, nshards, fn)
+				})...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d nshards %d: %d sharded matches, want %d", seed, nshards, len(got), len(want))
+			}
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("seed %d nshards %d: match %d = %v, want %v", seed, nshards, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteShardGroundBody covers the zero-slot edge: a fully
+// ground body has exactly one match, owned by shard 0.
+func TestExecuteShardGroundBody(t *testing.T) {
+	db := NewInstance()
+	db.MustInsert("R", dl.C("a"), dl.C("b"))
+	plan := CompilePlan(db, []dl.Atom{dl.A("R", dl.C("a"), dl.C("b"))})
+	total := 0
+	for s := 0; s < 4; s++ {
+		plan.ExecuteShard(db, plan.NewRegs(), s, 4, func([]int32) bool {
+			total++
+			return true
+		})
+	}
+	if total != 1 {
+		t.Fatalf("ground body matched %d times across shards, want 1", total)
+	}
+}
+
+// TestMergeBatchMatchesSequentialInserts pins the single-writer merge
+// to row-at-a-time insertion: same dedup, same final relation, and
+// onNew fires exactly for the genuinely new rows, in batch order.
+func TestMergeBatchMatchesSequentialInserts(t *testing.T) {
+	db := NewInstance()
+	in := db.Interner()
+	a, b, c := in.ID(dl.C("a")), in.ID(dl.C("b")), in.ID(dl.C("c"))
+	if _, err := db.CreateRelation("R", "x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustInsert("R", dl.C("a"), dl.C("b")) // pre-existing row
+
+	var batch Batch
+	staged := [][]int32{{a, b}, {a, c}, {b, c}, {a, c}, {c, c}}
+	preds := []string{"R", "R", "R", "R", "T"}
+	for i, row := range staged {
+		batch.Add(preds[i], row)
+	}
+	if batch.Len() != len(staged) {
+		t.Fatalf("batch len = %d, want %d", batch.Len(), len(staged))
+	}
+
+	seq := db.Clone()
+	var wantNew [][2]string
+	for i, row := range staged {
+		isNew, err := seq.InsertRow(preds[i], row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isNew {
+			wantNew = append(wantNew, [2]string{preds[i], fmt.Sprint(row)})
+		}
+	}
+
+	var gotNew [][2]string
+	added, err := db.MergeBatch(&batch, func(pred string, stored []int32) {
+		gotNew = append(gotNew, [2]string{pred, fmt.Sprint(stored)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != len(wantNew) {
+		t.Fatalf("MergeBatch added %d, want %d", added, len(wantNew))
+	}
+	if fmt.Sprint(gotNew) != fmt.Sprint(wantNew) {
+		t.Fatalf("onNew sequence %v, want %v", gotNew, wantNew)
+	}
+	if !db.Equal(seq) {
+		t.Fatalf("merged instance differs from sequential inserts:\n%s\nvs\n%s", db, seq)
+	}
+	// Insertion order must match too (merge order = batch order).
+	for _, name := range seq.RelationNames() {
+		sr, mr := seq.Relation(name), db.Relation(name)
+		if sr.Len() != mr.Len() {
+			t.Fatalf("relation %s: %d vs %d rows", name, mr.Len(), sr.Len())
+		}
+		for i, row := range sr.Rows() {
+			for j := range row {
+				if mr.Row(i)[j] != row[j] {
+					t.Fatalf("relation %s row %d: %v vs %v", name, i, mr.Row(i), row)
+				}
+			}
+		}
+	}
+
+	// Reset empties the batch for reuse.
+	batch.Reset()
+	if batch.Len() != 0 {
+		t.Fatalf("reset batch len = %d", batch.Len())
+	}
+}
+
+// TestInsertBatchFrozen verifies batch merges respect the snapshot
+// freeze.
+func TestInsertBatchFrozen(t *testing.T) {
+	db := NewInstance()
+	db.MustInsert("R", dl.C("a"), dl.C("b"))
+	snap := db.Snapshot()
+	row := []int32{0, 1}
+	if _, err := snap.Relation("R").InsertBatch([][]int32{row}, nil); err == nil {
+		t.Fatal("InsertBatch into frozen snapshot succeeded")
+	}
+	var batch Batch
+	batch.Add("R", row)
+	if _, err := snap.MergeBatch(&batch, nil); err == nil {
+		t.Fatal("MergeBatch into frozen snapshot succeeded")
+	}
+}

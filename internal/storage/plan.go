@@ -237,6 +237,13 @@ func (p *Plan) ResetRegs(regs []int32) {
 // all its clones); Execute panics otherwise, since raw register values
 // would be meaningless. Use Run for the checked, Subst-based entry
 // point.
+//
+// Execute only reads db: any number of goroutines may execute plans
+// (each with its own register bank) against one instance concurrently,
+// provided nothing mutates the instance or interns new terms for the
+// duration — the discipline the parallel chase/eval rounds follow by
+// staging all insertions into per-worker Batches and merging them
+// after the workers join.
 func (p *Plan) Execute(db *Instance, regs []int32, fn func(regs []int32) bool) bool {
 	if db.in != p.in {
 		panic("storage: Plan.Execute on instance with foreign interner")
@@ -244,20 +251,61 @@ func (p *Plan) Execute(db *Instance, regs []int32, fn func(regs []int32) bool) b
 	return p.exec(db, 0, regs, fn)
 }
 
-func (p *Plan) exec(db *Instance, ai int, regs []int32, fn func([]int32) bool) bool {
-	if ai == len(p.atoms) {
-		return fn(regs)
+// ExecuteShard enumerates the subset of Execute's matches whose
+// first-atom candidate row falls in the shard-th of nshards contiguous
+// slices of the first atom's candidate list. Shards partition the
+// match set: concatenating the matches of shards 0..nshards-1 yields
+// exactly Execute's matches in Execute's order, which is how parallel
+// engines split one plan across workers while keeping a deterministic
+// merge order. Like Execute it only reads db; each worker passes its
+// own register bank.
+func (p *Plan) ExecuteShard(db *Instance, regs []int32, shard, nshards int, fn func(regs []int32) bool) bool {
+	if db.in != p.in {
+		panic("storage: Plan.ExecuteShard on instance with foreign interner")
 	}
-	pa := &p.atoms[ai]
+	if nshards <= 1 {
+		return p.exec(db, 0, regs, fn)
+	}
+	if len(p.atoms) == 0 {
+		// A zero-atom plan has exactly one (empty) match; shard 0 owns it.
+		if shard == 0 {
+			return fn(regs)
+		}
+		return true
+	}
+	pa := &p.atoms[0]
 	rel := db.relations[pa.pred]
 	if rel == nil || rel.schema.Arity() != pa.arity {
-		return true // no facts can match; enumeration is (vacuously) complete
+		return true
 	}
-	// Probe the smallest index bucket among ground positions. Positions
-	// beyond the compile-time groundPos may also be ground (callers can
-	// seed extra slots); they are checked per row either way.
-	var bucket []int
-	haveBucket := false
+	bucket, haveBucket := p.candidates(rel, pa, regs)
+	n := len(rel.rows)
+	if haveBucket {
+		n = len(bucket)
+	}
+	lo, hi := shard*n/nshards, (shard+1)*n/nshards
+	for i := lo; i < hi; i++ {
+		idx := i
+		if haveBucket {
+			idx = bucket[i]
+		}
+		if !p.tryRow(db, pa, 0, rel.rows[idx], regs, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates returns the candidate row list for atom pa under regs:
+// the smallest index bucket among pa's ground positions (positions
+// beyond the compile-time groundPos may also be ground — callers can
+// seed extra slots — and are checked per row either way), or
+// haveBucket=false meaning every row must be scanned. It is the one
+// shared implementation behind exec's per-level probe and
+// ExecuteShard's partition, so a shard always slices exactly the list
+// exec would walk — the invariant the parallel engines' determinism
+// rests on.
+func (p *Plan) candidates(rel *Relation, pa *planAtom, regs []int32) (bucket []int, haveBucket bool) {
 	for _, pos := range pa.groundPos {
 		a := pa.args[pos]
 		id := a.id
@@ -272,9 +320,22 @@ func (p *Plan) exec(db *Instance, ai int, regs []int32, fn func([]int32) bool) b
 			bucket, haveBucket = b, true
 		}
 		if len(bucket) == 0 {
-			return true
+			break // empty bucket: nothing can match
 		}
 	}
+	return bucket, haveBucket
+}
+
+func (p *Plan) exec(db *Instance, ai int, regs []int32, fn func([]int32) bool) bool {
+	if ai == len(p.atoms) {
+		return fn(regs)
+	}
+	pa := &p.atoms[ai]
+	rel := db.relations[pa.pred]
+	if rel == nil || rel.schema.Arity() != pa.arity {
+		return true // no facts can match; enumeration is (vacuously) complete
+	}
+	bucket, haveBucket := p.candidates(rel, pa, regs)
 	if haveBucket {
 		for _, idx := range bucket {
 			if !p.tryRow(db, pa, ai, rel.rows[idx], regs, fn) {

@@ -196,29 +196,38 @@ func (r *Relation) Insert(tuple []datalog.Term) (bool, error) {
 // from this relation's interner; the slice is copied. It reports
 // whether the row was new.
 func (r *Relation) InsertRow(ids []int32) (bool, error) {
+	_, isNew, err := r.insertRowStored(ids)
+	return isNew, err
+}
+
+// insertRowStored is the core of InsertRow: it validates, dedups and
+// stores the row, returning the arena-stored copy when the row was
+// new (nil otherwise). Batch merging uses the stored slice to build
+// delta-fact lists without re-copying.
+func (r *Relation) insertRowStored(ids []int32) ([]int32, bool, error) {
 	if r.frozen {
-		return false, errFrozen(r.schema.Name)
+		return nil, false, errFrozen(r.schema.Name)
 	}
 	if len(ids) != r.schema.Arity() {
-		return false, fmt.Errorf("storage: %s expects %d attributes, got %d", r.schema.Name, r.schema.Arity(), len(ids))
+		return nil, false, fmt.Errorf("storage: %s expects %d attributes, got %d", r.schema.Name, r.schema.Arity(), len(ids))
 	}
 	for _, id := range ids {
 		if id < 0 || int(id) >= r.in.Len() {
-			return false, fmt.Errorf("storage: %s: row id %d outside interner range", r.schema.Name, id)
+			return nil, false, fmt.Errorf("storage: %s: row id %d outside interner range", r.schema.Name, id)
 		}
 		if r.in.TermOf(id).IsVar() {
-			return false, fmt.Errorf("storage: cannot insert non-ground row into %s", r.schema.Name)
+			return nil, false, fmt.Errorf("storage: cannot insert non-ground row into %s", r.schema.Name)
 		}
 	}
 	if _, dup := r.lookupRow(ids); dup {
-		return false, nil
+		return nil, false, nil
 	}
 	r.ensureOwned()
 	stored := r.rowArena.Copy(ids)
 	var tbuf [16]datalog.Term
 	terms := r.in.Terms(stored, tbuf[:0])
 	r.appendRow(stored, r.termArena.Copy(terms))
-	return true, nil
+	return stored, true, nil
 }
 
 // Contains reports whether the ground tuple is present. It allocates

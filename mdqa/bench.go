@@ -46,6 +46,15 @@ func WritePerfJSON(path string, results map[string]PerfResult) error {
 // PerfNames returns result names in sorted order.
 func PerfNames(results map[string]PerfResult) []string { return bench.PerfNames(results) }
 
+// RunPerfSweep measures the chase scaling benchmark and the cold/warm
+// assessment pair at every requested parallelism level (1 = the exact
+// sequential engine), keyed "<name>/n=<size>/p=<level>" — the
+// parallel-vs-sequential speedup curve recorded per PR in
+// BENCH_<n>.json.
+func RunPerfSweep(sizes, levels []int) (map[string]PerfResult, error) {
+	return bench.RunPerfSweep(sizes, levels)
+}
+
 // RunPerf measures the engine scaling benchmarks plus the facade
 // assessment path at the given base sizes. Engine-level numbers come
 // from the internal harness; FacadeColdAssess and FacadeWarmApply run

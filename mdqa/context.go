@@ -88,6 +88,23 @@ func WithStrictConsistency() Option {
 	return func(cfg *quality.Config) { cfg.StrictConsistency = true }
 }
 
+// WithParallelism bounds the worker pool that assessments — cold
+// Assess, session NewSession and Apply — fan their chase and eval
+// rounds out across. n = 0 (the default) resolves to
+// runtime.GOMAXPROCS(0); n = 1 reproduces the sequential engine
+// exactly; n > 1 bounds concurrent workers at n.
+//
+// Parallelism never changes what is computed: the chase result
+// (instance, null labels, violations, counters) is identical at every
+// degree, and the derived quality layer holds exactly the same tuples
+// (only low-level insertion order inside a relation may differ from
+// the sequential engine's, which is why Snapshot streams sort their
+// tuples). One assessment parallelizes internally; the
+// single-writer/many-readers session contract is unchanged.
+func WithParallelism(n int) Option {
+	return func(cfg *quality.Config) { cfg.Parallelism = n }
+}
+
 // Context is an immutable quality-assessment context (the paper's
 // Figure 2): an MD ontology plus contextual mappings, quality
 // predicates, quality-version definitions and external sources. Build
@@ -145,8 +162,8 @@ func (c *Context) Prepare(ctx context.Context) (*Prepared, error) {
 // assessment: compile (cached), merge, chase, evaluate, measure.
 // Assess is a one-shot session — long-lived callers use
 // Prepare/NewSession and Apply deltas instead of re-assessing from
-// scratch. Cancellation of ctx is checked once per chase round and
-// eval stratum round.
+// scratch. Cancellation of ctx is checked once per chase/eval work
+// unit.
 func (c *Context) Assess(ctx context.Context, d *Instance) (*Assessment, error) {
 	p, err := c.Prepare(ctx)
 	if err != nil {

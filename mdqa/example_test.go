@@ -135,6 +135,43 @@ func ExampleSession_Apply() {
 	// inserted=1 rebuilt=false clean-tuples=2
 }
 
+// ExampleWithParallelism builds two contexts over the same ontology —
+// one pinned to the sequential engine, one fanning chase and eval
+// rounds across four workers — and shows that parallelism changes
+// only how the assessment is computed, never what it computes.
+func ExampleWithParallelism() {
+	for _, degree := range []int{1, 4} {
+		qc, d, err := salesContext()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		// Rebuild the context with the explicit degree (parallelism is
+		// fixed at construction; 0, the default, uses all cores).
+		qc, err = mdqa.NewContext(qc.Ontology(),
+			mdqa.WithQualityVersion("CitySales", "CitySales_q",
+				mdqa.NewRule("sales-q",
+					mdqa.NewAtom("CitySales_q", mdqa.Var("w"), mdqa.Var("i")),
+					mdqa.NewAtom("CitySales", mdqa.Var("w"), mdqa.Var("i")),
+					mdqa.NewAtom("CountrySales", mdqa.Const("Canada"), mdqa.Var("i")))),
+			mdqa.WithParallelism(degree))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		a, err := qc.Assess(context.Background(), d)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		m := a.Measures()["CitySales"]
+		fmt.Printf("p=%d: |D|=%d |D_q|=%d clean-fraction=%.2f\n", degree, m.Original, m.Quality, m.CleanFraction())
+	}
+	// Output:
+	// p=1: |D|=2 |D_q|=1 clean-fraction=0.50
+	// p=4: |D|=2 |D_q|=1 clean-fraction=0.50
+}
+
 // ExampleSnapshot_CleanAnswers streams clean query answers off a
 // frozen snapshot without materializing an answer set.
 func ExampleSnapshot_CleanAnswers() {

@@ -3,6 +3,8 @@ package mdqa_test
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sort"
 	"testing"
 
 	"repro/mdqa"
@@ -353,5 +355,66 @@ func TestContextFromParsedFile(t *testing.T) {
 	}
 	if _, err := fresh.Assess(context.Background(), mdqa.InputInstance(f)); err != nil {
 		t.Errorf("context must stay usable after cancellation: %v", err)
+	}
+}
+
+// TestSnapshotIterationOrderDeterministic pins the documented
+// snapshot iteration orders: Relations is sorted by name, and
+// Tuples/VersionTuples stream in sorted tuple order — independent of
+// insertion/derivation order, so parallel runs can never reorder
+// output built from snapshot streams (golden CLI files included).
+func TestSnapshotIterationOrderDeterministic(t *testing.T) {
+	o := buildSalesOntology(t)
+	version := mdqa.NewRule("sales-q",
+		mdqa.NewAtom("CitySales_q", mdqa.Var("w"), mdqa.Var("i")),
+		mdqa.NewAtom("CitySales", mdqa.Var("w"), mdqa.Var("i")))
+	d := mdqa.NewInstance()
+	if _, err := d.CreateRelation("CitySales", "City", "Item"); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately inserted out of sorted order.
+	d.MustInsert("CitySales", mdqa.Const("Toronto"), mdqa.Const("syrup"))
+	d.MustInsert("CitySales", mdqa.Const("Ottawa"), mdqa.Const("skates"))
+	d.MustInsert("CitySales", mdqa.Const("Santiago"), mdqa.Const("wine"))
+
+	for _, degree := range []int{1, 4} {
+		qc, err := mdqa.NewContext(o,
+			mdqa.WithQualityVersion("CitySales", "CitySales_q", version),
+			mdqa.WithParallelism(degree))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := qc.Prepare(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := prep.NewSession(context.Background(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := sess.Snapshot()
+
+		names := snap.Relations()
+		if !sort.StringsAreSorted(names) {
+			t.Fatalf("p=%d: Relations not sorted: %v", degree, names)
+		}
+
+		for _, stream := range []func() (func(func([]mdqa.Term) bool), error){
+			func() (func(func([]mdqa.Term) bool), error) { return snap.Tuples("CitySales_q") },
+			func() (func(func([]mdqa.Term) bool), error) { return snap.VersionTuples("CitySales") },
+		} {
+			seq, err := stream()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cities []string
+			for tup := range seq {
+				cities = append(cities, tup[0].Name)
+			}
+			want := []string{"Ottawa", "Santiago", "Toronto"}
+			if fmt.Sprint(cities) != fmt.Sprint(want) {
+				t.Fatalf("p=%d: streamed order %v, want %v", degree, cities, want)
+			}
+		}
 	}
 }

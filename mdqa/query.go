@@ -14,7 +14,8 @@ import (
 // completion enforcing the dimensional rules (inventing labeled nulls
 // for existential variables), EGDs (merging nulls, reporting hard
 // conflicts) and negative constraints. The compiled instance is not
-// modified. ctx is checked once per chase round.
+// modified. ctx is checked once per chase work unit (at most one
+// dependency's discovery pass).
 func Chase(ctx context.Context, comp *Compiled, opts ChaseOptions) (*ChaseResult, error) {
 	return chase.Run(ctx, comp.Program, comp.Instance, opts)
 }

@@ -28,8 +28,8 @@ func (p *Prepared) Context() *Context { return p.c }
 // assessment is merged into a private clone of the static context,
 // chased to saturation and evaluated — the cold path every later
 // Apply amortizes. The caller's instance is never mutated.
-// Cancellation of ctx is checked once per chase round and eval
-// stratum round.
+// Cancellation of ctx is checked once per chase/eval work unit, so
+// latency stays bounded even inside large rounds.
 func (p *Prepared) NewSession(ctx context.Context, d *Instance) (*Session, error) {
 	s, err := p.p.NewSession(ctx, d)
 	if err != nil {

@@ -2,6 +2,7 @@ package mdqa
 
 import (
 	"iter"
+	"sort"
 
 	"repro/internal/eval"
 	"repro/internal/quality"
@@ -25,8 +26,15 @@ type Snapshot struct {
 // formatting helpers (FormatRelation) and direct relation access.
 func (s *Snapshot) Instance() *Instance { return s.inst }
 
-// Relations lists the snapshot's relation names in sorted order.
-func (s *Snapshot) Relations() []string { return s.inst.RelationNames() }
+// Relations lists the snapshot's relation names sorted
+// lexicographically — a deterministic order independent of relation
+// creation order (which can vary with the engine's parallelism
+// degree).
+func (s *Snapshot) Relations() []string {
+	names := s.inst.RelationNames()
+	sort.Strings(names)
+	return names
+}
 
 // Versioned lists the original relations with defined quality
 // versions, in declaration order.
@@ -42,8 +50,12 @@ func (s *Snapshot) NumTuples(rel string) (int, error) {
 	return r.Len(), nil
 }
 
-// Tuples streams the tuples of one relation in insertion order. The
-// error is ErrUnknownRelation when the relation does not exist in the
+// Tuples streams the tuples of one relation sorted lexicographically
+// by their terms. The order is documented and deterministic: it
+// depends only on the snapshot's contents, never on derivation or
+// insertion order, so output built from a stream (golden CLI files,
+// reports) is stable across engine parallelism degrees. The error is
+// ErrUnknownRelation when the relation does not exist in the
 // snapshot. The yielded slices are owned by the snapshot: copy before
 // retaining.
 func (s *Snapshot) Tuples(rel string) (iter.Seq[[]Term], error) {
@@ -51,20 +63,15 @@ func (s *Snapshot) Tuples(rel string) (iter.Seq[[]Term], error) {
 	if r == nil {
 		return nil, &UnknownRelationError{Relation: rel}
 	}
-	return func(yield func([]Term) bool) {
-		for _, tup := range r.Tuples() {
-			if !yield(tup) {
-				return
-			}
-		}
-	}, nil
+	return streamSorted(r), nil
 }
 
 // VersionTuples streams the quality version of an original relation
 // (rel is the original name, e.g. "Measurements"; the stream reads
-// the version predicate, e.g. "Measurements_q"). A version whose
-// rules derived nothing streams zero tuples; a relation with no
-// declared version is ErrUnknownRelation.
+// the version predicate, e.g. "Measurements_q"), sorted
+// lexicographically like Tuples. A version whose rules derived
+// nothing streams zero tuples; a relation with no declared version is
+// ErrUnknownRelation.
 func (s *Snapshot) VersionTuples(rel string) (iter.Seq[[]Term], error) {
 	pred, ok := s.versionPred[rel]
 	if !ok {
@@ -76,13 +83,18 @@ func (s *Snapshot) VersionTuples(rel string) (iter.Seq[[]Term], error) {
 		// relation was never created: stream nothing.
 		return func(func([]Term) bool) {}, nil
 	}
+	return streamSorted(r), nil
+}
+
+// streamSorted yields a relation's tuples in sorted order.
+func streamSorted(r *storage.Relation) iter.Seq[[]Term] {
 	return func(yield func([]Term) bool) {
-		for _, tup := range r.Tuples() {
+		for _, tup := range r.SortedTuples() {
 			if !yield(tup) {
 				return
 			}
 		}
-	}, nil
+	}
 }
 
 // RewriteClean rewrites a query over the original schema into the
