@@ -1,0 +1,127 @@
+// Command mdserve serves quality assessments over HTTP: it loads one
+// or more quality contexts at startup, compiles each exactly once, and
+// multiplexes concurrent clients over prepared assessment sessions.
+//
+// Usage:
+//
+//	mdserve -example                          # built-in hospital context
+//	mdserve -context sales=sales.mdq          # context from a .mdq file
+//	mdserve -context a=a.mdq -context b=b.mdq # several contexts
+//	mdserve -addr :8080 -parallelism 4 ...
+//
+// API (JSON; streaming endpoints use NDJSON):
+//
+//	GET  /healthz
+//	GET  /metrics
+//	GET  /v1/contexts
+//	POST /v1/contexts/{name}/assess                   one-shot assessment
+//	POST /v1/contexts/{name}/sessions                 open a session
+//	GET  /v1/contexts/{name}/sessions                 list sessions
+//	GET  /v1/contexts/{name}/sessions/{id}            session info
+//	DELETE /v1/contexts/{name}/sessions/{id}          close a session
+//	POST /v1/contexts/{name}/sessions/{id}/apply      NDJSON delta ingest
+//	GET  /v1/contexts/{name}/sessions/{id}/answers?q= stream answers
+//	GET  /v1/contexts/{name}/sessions/{id}/assessment materialized outcome
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get a drain window, and every assessment honors its
+// request's cancellation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/mdqa"
+)
+
+// contextFlags collects repeated -context name=path.mdq flags.
+type contextFlags []server.ContextSource
+
+func (c *contextFlags) String() string {
+	var parts []string
+	for _, s := range *c {
+		parts = append(parts, s.Name+"="+s.Path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (c *contextFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path.mdq, got %q", v)
+	}
+	*c = append(*c, server.ContextSource{Name: name, Path: path})
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mdserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("mdserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	example := fs.Bool("example", false, "serve the built-in hospital example quality context as \"hospital\"")
+	parallelism := fs.Int("parallelism", 0, "engine worker pool bound per context (0 = all cores, 1 = sequential)")
+	maxSessions := fs.Int("max-sessions", 0, "open session limit across contexts (0 = default)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful shutdown drain window")
+	var sources contextFlags
+	fs.Var(&sources, "context", "quality context to serve, as name=path.mdq (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *example {
+		sources = append(sources, server.ContextSource{
+			Name:   "hospital",
+			Source: mdqa.HospitalQualityExampleSource(),
+		})
+	}
+	if len(sources) == 0 {
+		return fmt.Errorf("nothing to serve: pass -example and/or -context name=path.mdq")
+	}
+
+	srv, err := server.New(ctx, server.Config{Parallelism: *parallelism, MaxSessions: *maxSessions}, sources)
+	if err != nil {
+		return err
+	}
+	log.Printf("mdserve: serving contexts %s on %s", strings.Join(srv.Contexts(), ", "), *addr)
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Request contexts inherit the process context, so SIGINT also
+		// cancels in-flight engine work, not just the listener.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("mdserve: shutting down (drain %s)", *drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		return hs.Shutdown(shCtx)
+	}
+}

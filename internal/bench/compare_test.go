@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPerfJSONRoundTrip pins the annotated snapshot format: results
+// round-trip, and the "_hardware" key carries the recording machine
+// without polluting the result map.
+func TestPerfJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	in := map[string]PerfResult{
+		"BenchmarkColdAssess/n=400/p=1": {NsPerOp: 1000, AllocsPerOp: 10, BytesPerOp: 2048},
+		"BenchmarkWarmAssess/n=400/p=1": {NsPerOp: 50, AllocsPerOp: 2, BytesPerOp: 128},
+	}
+	if err := WritePerfJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, hw, err := ReadPerfJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw == nil || hw.NumCPU < 1 || hw.Gomaxprocs < 1 {
+		t.Fatalf("snapshot must carry the hardware annotation, got %+v", hw)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("results polluted by the annotation: %v", out)
+	}
+	for name, want := range in {
+		if out[name] != want {
+			t.Fatalf("%s: got %+v want %+v", name, out[name], want)
+		}
+	}
+}
+
+// TestReadPerfJSONLegacy reads a pre-annotation snapshot (no
+// "_hardware"): BENCH_1–4 must stay loadable as baselines.
+func TestReadPerfJSONLegacy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_legacy.json")
+	legacy := `{"BenchmarkColdAssess/n=400/p=1": {"ns_per_op": 42, "allocs_per_op": 1, "bytes_per_op": 64}}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, hw, err := ReadPerfJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw != nil {
+		t.Fatalf("legacy snapshot has no hardware, got %+v", hw)
+	}
+	if out["BenchmarkColdAssess/n=400/p=1"].NsPerOp != 42 {
+		t.Fatalf("legacy results misread: %+v", out)
+	}
+}
+
+// TestComparePerf pins the regression gate: within tolerance passes,
+// beyond fails, families filter, and a vacuous comparison is
+// detectable via the compared count.
+func TestComparePerf(t *testing.T) {
+	baseline := map[string]PerfResult{
+		"BenchmarkColdAssess/n=400/p=1":   {NsPerOp: 1000},
+		"BenchmarkWarmAssess/n=400/p=1":   {NsPerOp: 100},
+		"BenchmarkScaling_Chase/n=400":    {NsPerOp: 10},
+		"BenchmarkColdAssess/n=1600/p=1":  {NsPerOp: 5000},
+		"BenchmarkIgnoredFamily/n=400":    {NsPerOp: 1},
+		"BenchmarkColdAssess/n=800/extra": {NsPerOp: 0}, // zero baseline: skipped
+	}
+	families := []string{"BenchmarkColdAssess", "BenchmarkWarmAssess"}
+
+	// Within tolerance: +25% on a 30% gate.
+	current := map[string]PerfResult{
+		"BenchmarkColdAssess/n=400/p=1": {NsPerOp: 1250},
+		"BenchmarkWarmAssess/n=400/p=1": {NsPerOp: 90},
+		"BenchmarkScaling_Chase/n=400":  {NsPerOp: 1000}, // 100x but not guarded
+	}
+	regs, compared := ComparePerf(current, baseline, families, 0.30)
+	if len(regs) != 0 {
+		t.Fatalf("within tolerance must pass: %v", regs)
+	}
+	if compared != 2 {
+		t.Fatalf("want 2 compared, got %d", compared)
+	}
+
+	// Beyond tolerance fails, worst first.
+	current["BenchmarkColdAssess/n=400/p=1"] = PerfResult{NsPerOp: 1400}
+	current["BenchmarkWarmAssess/n=400/p=1"] = PerfResult{NsPerOp: 200}
+	regs, _ = ComparePerf(current, baseline, families, 0.30)
+	if len(regs) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regs)
+	}
+	if regs[0].Name != "BenchmarkWarmAssess/n=400/p=1" {
+		t.Fatalf("worst regression (2.0x) must sort first: %v", regs)
+	}
+	if regs[0].Ratio < 1.9 || regs[0].Ratio > 2.1 {
+		t.Fatalf("ratio: %v", regs[0])
+	}
+
+	// Keys only in current (new benchmarks) are not regressions.
+	regs, compared = ComparePerf(map[string]PerfResult{
+		"BenchmarkColdAssess/n=9999/p=1": {NsPerOp: 1},
+	}, baseline, families, 0.30)
+	if len(regs) != 0 || compared != 0 {
+		t.Fatalf("unmatched keys must not count: regs=%v compared=%d", regs, compared)
+	}
+}

@@ -56,6 +56,29 @@ func Parse(src string) (*File, error) {
 	return p.file, nil
 }
 
+// ParseQuery parses one standalone conjunctive query in the .mdq query
+// syntax without the leading "query" keyword: "name(vars) <- body." —
+// the form network clients send, e.g. `tomtemp(t, v) <-
+// Measurements(t, "Tom Waits", v).` A missing trailing period is
+// tolerated.
+func ParseQuery(src string) (*datalog.Query, error) {
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return nil, fmt.Errorf("parser: empty query")
+	}
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	f, err := Parse("query " + s + "\n")
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Queries) != 1 {
+		return nil, fmt.Errorf("parser: expected exactly one query, got %d", len(f.Queries))
+	}
+	return f.Queries[0].Query, nil
+}
+
 // ParseFile reads and parses a .mdq file from disk.
 func ParseFile(path string) (*File, error) {
 	data, err := os.ReadFile(path)

@@ -17,6 +17,7 @@ package quality
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/chase"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/engine"
 	"repro/internal/eval"
+	"repro/internal/hm"
 	"repro/internal/qerr"
 	"repro/internal/storage"
 )
@@ -164,6 +166,85 @@ func (c *Context) VersionPred(rel string) string {
 // Versioned lists the original relations with defined quality
 // versions, in declaration order.
 func (c *Context) Versioned() []string { return append([]string(nil), c.vorder...) }
+
+// DeclaredPreds lists every predicate the context can speak about,
+// sorted: the ontology's categorical relations, rule and constraint
+// predicates, the dimension membership and rollup predicates, every
+// predicate mentioned by a mapping, quality or version rule (heads
+// and bodies — this is how input relations like the hospital
+// example's Measurements enter the vocabulary), and the version
+// predicates. A query over any of these is well-formed even when the
+// relation holds no tuples yet; serving layers use the set to
+// distinguish "empty" from "unknown relation".
+func (c *Context) DeclaredPreds() []string {
+	set := map[string]bool{}
+	add := func(preds ...string) {
+		for _, p := range preds {
+			set[p] = true
+		}
+	}
+	addAtoms := func(atoms []datalog.Atom) {
+		for _, a := range atoms {
+			add(a.Pred)
+		}
+	}
+	o := c.ontology
+	add(o.Relations()...)
+	for _, t := range o.Rules() {
+		addAtoms(t.Body)
+		addAtoms(t.Head)
+	}
+	for _, e := range o.EGDs() {
+		addAtoms(e.Body)
+	}
+	for _, n := range o.NCs() {
+		for _, lit := range n.Body {
+			add(lit.Atom.Pred)
+		}
+	}
+	for _, dname := range o.Dimensions() {
+		s := o.Dimension(dname).Schema()
+		cats := s.Categories()
+		for _, cat := range cats {
+			add(hm.CategoryPredName(cat))
+		}
+		for _, e := range s.Edges() {
+			add(hm.RollupPredName(e[0], e[1]))
+		}
+		if c.cfg.Compile.TransitiveRollups {
+			for _, child := range cats {
+				for _, anc := range cats {
+					if child != anc && s.IsAncestor(child, anc) {
+						add(hm.RollupPredName(child, anc))
+					}
+				}
+			}
+		}
+	}
+	addRule := func(r *eval.Rule) {
+		add(r.Head.Pred)
+		addAtoms(r.Body)
+		addAtoms(r.Negated)
+	}
+	for _, r := range c.cfg.Mappings {
+		addRule(r)
+	}
+	for _, r := range c.cfg.QualityRules {
+		addRule(r)
+	}
+	for _, def := range c.versions {
+		add(def.pred)
+		for _, r := range def.rules {
+			addRule(r)
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Measure quantifies how much an original relation departs from its
 // quality version, following the paper's "quality is measured in terms
@@ -349,6 +430,11 @@ func (s *Session) Snapshot() *storage.Instance { return s.eng.Snapshot() }
 
 // Violations returns the session's cumulative constraint violations.
 func (s *Session) Violations() []chase.Violation { return s.eng.Violations() }
+
+// ChaseRounds returns the cumulative number of chase rounds the
+// session has run: the initial saturation plus every incremental
+// extension. Serving layers export it as a cost metric.
+func (s *Session) ChaseRounds() int { return s.eng.ChaseResult().Rounds }
 
 // VersionPred returns the version predicate defined for an original
 // relation, or "" when none is.

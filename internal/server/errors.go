@@ -1,0 +1,107 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/qerr"
+)
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// reported when the client's request context was cancelled before the
+// assessment finished: no real response could be delivered, and the
+// failure is attributable to the client, not the engine.
+const StatusClientClosedRequest = 499
+
+// WireError is the structured error body: a stable machine-readable
+// code, a human-readable message, and the typed detail carried by the
+// engine's qerr errors (violations behind a 409, chase progress behind
+// a 422, the missing relation behind a 400).
+type WireError struct {
+	Code       string          `json:"code"`
+	Message    string          `json:"message"`
+	Violations []WireViolation `json:"violations,omitempty"`
+	Rounds     int             `json:"rounds,omitempty"`
+	Atoms      int             `json:"atoms,omitempty"`
+	Relation   string          `json:"relation,omitempty"`
+}
+
+// ErrorBody wraps a WireError as a response body.
+type ErrorBody struct {
+	Error WireError `json:"error"`
+}
+
+// notFoundError marks lookups of unknown contexts or sessions (404).
+type notFoundError struct {
+	kind string // "context" or "session"
+	name string
+}
+
+func (e *notFoundError) Error() string { return fmt.Sprintf("unknown %s %q", e.kind, e.name) }
+
+// badRequestError marks malformed request payloads (400).
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+// overloadedError marks capacity limits (429): the request was fine,
+// the server is full — clients should back off, not rewrite the
+// request.
+type overloadedError struct{ msg string }
+
+func (e *overloadedError) Error() string { return e.msg }
+
+// MapError translates an engine or handler error into its HTTP status
+// and structured body, the qerr → HTTP contract of the API:
+//
+//	qerr.ErrInconsistent   → 409 Conflict, violations attached
+//	qerr.ErrBoundExceeded  → 422 Unprocessable, chase progress attached
+//	qerr.ErrUnknownRelation→ 400 Bad Request, relation named
+//	qerr.ErrUnsafeRule     → 400 Bad Request
+//	unknown context/session→ 404 Not Found
+//	malformed payloads     → 400 Bad Request
+//	capacity limits        → 429 Too Many Requests
+//	cancelled request ctx  → 499 (client closed request)
+//	anything else          → 500 Internal Server Error
+func MapError(err error) (int, ErrorBody) {
+	we := WireError{Message: err.Error()}
+	var status int
+	var nf *notFoundError
+	var br *badRequestError
+	var ov *overloadedError
+	var ie *qerr.InconsistentError
+	var be *qerr.BoundExceededError
+	var ur *qerr.UnknownRelationError
+	switch {
+	case errors.As(err, &nf):
+		status, we.Code = http.StatusNotFound, "not_found"
+	case errors.As(err, &br):
+		status, we.Code = http.StatusBadRequest, "bad_request"
+	case errors.As(err, &ov):
+		status, we.Code = http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, qerr.ErrInconsistent):
+		status, we.Code = http.StatusConflict, "inconsistent"
+		if errors.As(err, &ie) {
+			we.Violations = wireViolations(ie.Violations)
+		}
+	case errors.Is(err, qerr.ErrBoundExceeded):
+		status, we.Code = http.StatusUnprocessableEntity, "bound_exceeded"
+		if errors.As(err, &be) {
+			we.Rounds, we.Atoms = be.Rounds, be.Atoms
+		}
+	case errors.Is(err, qerr.ErrUnknownRelation):
+		status, we.Code = http.StatusBadRequest, "unknown_relation"
+		if errors.As(err, &ur) {
+			we.Relation = ur.Relation
+		}
+	case errors.Is(err, qerr.ErrUnsafeRule):
+		status, we.Code = http.StatusBadRequest, "unsafe_rule"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status, we.Code = StatusClientClosedRequest, "client_closed_request"
+	default:
+		status, we.Code = http.StatusInternalServerError, "internal"
+	}
+	return status, ErrorBody{Error: we}
+}

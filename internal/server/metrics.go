@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics aggregates per-context serving counters and request
+// latencies. One mutex guards everything: the hot paths (an assess, an
+// apply batch, an answers stream) each take it once per request, so
+// contention stays negligible next to the engine work they account.
+type metrics struct {
+	mu       sync.Mutex
+	contexts map[string]*contextMetrics
+}
+
+// ops is the fixed latency class vocabulary, in render order.
+var ops = []string{"assess", "apply", "answers"}
+
+// contextMetrics is the per-context slice of the counters.
+type contextMetrics struct {
+	assessTotal   int64 // one-shot + session assessments served
+	applyTotal    int64 // apply batches absorbed
+	answersTotal  int64 // answer tuples streamed
+	sessionsTotal int64 // sessions ever opened
+	sessionsOpen  int64 // sessions currently registered
+	errorsTotal   int64 // requests answered with an error body
+	chaseRounds   int64 // cumulative chase rounds across all sessions
+	latency       map[string]*latencyRing
+}
+
+func newMetrics(contexts []string) *metrics {
+	m := &metrics{contexts: make(map[string]*contextMetrics, len(contexts))}
+	for _, name := range contexts {
+		cm := &contextMetrics{latency: make(map[string]*latencyRing, len(ops))}
+		for _, op := range ops {
+			cm.latency[op] = newLatencyRing(1024)
+		}
+		m.contexts[name] = cm
+	}
+	return m
+}
+
+// with runs fn on the named context's counters under the lock;
+// unknown names (races with nothing — context set is fixed at startup)
+// are ignored.
+func (m *metrics) with(context string, fn func(*contextMetrics)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cm, ok := m.contexts[context]; ok {
+		fn(cm)
+	}
+}
+
+// observe records one request latency in the op's ring.
+func (m *metrics) observe(context, op string, d time.Duration) {
+	m.with(context, func(cm *contextMetrics) {
+		if r, ok := cm.latency[op]; ok {
+			r.observe(d)
+		}
+	})
+}
+
+// render writes the Prometheus-style text exposition: counters first,
+// then the p50/p99 latency quantiles, contexts and ops in fixed sorted
+// order so scrapes are stable.
+func (m *metrics) render(b *strings.Builder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.contexts))
+	for name := range m.contexts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counter := func(metric string, pick func(*contextMetrics) int64) {
+		fmt.Fprintf(b, "# TYPE %s counter\n", metric)
+		for _, name := range names {
+			fmt.Fprintf(b, "%s{context=%q} %d\n", metric, name, pick(m.contexts[name]))
+		}
+	}
+	counter("mdserve_assess_total", func(c *contextMetrics) int64 { return c.assessTotal })
+	counter("mdserve_apply_batches_total", func(c *contextMetrics) int64 { return c.applyTotal })
+	counter("mdserve_answers_streamed_total", func(c *contextMetrics) int64 { return c.answersTotal })
+	counter("mdserve_sessions_opened_total", func(c *contextMetrics) int64 { return c.sessionsTotal })
+	counter("mdserve_errors_total", func(c *contextMetrics) int64 { return c.errorsTotal })
+	counter("mdserve_chase_rounds_total", func(c *contextMetrics) int64 { return c.chaseRounds })
+	fmt.Fprintf(b, "# TYPE mdserve_sessions_open gauge\n")
+	for _, name := range names {
+		fmt.Fprintf(b, "mdserve_sessions_open{context=%q} %d\n", name, m.contexts[name].sessionsOpen)
+	}
+	fmt.Fprintf(b, "# TYPE mdserve_request_latency_seconds summary\n")
+	for _, name := range names {
+		cm := m.contexts[name]
+		for _, op := range ops {
+			r := cm.latency[op]
+			if r.count == 0 {
+				continue
+			}
+			for _, q := range []struct {
+				label string
+				p     float64
+			}{{"0.5", 0.50}, {"0.99", 0.99}} {
+				fmt.Fprintf(b, "mdserve_request_latency_seconds{context=%q,op=%q,quantile=%q} %.6f\n",
+					name, op, q.label, r.quantile(q.p).Seconds())
+			}
+			fmt.Fprintf(b, "mdserve_request_latency_seconds_count{context=%q,op=%q} %d\n", name, op, r.count)
+		}
+	}
+}
+
+// latencyRing keeps the last cap request durations; quantiles are
+// computed over a sorted copy at scrape time. Bounded memory, O(cap
+// log cap) per scrape — fine at cap 1024.
+type latencyRing struct {
+	samples []time.Duration
+	next    int
+	count   int64 // total observations ever
+}
+
+func newLatencyRing(capacity int) *latencyRing {
+	return &latencyRing{samples: make([]time.Duration, 0, capacity)}
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, d)
+	} else {
+		r.samples[r.next] = d
+	}
+	r.next = (r.next + 1) % cap(r.samples)
+	r.count++
+}
+
+// quantile returns the p-th quantile (0 < p <= 1) of the retained
+// window, using the nearest-rank method.
+func (r *latencyRing) quantile(p float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,299 @@
+// Package server implements mdserve: a concurrent quality-assessment
+// HTTP/JSON service over the mdqa facade's prepared sessions.
+//
+// The server loads one or more quality contexts at startup, compiles
+// each into an mdqa.Prepared exactly once, and serves three request
+// families per context:
+//
+//   - POST /v1/contexts/{name}/assess — one-shot assessment of an
+//     instance carried in the request body (or the context's declared
+//     input when the body is empty);
+//   - long-lived named sessions: POST .../sessions opens one,
+//     POST .../sessions/{id}/apply ingests NDJSON delta batches
+//     (each batch applied atomically through the incremental chase),
+//     GET .../sessions/{id}/answers?q= streams quality-query answers
+//     off a consistent copy-on-write snapshot, and
+//     GET .../sessions/{id}/assessment materializes the Figure 2
+//     outcome for the session's current state;
+//   - GET /healthz and GET /metrics for liveness and per-context
+//     counters, chase rounds and p50/p99 request latency.
+//
+// Concurrency: any number of readers stream answers and assessments
+// off frozen snapshots while writers keep applying deltas; writers
+// serialize per session at batch granularity (each batch is atomic —
+// a reader never observes half of one). Request-scoped cancellation
+// flows end to end: the request context reaches every chase and eval
+// work unit, and a client that disconnects mid-assessment aborts the
+// engine work it paid for. Engine failures map to structured HTTP
+// error bodies via MapError (ErrInconsistent → 409 with violations,
+// ErrBoundExceeded → 422, unknown relations → 400).
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/par"
+	"repro/mdqa"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Parallelism bounds the engine worker pool of every Path/Source
+	// context (0 = GOMAXPROCS, 1 = sequential) and the startup
+	// fan-out that prepares the contexts. A prebuilt
+	// ContextSource.Context keeps the parallelism it was constructed
+	// with (mdqa.WithParallelism is a construction-time option) — set
+	// it there.
+	Parallelism int
+	// MaxSessions bounds the number of concurrently open sessions
+	// across all contexts (0 = DefaultMaxSessions). Session state is
+	// memory: an unbounded registry would let clients exhaust it.
+	MaxSessions int
+}
+
+// DefaultMaxSessions bounds the session registry when
+// Config.MaxSessions is zero.
+const DefaultMaxSessions = 1024
+
+// ContextSource names one quality context to load. Exactly one of
+// Path, Source or Context must be set.
+type ContextSource struct {
+	// Name is the context's URL segment: /v1/contexts/{Name}/...
+	Name string
+	// Path is a .mdq file with a quality context declaration.
+	Path string
+	// Source is inline .mdq source (the built-in example ships this
+	// way).
+	Source string
+	// Context is a pre-built facade context, for embedding the server
+	// over programmatic contexts (tests, generated workloads). Input
+	// optionally carries its default instance under assessment. A
+	// prebuilt context is served as constructed: Config.Parallelism
+	// and Options do not apply to it.
+	Context *mdqa.Context
+	// Input is the default instance assessed when a request carries
+	// none. Derived from the .mdq input declarations for Path/Source
+	// contexts.
+	Input *mdqa.Instance
+	// Options are extra facade options applied on top of a Path or
+	// Source context's declarations (chase bounds, strict consistency,
+	// ...). Ignored for prebuilt contexts.
+	Options []mdqa.Option
+}
+
+// loadedContext is one served quality context: the immutable facade
+// context, its cached compilation, the default input and the named
+// queries the context's file declared.
+type loadedContext struct {
+	name    string
+	qc      *mdqa.Context
+	prep    *mdqa.Prepared
+	input   *mdqa.Instance
+	queries map[string]*mdqa.Query
+	// declared is the context's predicate vocabulary: queries over
+	// these are well-formed even when the relation holds no tuples in
+	// a given snapshot.
+	declared map[string]bool
+}
+
+// session is one live assessment session.
+type session struct {
+	id  string
+	seq uint64 // creation order, for numeric listing
+	lc  *loadedContext
+	s   *mdqa.Session
+
+	// mu serializes writers: one apply batch at a time per session,
+	// pairing the engine apply with the chase-round bookkeeping.
+	// Readers never take it — they read frozen snapshots.
+	mu         sync.Mutex
+	applies    int64
+	lastRounds int
+}
+
+// Server is the mdserve HTTP handler. Build one with New and serve it
+// with net/http; it is safe for any number of concurrent requests.
+type Server struct {
+	cfg      Config
+	contexts map[string]*loadedContext
+	names    []string // sorted context names
+	met      *metrics
+	mux      *http.ServeMux
+
+	mu       sync.Mutex // guards sessions + nextID
+	sessions map[string]*session
+	nextID   uint64
+}
+
+// New loads and prepares every context source — fanned out across the
+// configured worker pool, one compilation per context — and returns
+// the ready-to-serve handler.
+func New(ctx context.Context, cfg Config, sources []ContextSource) (*Server, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("server: no contexts to load")
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	loaded, err := par.Map(ctx, par.New(cfg.Parallelism), len(sources), func(i int) (*loadedContext, error) {
+		return loadContext(ctx, cfg, sources[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		contexts: make(map[string]*loadedContext, len(loaded)),
+		sessions: map[string]*session{},
+	}
+	for _, lc := range loaded {
+		if _, dup := s.contexts[lc.name]; dup {
+			return nil, fmt.Errorf("server: duplicate context name %q", lc.name)
+		}
+		s.contexts[lc.name] = lc
+		s.names = append(s.names, lc.name)
+	}
+	sort.Strings(s.names)
+	s.met = newMetrics(s.names)
+	s.routes()
+	return s, nil
+}
+
+// loadContext parses (when needed), validates and compiles one context
+// source.
+func loadContext(ctx context.Context, cfg Config, src ContextSource) (*loadedContext, error) {
+	if src.Name == "" {
+		return nil, fmt.Errorf("server: context source needs a name")
+	}
+	lc := &loadedContext{name: src.Name, input: src.Input, queries: map[string]*mdqa.Query{}}
+	switch {
+	case src.Context != nil:
+		lc.qc = src.Context
+	case src.Path != "" || src.Source != "":
+		var f *mdqa.File
+		var err error
+		if src.Path != "" {
+			f, err = mdqa.ParseFile(src.Path)
+		} else {
+			f, err = mdqa.ParseSource(src.Source)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("server: context %s: %w", src.Name, err)
+		}
+		if !mdqa.HasQualityContext(f) {
+			return nil, fmt.Errorf("server: context %s declares no quality context", src.Name)
+		}
+		opts := append([]mdqa.Option{mdqa.WithParallelism(cfg.Parallelism)}, src.Options...)
+		lc.qc, err = mdqa.NewContextFromFile(f, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("server: context %s: %w", src.Name, err)
+		}
+		if lc.input == nil {
+			lc.input = mdqa.InputInstance(f)
+		}
+		for _, nq := range f.Queries {
+			lc.queries[nq.Name] = nq.Query
+		}
+	default:
+		return nil, fmt.Errorf("server: context %s has no path, source or prebuilt context", src.Name)
+	}
+	prep, err := lc.qc.Prepare(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("server: prepare context %s: %w", src.Name, err)
+	}
+	lc.prep = prep
+	lc.declared = map[string]bool{}
+	for _, p := range lc.qc.DeclaredPreds() {
+		lc.declared[p] = true
+	}
+	return lc, nil
+}
+
+// ServeHTTP dispatches to the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Contexts lists the loaded context names, sorted.
+func (s *Server) Contexts() []string { return append([]string(nil), s.names...) }
+
+// context resolves a context name or reports 404.
+func (s *Server) context(name string) (*loadedContext, error) {
+	if lc, ok := s.contexts[name]; ok {
+		return lc, nil
+	}
+	return nil, &notFoundError{kind: "context", name: name}
+}
+
+// session resolves a session id within a context or reports 404 (a
+// session is addressable only under the context it was opened in).
+func (s *Server) session(contextName, id string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok || sess.lc.name != contextName {
+		return nil, &notFoundError{kind: "session", name: id}
+	}
+	return sess, nil
+}
+
+// register files a new session under the next id ("s1", "s2", ...).
+// Sessions never expire on their own — clients close what they open,
+// and the MaxSessions bound caps the damage of clients that don't.
+func (s *Server) register(lc *loadedContext, ms *mdqa.Session) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, &overloadedError{msg: fmt.Sprintf("session limit reached (%d open); close sessions with DELETE", s.cfg.MaxSessions)}
+	}
+	s.nextID++
+	sess := &session{
+		id:  fmt.Sprintf("s%d", s.nextID),
+		seq: s.nextID,
+		lc:  lc,
+		s:   ms,
+	}
+	sess.lastRounds = ms.ChaseRounds()
+	s.sessions[sess.id] = sess
+	return sess, nil
+}
+
+// unregister atomically removes a session from the registry,
+// reporting 404 when it is already gone — two concurrent closes
+// cannot both succeed (and double-decrement the open-sessions gauge).
+// The engine state is garbage once no request references it (sessions
+// hold no external resources).
+func (s *Server) unregister(contextName, id string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok || sess.lc.name != contextName {
+		return nil, &notFoundError{kind: "session", name: id}
+	}
+	delete(s.sessions, id)
+	return sess, nil
+}
+
+// sessionCount returns how many sessions are open.
+func (s *Server) sessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// sessionsOf snapshots the sessions of one context in creation order
+// (numeric, so s2 lists before s10).
+func (s *Server) sessionsOf(contextName string) []*session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*session
+	for _, sess := range s.sessions {
+		if sess.lc.name == contextName {
+			out = append(out, sess)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}

@@ -38,9 +38,36 @@ type ScaleRow = bench.ScaleRow
 // RunScaling runs the C1 scaling sweep at the given base sizes.
 func RunScaling(sizes []int) ([]ScaleRow, error) { return bench.RunScaling(sizes) }
 
-// WritePerfJSON writes benchmark results as deterministic JSON.
+// WritePerfJSON writes benchmark results as deterministic JSON,
+// annotated with the recording machine's shape ("_hardware": CPU
+// count, GOMAXPROCS, OS/arch) so single-core parity runs are
+// machine-distinguishable from real multi-core sweeps.
 func WritePerfJSON(path string, results map[string]PerfResult) error {
 	return bench.WritePerfJSON(path, results)
+}
+
+// Hardware identifies the machine a benchmark snapshot was recorded
+// on.
+type Hardware = bench.Hardware
+
+// CurrentHardware probes the running machine.
+func CurrentHardware() Hardware { return bench.CurrentHardware() }
+
+// ReadPerfJSON reads a BENCH_<n>.json snapshot; the Hardware is nil
+// for snapshots recorded before the annotation existed (BENCH_1–4).
+func ReadPerfJSON(path string) (map[string]PerfResult, *Hardware, error) {
+	return bench.ReadPerfJSON(path)
+}
+
+// Regression is one benchmark that got slower than a baseline allows.
+type Regression = bench.Regression
+
+// ComparePerf checks current results against a baseline snapshot for
+// the given benchmark-name family prefixes and tolerance (0.30 =
+// +30%), returning the regressions (worst first) and how many keys
+// were compared.
+func ComparePerf(current, baseline map[string]PerfResult, families []string, tolerance float64) ([]Regression, int) {
+	return bench.ComparePerf(current, baseline, families, tolerance)
 }
 
 // PerfNames returns result names in sorted order.

@@ -145,6 +145,15 @@ func (c *Context) VersionPred(rel string) string { return c.q.VersionPred(rel) }
 // versions, in declaration order.
 func (c *Context) Versioned() []string { return c.q.Versioned() }
 
+// DeclaredPreds lists every predicate the context can speak about,
+// sorted: ontology relations, rule and constraint predicates,
+// dimension membership/rollup predicates, every predicate a mapping,
+// quality or version rule mentions, and the version predicates. A
+// query over any of these is well-formed even when the relation holds
+// no tuples yet — serving layers use the set to tell "empty" from
+// ErrUnknownRelation.
+func (c *Context) DeclaredPreds() []string { return c.q.DeclaredPreds() }
+
 // Prepare compiles the context once — the ontology's Datalog± program,
 // its chase join plans, the merged static context and the stratified
 // derived-layer program — caching the result for the context's

@@ -18,6 +18,13 @@ func ParseFile(path string) (*File, error) { return parser.ParseFile(path) }
 // ParseSource parses .mdq source text.
 func ParseSource(src string) (*File, error) { return parser.Parse(src) }
 
+// ParseQuery parses one standalone conjunctive query in the .mdq query
+// syntax without the leading "query" keyword — `name(vars) <- body.`,
+// e.g. `tomtemp(t, v) <- Measurements(t, "Tom Waits", v).` — the form
+// ad-hoc clients (the mdserve answers endpoint) accept. A missing
+// trailing period is tolerated.
+func ParseQuery(src string) (*Query, error) { return parser.ParseQuery(src) }
+
 // NewContextFromFile builds a quality Context from a parsed file's
 // ontology and context declarations (input relations aside — the
 // instance under assessment is passed to Assess or NewSession; see

@@ -78,6 +78,12 @@ func (s *Session) Snapshot() *Snapshot {
 // Violations returns the session's cumulative constraint violations.
 func (s *Session) Violations() []Violation { return s.s.Violations() }
 
+// ChaseRounds returns the cumulative number of chase rounds the
+// session has run: the initial saturation plus every incremental
+// Apply. Monitoring surfaces (the mdserve /metrics endpoint) report it
+// as the session's chase cost.
+func (s *Session) ChaseRounds() int { return s.s.ChaseRounds() }
+
 // Assess materializes the session's current state as the Figure 2
 // assessment outcome: quality versions, departure measures and
 // accumulated violations over a consistent snapshot. Under
