@@ -88,3 +88,73 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "e2e: all responses match golden files"
+
+# ---------------------------------------------------------------------
+# Crash-recovery stage: boot a durable server, apply through a session,
+# kill -9 mid-life, restart over the same -data-dir, and require every
+# acknowledged batch back with identical answers. Then a SIGTERM must
+# drain, flush, snapshot and exit 0.
+RADDR="127.0.0.1:${MDSERVE_RECOVERY_PORT:-8128}"
+RBASE="http://$RADDR/v1/contexts/hospital"
+DATA="$OUT/data"
+
+"$BIN" -addr "$RADDR" -example -parallelism 1 -data-dir "$DATA" &
+RECOVERY_PID=$!
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$RADDR/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+curl -fsS -X POST "$RBASE/sessions" >/dev/null
+printf '%s\n' \
+  '{"atoms":[{"pred":"Clock","args":["Sep/6-12:30","Sep/6"]},{"pred":"Measurements","args":["Sep/6-12:30","Tom Waits","37.3"]}]}' \
+  | curl -fsS -X POST --data-binary @- "$RBASE/sessions/s1/apply" >/dev/null
+curl -fsS -G --data-urlencode 'q=m(t, p, v) <- Measurements(t, p, v).' \
+  "$RBASE/sessions/s1/answers" | LC_ALL=C sort >"$OUT/answers-before-crash"
+
+kill -9 "$RECOVERY_PID"
+wait "$RECOVERY_PID" 2>/dev/null || true
+
+"$BIN" -addr "$RADDR" -example -parallelism 1 -data-dir "$DATA" &
+RECOVERY_PID=$!
+trap 'kill "$RECOVERY_PID" 2>/dev/null || true; cleanup' EXIT
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$RADDR/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+curl -fsS "$RBASE/sessions" >"$OUT/sessions-recovered"
+if ! grep -qF '"id":"s1"' "$OUT/sessions-recovered"; then
+  echo "e2e: recovery lost session s1" >&2
+  cat "$OUT/sessions-recovered" >&2
+  exit 1
+fi
+curl -fsS -G --data-urlencode 'q=m(t, p, v) <- Measurements(t, p, v).' \
+  "$RBASE/sessions/s1/answers" | LC_ALL=C sort >"$OUT/answers-after-crash"
+if ! diff -u "$OUT/answers-before-crash" "$OUT/answers-after-crash"; then
+  echo "e2e: recovered answers differ from pre-crash answers" >&2
+  exit 1
+fi
+printf '%s\n' \
+  '{"atoms":[{"pred":"Measurements","args":["Sep/6-13:00","Tom Waits","37.1"]}]}' \
+  | curl -fsS -X POST --data-binary @- "$RBASE/sessions/s1/apply" >/dev/null
+curl -fsS "http://$RADDR/metrics" >"$OUT/metrics-recovery"
+if ! grep -qF 'mdserve_sessions_recovered_total{context="hospital"} 1' "$OUT/metrics-recovery"; then
+  echo "e2e: /metrics missing the recovery counter" >&2
+  cat "$OUT/metrics-recovery" >&2
+  exit 1
+fi
+
+# Graceful shutdown: SIGTERM must flush + snapshot + exit 0.
+kill -TERM "$RECOVERY_PID"
+if ! wait "$RECOVERY_PID"; then
+  echo "e2e: SIGTERM shutdown exited non-zero" >&2
+  exit 1
+fi
+trap cleanup EXIT
+if ! ls "$DATA"/hospital/s1/snap-*.snap >/dev/null 2>&1; then
+  echo "e2e: graceful shutdown left no snapshot behind" >&2
+  ls -R "$DATA" >&2
+  exit 1
+fi
+echo "e2e: crash recovery and graceful shutdown OK"

@@ -45,6 +45,7 @@ func main() {
 	baseline := flag.String("baseline", "", "earlier BENCH_<n>.json to compare the fresh -benchjson snapshot against; regressions beyond -tolerance fail the run")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed ns/op slowdown vs -baseline (0.30 = +30%)")
 	families := flag.String("families", "BenchmarkColdAssess,BenchmarkWarmAssess", "comma-separated benchmark-name prefixes the -baseline comparison guards")
+	durable := flag.Bool("durable", false, "with -benchjson: also measure the durable warm-apply path (session apply + WAL append) at every fsync mode")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -54,6 +55,9 @@ func main() {
 			results, err = runBenchSweep(*benchJSON, *parallelism, *sizes)
 		} else {
 			results, err = runBenchJSON(*benchJSON, *sizes)
+		}
+		if err == nil && *durable {
+			err = addDurable(*benchJSON, results, *sizes, *parallelism)
 		}
 		if err == nil && *baseline != "" {
 			err = compareBaseline(results, *baseline, *families, *tolerance)
@@ -66,7 +70,7 @@ func main() {
 	}
 	// Flags that only mean something on a -benchjson run must not be
 	// silently ignored on experiment runs.
-	benchOnly := map[string]bool{"parallelism": true, "sizes": true, "baseline": true, "tolerance": true, "families": true}
+	benchOnly := map[string]bool{"parallelism": true, "sizes": true, "baseline": true, "tolerance": true, "families": true, "durable": true}
 	flag.Visit(func(f *flag.Flag) {
 		if benchOnly[f.Name] {
 			fmt.Fprintf(os.Stderr, "mdbench: -%s requires -benchjson\n", f.Name)
@@ -166,6 +170,31 @@ func runBenchSweep(path, levels, sizeSpec string) (map[string]mdqa.PerfResult, e
 	}
 	fmt.Printf("wrote %s (%s)\n", path, describeHardware(mdqa.CurrentHardware()))
 	return results, nil
+}
+
+// addDurable appends the durable warm-apply benchmarks (session apply
+// + WAL append at every fsync mode) to a fresh -benchjson snapshot and
+// rewrites the file with the merged results.
+func addDurable(path string, results map[string]mdqa.PerfResult, sizeSpec, levelSpec string) error {
+	def := []int{100, 400, 1600}
+	if levelSpec != "" {
+		def = []int{400, 1600}
+	}
+	sizes, err := resolveSizes(sizeSpec, def)
+	if err != nil {
+		return err
+	}
+	durable, err := mdqa.RunDurablePerf(sizes, []string{"always", "interval", "async"})
+	if err != nil {
+		return err
+	}
+	for _, name := range mdqa.PerfNames(durable) {
+		r := durable[name]
+		fmt.Printf("%-45s  %12d ns/op  %9d allocs/op  %10d B/op\n",
+			name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		results[name] = r
+	}
+	return mdqa.WritePerfJSON(path, results)
 }
 
 // describeHardware renders the machine annotation for run logs.

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/mdqa"
+)
+
+// buildMdserve compiles the real binary once for the fault-injection
+// tests.
+func buildMdserve(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mdserve")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort reserves an ephemeral localhost port and releases it for
+// the child process to bind.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startMdserve launches the binary and waits for /healthz.
+func startMdserve(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	addr := freePort(t)
+	cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("mdserve did not come up on %s", addr)
+	return nil, ""
+}
+
+// killBatch renders the i-th delta batch of the fault-injection
+// stream: distinct timestamps so every batch inserts new facts.
+func killBatch(i int) string {
+	ts := fmt.Sprintf("Sep/6-12:%02d", 10+i)
+	return fmt.Sprintf(`{"atoms":[{"pred":"Clock","args":[%q,"Sep/6"]},{"pred":"Measurements","args":[%q,"Tom Waits","37.%d"]}]}`+"\n", ts, ts, i)
+}
+
+// TestKillRecover is the crash-safety acceptance test: stream apply
+// batches in lock-step (send one, read its ack, send the next), SIGKILL
+// the server after k acks with no batch in flight, restart it over the
+// same -data-dir, and require the recovered session to answer and
+// assess byte-identically to an uninterrupted run over exactly those k
+// acknowledged batches — at parallelism 1 and 2.
+func TestKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real processes")
+	}
+	bin := buildMdserve(t)
+	for _, par := range []int{1, 2} {
+		t.Run(fmt.Sprintf("p=%d", par), func(t *testing.T) {
+			dir := t.TempDir()
+			pflag := fmt.Sprintf("%d", par)
+			cmd, base := startMdserve(t, bin, "-example", "-parallelism", pflag, "-data-dir", dir)
+
+			body := request(t, "POST", base+"/v1/contexts/hospital/sessions", "")
+			if !strings.Contains(body, `"id":"s1"`) {
+				t.Fatalf("create: %s", body)
+			}
+			sbase := base + "/v1/contexts/hospital/sessions/s1"
+
+			// Lock-step NDJSON apply over one streaming request.
+			const acked = 2
+			pr, pw := io.Pipe()
+			req, err := http.NewRequest("POST", sbase+"/apply", pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			respc := make(chan *http.Response, 1)
+			go func() {
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					respc <- nil
+					return
+				}
+				respc <- resp
+			}()
+			var sc *bufio.Scanner
+			for i := 0; i < acked; i++ {
+				if _, err := io.WriteString(pw, killBatch(i)); err != nil {
+					t.Fatal(err)
+				}
+				if sc == nil {
+					resp := <-respc
+					if resp == nil {
+						t.Fatal("apply stream failed to start")
+					}
+					defer resp.Body.Close()
+					sc = bufio.NewScanner(resp.Body)
+				}
+				if !sc.Scan() {
+					t.Fatalf("no ack for batch %d: %v", i, sc.Err())
+				}
+				if line := sc.Text(); !strings.Contains(line, `"inserted"`) {
+					t.Fatalf("batch %d not acknowledged: %s", i, line)
+				}
+			}
+			// Both batches acked, none in flight: kill -9.
+			if err := cmd.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			_ = cmd.Wait()
+			pw.Close()
+
+			// The uninterrupted reference: the same handler stack,
+			// in-process, applying exactly the acknowledged batches.
+			refSrv, err := server.New(context.Background(), server.Config{Parallelism: par}, []server.ContextSource{{
+				Name: "hospital", Source: mdqa.HospitalQualityExampleSource(),
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := httptest.NewServer(refSrv)
+			defer ref.Close()
+			request(t, "POST", ref.URL+"/v1/contexts/hospital/sessions", "")
+			refBase := ref.URL + "/v1/contexts/hospital/sessions/s1"
+			request(t, "POST", refBase+"/apply", killBatch(0)+killBatch(1))
+
+			// Restart over the same data dir and compare byte-for-byte.
+			_, base2 := startMdserve(t, bin, "-example", "-parallelism", pflag, "-data-dir", dir)
+			sbase2 := base2 + "/v1/contexts/hospital/sessions/s1"
+			info := request(t, "GET", sbase2, "")
+			if !strings.Contains(info, `"applies":2`) {
+				t.Fatalf("recovered session must hold both acked batches: %s", info)
+			}
+			q := "/answers?q=" + url.QueryEscape(`m(t, p, v) <- Measurements(t, p, v).`)
+			gotAns := sortLines(request(t, "GET", sbase2+q, ""))
+			wantAns := sortLines(request(t, "GET", refBase+q, ""))
+			if gotAns != wantAns {
+				t.Fatalf("recovered answers differ from uninterrupted run:\n got: %s\nwant: %s", gotAns, wantAns)
+			}
+			gotAssess := request(t, "GET", sbase2+"/assessment", "")
+			wantAssess := request(t, "GET", refBase+"/assessment", "")
+			if gotAssess != wantAssess {
+				t.Fatalf("recovered assessment differs from uninterrupted run:\n got: %s\nwant: %s", gotAssess, wantAssess)
+			}
+			metrics := request(t, "GET", base2+"/metrics", "")
+			if !strings.Contains(metrics, `mdserve_sessions_recovered_total{context="hospital"} 1`) {
+				t.Fatalf("restart must count the recovery:\n%s", metrics)
+			}
+		})
+	}
+}
+
+// TestSigtermGraceful sends SIGTERM mid-life and requires exit code 0
+// plus a final snapshot on disk: the graceful path flushes WALs and
+// compacts before exiting.
+func TestSigtermGraceful(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bin := buildMdserve(t)
+	dir := t.TempDir()
+	cmd, base := startMdserve(t, bin, "-example", "-data-dir", dir)
+	request(t, "POST", base+"/v1/contexts/hospital/sessions", "")
+	request(t, "POST", base+"/v1/contexts/hospital/sessions/s1/apply", killBatch(0))
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM must exit 0, got %v", err)
+	}
+	// The shutdown snapshot covers the WAL: restart replays nothing and
+	// still has the applied batch.
+	_, base2 := startMdserve(t, bin, "-example", "-data-dir", dir)
+	info := request(t, "GET", base2+"/v1/contexts/hospital/sessions/s1", "")
+	if !strings.Contains(info, `"applies":1`) {
+		t.Fatalf("graceful restart must keep the session: %s", info)
+	}
+}

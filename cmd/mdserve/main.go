@@ -8,6 +8,7 @@
 //	mdserve -context sales=sales.mdq          # context from a .mdq file
 //	mdserve -context a=a.mdq -context b=b.mdq # several contexts
 //	mdserve -addr :8080 -parallelism 4 ...
+//	mdserve -data-dir /var/lib/mdserve -fsync interval   # durable sessions
 //
 // API (JSON; streaming endpoints use NDJSON):
 //
@@ -23,9 +24,12 @@
 //	GET  /v1/contexts/{name}/sessions/{id}/answers?q= stream answers
 //	GET  /v1/contexts/{name}/sessions/{id}/assessment materialized outcome
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests get a drain window, and every assessment honors its
-// request's cancellation.
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting, drains in-flight requests for the -drain window, flushes
+// every session WAL, writes final snapshots and exits 0. With
+// -data-dir set, sessions survive restarts — and crashes: every
+// acknowledged apply batch is write-ahead logged before the ack, so a
+// kill -9 recovers to exactly the acknowledged state.
 package main
 
 import (
@@ -43,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/mdqa"
 )
 
@@ -82,6 +87,10 @@ func run(ctx context.Context, args []string) error {
 	parallelism := fs.Int("parallelism", 0, "engine worker pool bound per context (0 = all cores, 1 = sequential)")
 	maxSessions := fs.Int("max-sessions", 0, "open session limit across contexts (0 = default)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful shutdown drain window")
+	dataDir := fs.String("data-dir", "", "durable sessions: WAL + snapshots under this directory, recovered on restart (empty = ephemeral)")
+	fsync := fs.String("fsync", "interval", "WAL durability mode: always, interval or async")
+	snapshotEvery := fs.Int("snapshot-every", 0, "apply batches per session WAL before compaction into a snapshot (0 = default)")
+	maxResident := fs.Int("max-resident-sessions", 0, "sessions kept saturated in memory; least-recently-used beyond this are evicted to disk (0 = all, needs -data-dir)")
 	var sources contextFlags
 	fs.Var(&sources, "context", "quality context to serve, as name=path.mdq (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -100,18 +109,33 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("nothing to serve: pass -example and/or -context name=path.mdq")
 	}
 
-	srv, err := server.New(ctx, server.Config{Parallelism: *parallelism, MaxSessions: *maxSessions}, sources)
+	mode, err := wal.ParseSyncMode(*fsync)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(ctx, server.Config{
+		Parallelism:   *parallelism,
+		MaxSessions:   *maxSessions,
+		DataDir:       *dataDir,
+		Fsync:         mode,
+		SnapshotEvery: *snapshotEvery,
+		MaxResident:   *maxResident,
+	}, sources)
 	if err != nil {
 		return err
 	}
 	log.Printf("mdserve: serving contexts %s on %s", strings.Join(srv.Contexts(), ", "), *addr)
 
+	// Request contexts are decoupled from the signal context: a SIGTERM
+	// stops the listener and drains in-flight work rather than aborting
+	// it mid-apply. Only when the drain window closes are the
+	// stragglers cancelled.
+	reqCtx, reqCancel := context.WithCancel(context.Background())
+	defer reqCancel()
 	hs := &http.Server{
-		Addr:    *addr,
-		Handler: srv,
-		// Request contexts inherit the process context, so SIGINT also
-		// cancels in-flight engine work, not just the listener.
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		Addr:        *addr,
+		Handler:     srv,
+		BaseContext: func(net.Listener) context.Context { return reqCtx },
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
@@ -122,6 +146,20 @@ func run(ctx context.Context, args []string) error {
 		log.Printf("mdserve: shutting down (drain %s)", *drain)
 		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		return hs.Shutdown(shCtx)
+		if err := hs.Shutdown(shCtx); err != nil {
+			// Drain window elapsed with requests still in flight: cut
+			// them off but still shut down cleanly — acknowledged work
+			// is in the WAL regardless.
+			log.Printf("mdserve: drain incomplete: %v", err)
+			reqCancel()
+			_ = hs.Close()
+		}
+		reqCancel()
+		if err := srv.Close(); err != nil {
+			// Final snapshots are an optimization over WAL replay; a
+			// failure here loses no acknowledged data.
+			log.Printf("mdserve: flush durable sessions: %v", err)
+		}
+		return nil
 	}
 }

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/persist"
+	"repro/internal/quality"
+	"repro/internal/wal"
+)
+
+// RunDurablePerf measures the durable warm-apply path: the streaming
+// quality workload's per-tick session apply with every acknowledged
+// batch write-ahead logged through a persist.SessionLog, at each
+// requested fsync mode. Keys are
+// "BenchmarkDurableWarmApply/n=<size>/fsync=<mode>"; compared against
+// the same size's BenchmarkWarmAssess key (the identical apply loop
+// without logging) the delta is the durability overhead of each mode.
+func RunDurablePerf(sizes []int, modes []wal.SyncMode) (map[string]PerfResult, error) {
+	out := map[string]PerfResult{}
+	ctx := context.Background()
+	for _, n := range sizes {
+		wl, err := gen.NewStreamingWorkload(StreamWorkloadSpec(n))
+		if err != nil {
+			return nil, err
+		}
+		var prep *quality.Prepared
+		if prep, err = wl.Base.Context.Prepare(ctx); err != nil {
+			return nil, err
+		}
+		for _, mode := range modes {
+			dir, err := os.MkdirTemp("", "mdq-durable-bench-*")
+			if err != nil {
+				return nil, err
+			}
+			store, err := persist.OpenStore(dir, persist.Options{WAL: wal.Options{Mode: mode}})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			var benchErr error
+			sid := 0
+			res := testing.Benchmark(func(b *testing.B) {
+				// Session setup — including the initial full-state
+				// snapshot a server writes at session create — stays
+				// off-timer; the measured op is apply + WAL append.
+				sess, err := prep.NewSession(ctx, wl.Base.Instance)
+				if err != nil {
+					benchErr = err
+					return
+				}
+				sid++
+				log, err := store.CreateSession("bench", fmt.Sprintf("s%d", sid), persist.Meta{}, sess.Export())
+				if err != nil {
+					benchErr = err
+					return
+				}
+				defer log.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				tick := 0
+				for i := 0; i < b.N; i++ {
+					if tick == WarmResetTicks {
+						b.StopTimer()
+						sess, err = prep.NewSession(ctx, wl.Base.Instance)
+						if err != nil {
+							benchErr = err
+							return
+						}
+						tick = 0
+						b.StartTimer()
+					}
+					delta, _ := wl.Tick(tick)
+					tick++
+					if _, err := sess.Apply(ctx, delta); err != nil {
+						benchErr = fmt.Errorf("durable warm apply failed at n=%d fsync=%s: %v", n, mode, err)
+						return
+					}
+					if _, err := log.Append(delta); err != nil {
+						benchErr = fmt.Errorf("wal append failed at n=%d fsync=%s: %v", n, mode, err)
+						return
+					}
+				}
+			})
+			os.RemoveAll(dir)
+			if benchErr != nil {
+				return nil, benchErr
+			}
+			out[fmt.Sprintf("BenchmarkDurableWarmApply/n=%d/fsync=%s", n, mode)] = ToPerfResult(res)
+		}
+	}
+	return out, nil
+}

@@ -184,6 +184,19 @@ func (c *Counter) Next() string {
 	return s
 }
 
+// Pos returns the counter's position: how many names it has handed
+// out. A counter rebuilt with NewCounterAt(prefix, Pos()) continues
+// the exact same name sequence — the persistence layer records the
+// position so a restored chase invents nulls with the labels an
+// uninterrupted run would have used.
+func (c *Counter) Pos() int { return c.next }
+
+// NewCounterAt returns a counter resumed at a recorded position: its
+// next name is prefix<pos>.
+func NewCounterAt(prefix string, pos int) *Counter {
+	return &Counter{prefix: prefix, next: pos}
+}
+
 // FreshNull returns a fresh labeled null.
 func (c *Counter) FreshNull() Term { return N(c.Next()) }
 

@@ -1,0 +1,39 @@
+package persist
+
+import (
+	"testing"
+
+	"repro/internal/datalog"
+)
+
+// FuzzSnapshotHeader feeds arbitrary bytes to the snapshot decoder.
+// It must never panic — every length, id and count is attacker-
+// controlled until its CRC is verified, and even a CRC-valid body must
+// be bounds-checked (CRCs catch rot, not crafted input).
+func FuzzSnapshotHeader(f *testing.F) {
+	seedBase, st := buildState(f)
+	good, err := EncodeSnapshot(goldenMeta(), st)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	truncated := good[:len(good)/2]
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, _, err := ReadMeta(data); err != nil {
+			// Invalid header: ReadSnapshot must agree.
+			if _, _, err2 := ReadSnapshot(data, seedBase); err2 == nil {
+				t.Fatal("ReadSnapshot accepted what ReadMeta rejected")
+			}
+			return
+		}
+		base := datalog.NewInterner()
+		for _, name := range []string{"alice", "bob", "hep"} {
+			base.ID(datalog.C(name))
+		}
+		_, _, _ = ReadSnapshot(data, base)
+	})
+}

@@ -1,0 +1,62 @@
+package persist
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden snapshot files")
+
+// goldenMeta is fixed so the golden bytes are deterministic.
+func goldenMeta() Meta {
+	return Meta{Context: "hospital", Session: "s1", Seq: 42, Created: "2026-01-01T00:00:00Z", Applies: 5}
+}
+
+// TestGoldenSnapshotLayout pins the on-disk snapshot layout: the
+// checked-in golden file must decode with today's code, and today's
+// encoder must reproduce it byte for byte. A diff here means the disk
+// format changed — bump Format and write a migration before touching
+// the golden.
+func TestGoldenSnapshotLayout(t *testing.T) {
+	base, st := buildState(t)
+	path := filepath.Join("testdata", "golden.snap")
+	encoded, err := EncodeSnapshot(goldenMeta(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, encoded, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	meta, got, err := ReadSnapshot(golden, base)
+	if err != nil {
+		t.Fatalf("golden snapshot no longer decodes: %v", err)
+	}
+	if meta.Seq != 42 || meta.Context != "hospital" {
+		t.Fatalf("golden meta: %+v", meta)
+	}
+	if !got.Chased.Equal(st.Chased) || !got.Orig.Equal(st.Orig) {
+		t.Fatal("golden snapshot decodes to different instances")
+	}
+	reencoded, err := EncodeSnapshot(goldenMeta(), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reencoded, golden) {
+		t.Fatal("decode→encode of the golden snapshot is not byte-identical: the disk layout changed")
+	}
+	if !bytes.Equal(encoded, golden) {
+		t.Fatal("encoder output differs from the golden snapshot: the disk layout changed")
+	}
+}

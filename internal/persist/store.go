@@ -1,0 +1,325 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/wal"
+)
+
+// DefaultSnapshotEvery is how many acknowledged batches accumulate in
+// the WAL before NeedSnapshot reports true, when Options.SnapshotEvery
+// is zero.
+const DefaultSnapshotEvery = 256
+
+// Options configures a store.
+type Options struct {
+	// WAL configures segment writers (sync mode, interval, OnSync).
+	WAL wal.Options
+	// SnapshotEvery is the batch count between snapshots
+	// (0 = DefaultSnapshotEvery).
+	SnapshotEvery int
+}
+
+// Store is the on-disk root of durable sessions, laid out as
+// <root>/<context>/<session>/{snap-*.snap, wal-*.log}. A Store is
+// cheap and stateless; all per-session state lives in SessionLog.
+type Store struct {
+	root string
+	opts Options
+}
+
+// OpenStore opens (creating if needed) a store root.
+func OpenStore(root string, opts Options) (*Store, error) {
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: open store: %w", err)
+	}
+	return &Store{root: root, opts: opts}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// safeName guards path components built from context and session
+// names.
+func safeName(name string) error {
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("persist: unsafe path component %q", name)
+	}
+	return nil
+}
+
+func (s *Store) sessionDir(context, sid string) (string, error) {
+	if err := safeName(context); err != nil {
+		return "", err
+	}
+	if err := safeName(sid); err != nil {
+		return "", err
+	}
+	return filepath.Join(s.root, context, sid), nil
+}
+
+// ContextDirs lists the context names with durable state.
+func (s *Store) ContextDirs() ([]string, error) {
+	return subdirs(s.root)
+}
+
+// SessionDirs lists the session ids persisted under a context.
+func (s *Store) SessionDirs(context string) ([]string, error) {
+	if err := safeName(context); err != nil {
+		return nil, err
+	}
+	return subdirs(filepath.Join(s.root, context))
+}
+
+func subdirs(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RemoveSession deletes a session's durable state entirely.
+func (s *Store) RemoveSession(context, sid string) error {
+	dir, err := s.sessionDir(context, sid)
+	if err != nil {
+		return err
+	}
+	return os.RemoveAll(dir)
+}
+
+// SnapName formats a snapshot file name for its covered sequence.
+func SnapName(seq uint64) string { return fmt.Sprintf("snap-%016x.snap", seq) }
+
+// snapSeq parses a snapshot file name, reporting whether it is one.
+func snapSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "snap-%016x.snap", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// snapshots lists a session directory's snapshot files in ascending
+// covered-sequence order.
+func snapshots(dir string) (paths []string, seqs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type snap struct {
+		seq  uint64
+		path string
+	}
+	var all []snap
+	for _, e := range entries {
+		if seq, ok := snapSeq(e.Name()); ok {
+			all = append(all, snap{seq: seq, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for _, sn := range all {
+		paths = append(paths, sn.path)
+		seqs = append(seqs, sn.seq)
+	}
+	return paths, seqs, nil
+}
+
+// SessionLog is one session's durable log: the live WAL segment writer
+// plus the snapshot bookkeeping. It is not safe for concurrent use;
+// the server serializes on the session lock that also orders applies.
+type SessionLog struct {
+	dir       string
+	opts      Options
+	w         *wal.Writer
+	gen       uint64 // current segment generation
+	seq       uint64 // highest appended (or recovered) sequence
+	snapSeq   uint64 // sequence covered by the latest durable snapshot
+	sinceSnap int    // batches appended since that snapshot
+}
+
+// CreateSession initializes a fresh session directory: an initial
+// snapshot of the given state (covering sequence 0, so recovery always
+// has a base to replay onto) and the first WAL segment.
+func (s *Store) CreateSession(context, sid string, meta Meta, st SessionState) (*SessionLog, error) {
+	dir, err := s.sessionDir(context, sid)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: create session dir: %w", err)
+	}
+	meta.Context, meta.Session, meta.Seq = context, sid, 0
+	data, err := EncodeSnapshot(meta, st)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFileAtomic(filepath.Join(dir, SnapName(0)), data); err != nil {
+		return nil, fmt.Errorf("persist: write initial snapshot: %w", err)
+	}
+	w, err := wal.Create(filepath.Join(dir, wal.SegmentName(1)), s.opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionLog{dir: dir, opts: s.opts, w: w, gen: 1}, nil
+}
+
+// OpenSession recovers a persisted session: it decodes the newest
+// snapshot (falling back to an older one only if a newer snapshot
+// file is unreadable as a whole — sections are CRC'd, so a readable
+// file that fails verification is corruption and fails loudly),
+// replays every WAL batch beyond the snapshot's covered sequence
+// through replay in order, then opens a fresh segment for new appends.
+// The returned log continues the recovered sequence numbering.
+func (s *Store) OpenSession(context, sid string, base *datalog.Interner, replay func(wal.Batch) error) (*SessionLog, Meta, SessionState, error) {
+	dir, err := s.sessionDir(context, sid)
+	if err != nil {
+		return nil, Meta{}, SessionState{}, err
+	}
+	paths, seqs, err := snapshots(dir)
+	if err != nil {
+		return nil, Meta{}, SessionState{}, err
+	}
+	if len(paths) == 0 {
+		return nil, Meta{}, SessionState{}, fmt.Errorf("persist: session %s/%s has no snapshot", context, sid)
+	}
+	// Newest snapshot first. WriteSnapshot only deletes older files
+	// after the new one is durably renamed in, so the newest readable
+	// file is always complete; older leftovers exist only when a crash
+	// interrupted cleanup.
+	i := len(paths) - 1
+	data, err := os.ReadFile(paths[i])
+	if err != nil {
+		return nil, Meta{}, SessionState{}, err
+	}
+	meta, st, err := ReadSnapshot(data, base)
+	if err != nil {
+		return nil, Meta{}, SessionState{}, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(paths[i]), err)
+	}
+	if meta.Seq != seqs[i] {
+		return nil, Meta{}, SessionState{}, fmt.Errorf("persist: snapshot %s covers seq %d, file name says %d", filepath.Base(paths[i]), meta.Seq, seqs[i])
+	}
+	last, err := wal.ReplayDir(dir, meta.Seq, replay)
+	if err != nil {
+		return nil, Meta{}, SessionState{}, err
+	}
+	replayed := int(last - meta.Seq)
+	_, maxGen, err := wal.Segments(dir)
+	if err != nil {
+		return nil, Meta{}, SessionState{}, err
+	}
+	gen := maxGen + 1
+	w, err := wal.Create(filepath.Join(dir, wal.SegmentName(gen)), s.opts.WAL)
+	if err != nil {
+		return nil, Meta{}, SessionState{}, err
+	}
+	l := &SessionLog{
+		dir: dir, opts: s.opts, w: w, gen: gen,
+		seq: last, snapSeq: meta.Seq, sinceSnap: replayed,
+	}
+	return l, meta, st, nil
+}
+
+// Seq returns the highest appended (or recovered) sequence number.
+func (l *SessionLog) Seq() uint64 { return l.seq }
+
+// Append assigns the next sequence number and logs the batch. Only
+// when Append returns nil may the batch be acknowledged.
+func (l *SessionLog) Append(atoms []datalog.Atom) (uint64, error) {
+	seq := l.seq + 1
+	if err := l.w.Append(seq, atoms); err != nil {
+		return 0, err
+	}
+	l.seq = seq
+	l.sinceSnap++
+	return seq, nil
+}
+
+// NeedSnapshot reports whether enough batches have accumulated since
+// the last snapshot to warrant compaction.
+func (l *SessionLog) NeedSnapshot() bool {
+	return l.sinceSnap >= l.opts.SnapshotEvery
+}
+
+// Rotate seals the live segment and opens the next generation,
+// returning the sequence number the pending snapshot must cover.
+// Appends may continue (into the new segment) while the snapshot is
+// encoded and written outside the session lock.
+func (l *SessionLog) Rotate() (uint64, error) {
+	if err := l.w.Close(); err != nil {
+		return 0, err
+	}
+	l.gen++
+	w, err := wal.Create(filepath.Join(l.dir, wal.SegmentName(l.gen)), l.opts.WAL)
+	if err != nil {
+		return 0, err
+	}
+	l.w = w
+	covered := l.seq
+	l.sinceSnap = 0
+	return covered, nil
+}
+
+// WriteSnapshot writes a snapshot covering meta.Seq durably, then
+// deletes every older snapshot and every sealed (non-current) WAL
+// segment — all their batches are covered. Safe to call without the
+// session lock: it touches no writer state.
+func (l *SessionLog) WriteSnapshot(meta Meta, st SessionState) error {
+	data, err := EncodeSnapshot(meta, st)
+	if err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(filepath.Join(l.dir, SnapName(meta.Seq)), data); err != nil {
+		return fmt.Errorf("persist: write snapshot: %w", err)
+	}
+	l.snapSeq = meta.Seq
+	// Cleanup is best-effort: leftovers are re-deleted after the next
+	// snapshot, and recovery tolerates them (replay skips covered
+	// sequences).
+	paths, seqs, err := snapshots(l.dir)
+	if err == nil {
+		for i, p := range paths {
+			if seqs[i] != meta.Seq {
+				os.Remove(p)
+			}
+		}
+	}
+	segs, _, err := wal.Segments(l.dir)
+	if err == nil {
+		cur := filepath.Join(l.dir, wal.SegmentName(l.gen))
+		for _, p := range segs {
+			if p != cur {
+				os.Remove(p)
+			}
+		}
+	}
+	return nil
+}
+
+// Sync forces the live segment to stable storage (shutdown flushes).
+func (l *SessionLog) Sync() error { return l.w.Sync() }
+
+// Close seals the live segment. The log is unusable afterwards; a
+// later OpenSession resumes in a fresh generation.
+func (l *SessionLog) Close() error { return l.w.Close() }

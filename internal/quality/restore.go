@@ -1,0 +1,60 @@
+package quality
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/persist"
+	"repro/internal/storage"
+)
+
+// Export returns the session's durable state — the chased contextual
+// instance, the raw applied facts backing the departure measures, and
+// the chase counters — as frozen copy-on-write snapshots. It is the
+// quality-level counterpart of engine.Session.Export, and what the
+// persistence layer encodes into a snapshot file. Export serializes
+// with Apply on the session lock and is cheap: O(relations + interned
+// terms), independent of tuple count.
+func (s *Session) Export() persist.SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chased, r := s.eng.Export()
+	return persist.SessionState{
+		Chased: chased,
+		Orig:   s.orig.Snapshot(),
+		Chase:  r,
+	}
+}
+
+// RestoreSession rebuilds a session from exported (or decoded) durable
+// state, skipping the cold saturation chase: the chased instance is
+// adopted as-is, the incremental chase resumes from the recorded
+// counters, and the derived layer is recomputed (see
+// engine.Prepared.RestoreSession). Frozen instances are cloned; a nil
+// Orig yields an empty measure base, matching NewSession(ctx, nil).
+func (p *Prepared) RestoreSession(ctx context.Context, st persist.SessionState) (*Session, error) {
+	if st.Chased == nil {
+		return nil, fmt.Errorf("quality: restore needs a chased instance")
+	}
+	eng, err := p.eng.RestoreSession(ctx, st.Chased, st.Chase)
+	if err != nil {
+		return nil, err
+	}
+	orig := st.Orig
+	switch {
+	case orig == nil:
+		orig = storage.NewInstance()
+	case orig.Frozen():
+		orig = orig.Clone()
+	}
+	return &Session{prep: p, eng: eng, orig: orig}, nil
+}
+
+// BaseInterner exposes the prepared context's compile-time interner,
+// which the persistence layer decodes snapshots against (see
+// persist.ReadSnapshot): restored rows must keep the exact ids the
+// compiled chase and eval plans were built over.
+func (p *Prepared) BaseInterner() *datalog.Interner {
+	return p.eng.Base().Interner()
+}

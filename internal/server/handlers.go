@@ -296,6 +296,30 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r.PathValue("name"), err)
 		return
 	}
+	// Mark the session closed under its writer lock: an apply that
+	// raced this DELETE either finished (its batch is in the WAL we are
+	// about to seal) or will observe closed and refuse the ack — a
+	// batch can never be acknowledged after its log is gone.
+	sess.mu.Lock()
+	sess.closed = true
+	wasResident := sess.s != nil
+	if sess.log != nil {
+		_ = sess.log.Close()
+		sess.log = nil
+	}
+	sess.s = nil
+	sess.isResident.Store(false)
+	sess.mu.Unlock()
+	if wasResident {
+		s.mu.Lock()
+		s.residentCount--
+		s.mu.Unlock()
+	}
+	if s.store != nil {
+		if err := s.store.RemoveSession(sess.lc.name, sess.id); err != nil {
+			s.met.with(sess.lc.name, func(cm *contextMetrics) { cm.errorsTotal++ })
+		}
+	}
 	s.met.with(sess.lc.name, func(cm *contextMetrics) { cm.sessionsOpen-- })
 	writeJSON(w, http.StatusOK, SessionResponse{ID: sess.id, Context: sess.lc.name, Closed: true})
 }
@@ -314,6 +338,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lc := sess.lc
+	sess.touch()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// HTTP/1.x closes the request body once the response starts;
 	// full-duplex mode keeps the ingest stream readable while apply
@@ -335,7 +360,7 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		for i, a := range req.Atoms {
 			atoms[i] = a.Atom()
 		}
-		res, err := sess.apply(r.Context(), atoms)
+		res, job, walDur, err := s.applyBatch(r.Context(), sess, atoms)
 		if err != nil {
 			s.streamError(w, enc, lc.name, err)
 			return
@@ -343,7 +368,13 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		s.met.with(lc.name, func(cm *contextMetrics) {
 			cm.applyTotal++
 			cm.chaseRounds += int64(res.rounds)
+			if s.store != nil {
+				cm.walAppends++
+			}
 		})
+		if s.store != nil {
+			s.met.observe(lc.name, "wal_append", walDur)
+		}
 		_ = enc.Encode(ApplyResponse{
 			Inserted:   res.res.Inserted,
 			ChaseRows:  res.res.ChaseRows,
@@ -356,8 +387,13 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		// Compaction happens here, between batches, off the session
+		// lock: the exported state was frozen under the lock, so
+		// concurrent applies keep flowing into the fresh segment.
+		s.writeSnapshot(sess, job)
 	}
 	s.met.observe(lc.name, "apply", time.Since(start))
+	s.enforceResident(sess)
 }
 
 // appliedBatch pairs an engine apply result with the chase rounds the
@@ -367,20 +403,45 @@ type appliedBatch struct {
 	rounds int
 }
 
-// apply runs one batch under the session's writer lock, keeping the
-// round bookkeeping consistent with the engine state.
-func (sess *session) apply(ctx context.Context, atoms []mdqa.Atom) (appliedBatch, error) {
+// applyBatch runs one batch under the session's writer lock: resolve
+// the live engine state (reviving an evicted session), apply through
+// the incremental chase, then append to the WAL. The ack ordering is
+// the durability contract — a batch the engine rejected is never
+// logged, and a batch the log rejected is never acknowledged (the
+// client retries; set-semantics inserts make replays idempotent).
+// When the WAL has grown past the snapshot threshold it also rotates
+// the segment and captures a compaction job for the caller to write
+// outside the lock.
+func (s *Server) applyBatch(ctx context.Context, sess *session, atoms []mdqa.Atom) (appliedBatch, *snapJob, time.Duration, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	res, err := sess.s.Apply(ctx, atoms)
+	ms, err := s.residentLocked(ctx, sess)
 	if err != nil {
-		return appliedBatch{}, err
+		return appliedBatch{}, nil, 0, err
 	}
-	rounds := sess.s.ChaseRounds()
+	res, err := ms.Apply(ctx, atoms)
+	if err != nil {
+		return appliedBatch{}, nil, 0, err
+	}
+	var walDur time.Duration
+	if sess.log != nil {
+		t0 := time.Now()
+		if _, err := sess.log.Append(atoms); err != nil {
+			return appliedBatch{}, nil, 0, fmt.Errorf("server: wal append: %w", err)
+		}
+		walDur = time.Since(t0)
+	}
+	rounds := ms.ChaseRounds()
 	delta := rounds - sess.lastRounds
 	sess.lastRounds = rounds
 	sess.applies++
-	return appliedBatch{res: res, rounds: delta}, nil
+	job, err := s.maybeSnapshot(sess)
+	if err != nil {
+		// The batch itself is durable in the sealed segment; only the
+		// compaction failed. Surface it — the client's retry is safe.
+		return appliedBatch{}, nil, walDur, err
+	}
+	return appliedBatch{res: res, rounds: delta}, job, walDur, nil
 }
 
 // streamError emits a structured error as an NDJSON line: the status
@@ -404,7 +465,12 @@ func (s *Server) handleSessionAssess(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r.PathValue("name"), err)
 		return
 	}
-	a, err := sess.s.Assess(r.Context())
+	ms, err := s.resident(r.Context(), sess)
+	if err != nil {
+		s.fail(w, sess.lc.name, err)
+		return
+	}
+	a, err := ms.Assess(r.Context())
 	if err != nil {
 		s.fail(w, sess.lc.name, err)
 		return
@@ -458,7 +524,12 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	snap := sess.s.Snapshot()
+	ms, err := s.resident(r.Context(), sess)
+	if err != nil {
+		s.fail(w, lc.name, err)
+		return
+	}
+	snap := ms.Snapshot()
 	// Resolve unknown relations before committing the 200: the eval
 	// layer silently treats a missing relation as empty, but a query
 	// over a relation the context has never heard of is a client

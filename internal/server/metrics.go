@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,10 +16,26 @@ import (
 type metrics struct {
 	mu       sync.Mutex
 	contexts map[string]*contextMetrics
+	// walFsyncs counts fsyncs across the whole store (the WAL layer
+	// reports them per sync mode, not per context), fed lock-free from
+	// the wal.Options.OnSync hook on the append path.
+	walFsyncs atomic.Int64
+	// recoveryNanos is the startup recovery wall time (snapshot decode
+	// + WAL replay across every persisted session); 0 until a durable
+	// server finishes recovery.
+	recoveryNanos atomic.Int64
 }
 
 // ops is the fixed latency class vocabulary, in render order.
-var ops = []string{"assess", "apply", "answers"}
+// wal_append rings stay empty on ephemeral servers and are skipped by
+// render, so pre-durability scrape goldens are unchanged.
+var ops = []string{"assess", "apply", "answers", "wal_append"}
+
+// fsynced is the wal.Options.OnSync hook.
+func (m *metrics) fsynced() { m.walFsyncs.Add(1) }
+
+// setRecovery records the startup recovery duration.
+func (m *metrics) setRecovery(d time.Duration) { m.recoveryNanos.Store(int64(d)) }
 
 // contextMetrics is the per-context slice of the counters.
 type contextMetrics struct {
@@ -29,7 +46,15 @@ type contextMetrics struct {
 	sessionsOpen  int64 // sessions currently registered
 	errorsTotal   int64 // requests answered with an error body
 	chaseRounds   int64 // cumulative chase rounds across all sessions
-	latency       map[string]*latencyRing
+
+	// Durability counters; all stay zero on ephemeral servers.
+	walAppends        int64 // acknowledged batches appended to WALs
+	snapshotsWritten  int64 // compaction + shutdown snapshots written
+	sessionsEvicted   int64 // sessions snapshotted out under MaxResident
+	sessionsRevived   int64 // evicted sessions transparently reloaded
+	sessionsRecovered int64 // sessions restored from disk at startup
+
+	latency map[string]*latencyRing
 }
 
 func newMetrics(contexts []string) *metrics {
@@ -87,6 +112,14 @@ func (m *metrics) render(b *strings.Builder) {
 	counter("mdserve_sessions_opened_total", func(c *contextMetrics) int64 { return c.sessionsTotal })
 	counter("mdserve_errors_total", func(c *contextMetrics) int64 { return c.errorsTotal })
 	counter("mdserve_chase_rounds_total", func(c *contextMetrics) int64 { return c.chaseRounds })
+	counter("mdserve_wal_appends_total", func(c *contextMetrics) int64 { return c.walAppends })
+	counter("mdserve_snapshots_written_total", func(c *contextMetrics) int64 { return c.snapshotsWritten })
+	counter("mdserve_sessions_evicted_total", func(c *contextMetrics) int64 { return c.sessionsEvicted })
+	counter("mdserve_sessions_revived_total", func(c *contextMetrics) int64 { return c.sessionsRevived })
+	counter("mdserve_sessions_recovered_total", func(c *contextMetrics) int64 { return c.sessionsRecovered })
+	fmt.Fprintf(b, "# TYPE mdserve_wal_fsyncs_total counter\nmdserve_wal_fsyncs_total %d\n", m.walFsyncs.Load())
+	fmt.Fprintf(b, "# TYPE mdserve_recovery_seconds gauge\nmdserve_recovery_seconds %.6f\n",
+		time.Duration(m.recoveryNanos.Load()).Seconds())
 	fmt.Fprintf(b, "# TYPE mdserve_sessions_open gauge\n")
 	for _, name := range names {
 		fmt.Fprintf(b, "mdserve_sessions_open{context=%q} %d\n", name, m.contexts[name].sessionsOpen)

@@ -35,8 +35,12 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/par"
+	"repro/internal/persist"
+	"repro/internal/wal"
 	"repro/mdqa"
 )
 
@@ -53,6 +57,27 @@ type Config struct {
 	// across all contexts (0 = DefaultMaxSessions). Session state is
 	// memory: an unbounded registry would let clients exhaust it.
 	MaxSessions int
+	// DataDir enables durable sessions: every acknowledged apply batch
+	// is write-ahead logged and periodically compacted into snapshots
+	// under <DataDir>/<context>/<session-id>/, and New recovers every
+	// persisted session on startup. Empty means ephemeral (the
+	// pre-durability behavior).
+	DataDir string
+	// Fsync selects when WAL appends reach stable storage (see
+	// wal.SyncMode); only meaningful with DataDir.
+	Fsync wal.SyncMode
+	// FsyncInterval is the wal.SyncInterval flush period
+	// (0 = wal.DefaultInterval).
+	FsyncInterval time.Duration
+	// SnapshotEvery is how many acknowledged batches accumulate in a
+	// session's WAL before it is compacted into a snapshot
+	// (0 = persist.DefaultSnapshotEvery).
+	SnapshotEvery int
+	// MaxResident bounds the sessions held saturated in memory; beyond
+	// it the least-recently-used session is snapshotted to disk,
+	// evicted and transparently revived on its next request. 0 keeps
+	// every session resident. Requires DataDir.
+	MaxResident int
 }
 
 // DefaultMaxSessions bounds the session registry when
@@ -105,15 +130,39 @@ type session struct {
 	id  string
 	seq uint64 // creation order, for numeric listing
 	lc  *loadedContext
-	s   *mdqa.Session
 
 	// mu serializes writers: one apply batch at a time per session,
-	// pairing the engine apply with the chase-round bookkeeping.
-	// Readers never take it — they read frozen snapshots.
-	mu         sync.Mutex
-	applies    int64
-	lastRounds int
+	// pairing the engine apply with the WAL append and the chase-round
+	// bookkeeping. Readers take it only long enough to resolve s
+	// (reviving an evicted session if needed) — the snapshots they
+	// then read are frozen and lock-free.
+	mu sync.Mutex
+	// s is the live engine session; nil while evicted to disk or
+	// after close. Resolve it through Server.resident.
+	s *mdqa.Session
+	// closed marks a DELETEd session: applies observe it under mu, so
+	// a close concurrent with an in-flight apply can never let a batch
+	// be acknowledged after its log is gone.
+	closed bool
+	// log is the session's durable log; nil when the server is
+	// ephemeral, while evicted, and after close.
+	log *persist.SessionLog
+	// snapshotting gates snapshot writes: at most one per session in
+	// flight (the write happens outside mu; see Server.writeSnapshot).
+	snapshotting bool
+	applies      int64
+	lastRounds   int
+	// lastTouch is the LRU clock for MaxResident eviction (UnixNano,
+	// updated lock-free on every request touching the session).
+	lastTouch atomic.Int64
+	// isResident mirrors s != nil for the eviction scan, which runs
+	// under the registry lock and must not take sess.mu (lock order:
+	// sess.mu before Server.mu, never the reverse). Advisory — evict
+	// re-checks under sess.mu.
+	isResident atomic.Bool
 }
+
+func (sess *session) touch() { sess.lastTouch.Store(time.Now().UnixNano()) }
 
 // Server is the mdserve HTTP handler. Build one with New and serve it
 // with net/http; it is safe for any number of concurrent requests.
@@ -123,10 +172,16 @@ type Server struct {
 	names    []string // sorted context names
 	met      *metrics
 	mux      *http.ServeMux
+	// store is the durable-session store; nil when Config.DataDir is
+	// empty.
+	store *persist.Store
 
-	mu       sync.Mutex // guards sessions + nextID
+	mu       sync.Mutex // guards sessions + nextID + residentCount
 	sessions map[string]*session
 	nextID   uint64
+	// residentCount tracks sessions whose engine state is in memory
+	// (session.s != nil), for MaxResident eviction.
+	residentCount int
 }
 
 // New loads and prepares every context source — fanned out across the
@@ -160,6 +215,13 @@ func New(ctx context.Context, cfg Config, sources []ContextSource) (*Server, err
 	sort.Strings(s.names)
 	s.met = newMetrics(s.names)
 	s.routes()
+	if cfg.DataDir != "" {
+		if err := s.openStore(ctx); err != nil {
+			return nil, err
+		}
+	} else if cfg.MaxResident > 0 {
+		return nil, fmt.Errorf("server: MaxResident requires DataDir (evicted sessions live on disk)")
+	}
 	return s, nil
 }
 
@@ -242,10 +304,13 @@ func (s *Server) session(contextName, id string) (*session, error) {
 // register files a new session under the next id ("s1", "s2", ...).
 // Sessions never expire on their own — clients close what they open,
 // and the MaxSessions bound caps the damage of clients that don't.
+// With a durable store, the session's directory (initial snapshot +
+// first WAL segment) is created before the session becomes
+// addressable, so no request can ever apply to an unlogged session.
 func (s *Server) register(lc *loadedContext, ms *mdqa.Session) (*session, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
 		return nil, &overloadedError{msg: fmt.Sprintf("session limit reached (%d open); close sessions with DELETE", s.cfg.MaxSessions)}
 	}
 	s.nextID++
@@ -256,9 +321,36 @@ func (s *Server) register(lc *loadedContext, ms *mdqa.Session) (*session, error)
 		s:   ms,
 	}
 	sess.lastRounds = ms.ChaseRounds()
+	s.mu.Unlock()
+
+	if s.store != nil {
+		log, err := s.store.CreateSession(lc.name, sess.id, persist.Meta{Created: timestamp()}, ms.ExportState())
+		if err != nil {
+			return nil, fmt.Errorf("server: persist session %s: %w", sess.id, err)
+		}
+		sess.log = log
+	}
+	sess.touch()
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		if sess.log != nil {
+			sess.log.Close()
+			_ = s.store.RemoveSession(lc.name, sess.id)
+		}
+		return nil, &overloadedError{msg: fmt.Sprintf("session limit reached (%d open); close sessions with DELETE", s.cfg.MaxSessions)}
+	}
+	sess.isResident.Store(true)
 	s.sessions[sess.id] = sess
+	s.residentCount++
+	s.mu.Unlock()
+	s.enforceResident(sess)
 	return sess, nil
 }
+
+// timestamp renders snapshot meta creation times.
+func timestamp() string { return time.Now().UTC().Format(time.RFC3339) }
 
 // unregister atomically removes a session from the registry,
 // reporting 404 when it is already gone — two concurrent closes

@@ -28,6 +28,14 @@ func NewInstance() *Instance {
 	return &Instance{relations: map[string]*Relation{}, in: datalog.NewInterner()}
 }
 
+// NewInstanceWith returns an empty instance over the given interner.
+// The persistence layer uses it to materialize decoded snapshots
+// against a fork of a live prepared base, so restored rows keep the
+// exact ids the compiled plans were built against.
+func NewInstanceWith(in *datalog.Interner) *Instance {
+	return &Instance{relations: map[string]*Relation{}, in: in}
+}
+
 // Interner returns the instance's shared term interner.
 func (db *Instance) Interner() *datalog.Interner { return db.in }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/gen"
+	"repro/internal/wal"
 )
 
 // The benchmark and experiment harness behind cmd/mdbench, re-exported
@@ -80,6 +81,22 @@ func PerfNames(results map[string]PerfResult) []string { return bench.PerfNames(
 // BENCH_<n>.json.
 func RunPerfSweep(sizes, levels []int) (map[string]PerfResult, error) {
 	return bench.RunPerfSweep(sizes, levels)
+}
+
+// RunDurablePerf measures the durable warm-apply path — the streaming
+// workload's per-tick apply with write-ahead logging — at each fsync
+// mode ("always", "interval", "async"), keyed
+// "BenchmarkDurableWarmApply/n=<size>/fsync=<mode>". Next to the same
+// size's BenchmarkWarmAssess the delta is each mode's durability tax.
+func RunDurablePerf(sizes []int, modes []string) (map[string]PerfResult, error) {
+	ms := make([]wal.SyncMode, len(modes))
+	for i, m := range modes {
+		var err error
+		if ms[i], err = wal.ParseSyncMode(m); err != nil {
+			return nil, err
+		}
+	}
+	return bench.RunDurablePerf(sizes, ms)
 }
 
 // RunPerf measures the engine scaling benchmarks plus the facade
