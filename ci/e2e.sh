@@ -61,6 +61,18 @@ curl -fsS -G --data-urlencode 'q=tomtemp(t, v) <- Measurements(t, "Tom Waits", v
   "$BASE/sessions/s1/answers" | LC_ALL=C sort >"$OUT/answers"
 check answers "$OUT/answers"
 
+# The same query again: the plan cache serves this one (first request
+# missed, this one hits) and the stream must be byte-identical.
+curl -fsS -G --data-urlencode 'q=tomtemp(t, v) <- Measurements(t, "Tom Waits", v).' \
+  "$BASE/sessions/s1/answers" | LC_ALL=C sort >"$OUT/answers-repeat"
+check answers "$OUT/answers-repeat"
+
+# explain=1 returns the compiled join plan instead of rows.
+curl -fsS -G --data-urlencode 'q=tomtemp(t, v) <- Measurements(t, "Tom Waits", v).' \
+  --data-urlencode 'explain=1' \
+  "$BASE/sessions/s1/answers" >"$OUT/explain"
+check explain "$OUT/explain"
+
 curl -fsS "$BASE/sessions/s1/assessment" >"$OUT/session-assess"
 check session-assess "$OUT/session-assess"
 
@@ -72,9 +84,13 @@ curl -fsS "http://$ADDR/metrics" >"$OUT/metrics"
 for want in \
   'mdserve_assess_total{context="hospital"} 2' \
   'mdserve_apply_batches_total{context="hospital"} 2' \
-  'mdserve_answers_streamed_total{context="hospital"} 3' \
+  'mdserve_answers_streamed_total{context="hospital"} 6' \
   'mdserve_sessions_opened_total{context="hospital"} 1' \
   'mdserve_chase_rounds_total{context="hospital"} 6' \
+  'mdserve_plan_cache_hits_total{context="hospital"} 2' \
+  'mdserve_plan_cache_misses_total{context="hospital"} 1' \
+  'mdserve_plan_cache_evictions_total{context="hospital"} 0' \
+  'mdserve_replans_total{context="hospital"} 0' \
   'mdserve_errors_total{context="hospital"} 0'; do
   if ! grep -qF "$want" "$OUT/metrics"; then
     echo "e2e: /metrics missing: $want" >&2

@@ -12,7 +12,11 @@
 //	mdq check    file.mdq
 //	mdq query    file.mdq [-engine chase|det|rewrite] [name]
 //	mdq assess   file.mdq            # quality versions + measures
-//	mdq clean    file.mdq [name]     # clean answers to named queries
+//	mdq clean    file.mdq [-explain] [name]
+//	                                 # clean answers to named queries;
+//	                                 # -explain prints the compiled join
+//	                                 # plan (atom order + cost estimates)
+//	                                 # instead of the answers
 //	mdq example                      # print the built-in hospital example
 //	mdq example -quality             # ... with the Example 7 context
 //
@@ -261,6 +265,14 @@ func assess(ctx context.Context, f *mdqa.File, parallelism int, out io.Writer) e
 }
 
 func cleanAnswer(ctx context.Context, f *mdqa.File, args []string, parallelism int, out io.Writer) error {
+	fs := flag.NewFlagSet("clean", flag.ContinueOnError)
+	fs.SetOutput(out)
+	explain := fs.Bool("explain", false,
+		"print each query's compiled join plan (atom order + cost estimates) instead of its answers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	a, err := assessFile(ctx, f, parallelism)
 	if err != nil {
 		return err
@@ -280,6 +292,14 @@ func cleanAnswer(ctx context.Context, f *mdqa.File, args []string, parallelism i
 	// are sorted via the materialized set only for stable CLI output.
 	snap := a.Snapshot()
 	for _, nq := range queries {
+		if *explain {
+			text, err := snap.Explain(nq.Query, true, nil)
+			if err != nil {
+				return fmt.Errorf("query %s: %w", nq.Name, err)
+			}
+			fmt.Fprintf(out, "%s -> %s", snap.RewriteClean(nq.Query), text)
+			continue
+		}
 		as, err := collectAnswers(snap.CleanAnswers(nq.Query))
 		if err != nil {
 			return fmt.Errorf("query %s: %w", nq.Name, err)

@@ -116,6 +116,14 @@ func TestE2EGolden(t *testing.T) {
 	checkGolden(t, "apply", request(t, "POST", base+"/sessions/s1/apply", applyBatches))
 	checkGolden(t, "answers", sortLines(request(t, "GET",
 		base+"/sessions/s1/answers?q="+url.QueryEscape(answersQuery), "")))
+	// The same query again: served via the plan cache (first request
+	// missed, this one hits), and the stream must be byte-identical.
+	checkGolden(t, "answers", sortLines(request(t, "GET",
+		base+"/sessions/s1/answers?q="+url.QueryEscape(answersQuery), "")))
+	// explain=1 returns the compiled join plan instead of rows — the
+	// exact plan the cached answer path executes.
+	checkGolden(t, "explain", request(t, "GET",
+		base+"/sessions/s1/answers?q="+url.QueryEscape(answersQuery)+"&explain=1", ""))
 	checkGolden(t, "session-assess", request(t, "GET", base+"/sessions/s1/assessment", ""))
 	checkGolden(t, "session-close", request(t, "DELETE", base+"/sessions/s1", ""))
 }

@@ -93,6 +93,30 @@ func Compile(prog *datalog.Program, db *storage.Instance) (*CompiledProgram, err
 // Program returns the compiled program's source rules.
 func (cp *CompiledProgram) Program() *datalog.Program { return cp.prog }
 
+// BodyPreds returns the set of predicates read by any TGD, EGD or NC
+// body — the relations whose cardinality drift makes the compiled
+// plans' cost-based atom order stale. The session layer unions this
+// with the eval rules' body predicates to scope its drift tracking.
+func (cp *CompiledProgram) BodyPreds() map[string]bool {
+	out := map[string]bool{}
+	for _, tp := range cp.tgds {
+		for _, a := range tp.tgd.Body {
+			out[a.Pred] = true
+		}
+	}
+	for _, ep := range cp.egds {
+		for _, a := range ep.egd.Body {
+			out[a.Pred] = true
+		}
+	}
+	for _, np := range cp.ncs {
+		for _, a := range np.nc.PositiveBody() {
+			out[a.Pred] = true
+		}
+	}
+	return out
+}
+
 func compileTGDPlan(tgd *datalog.TGD, db *storage.Instance) *tgdPlan {
 	in := db.Interner()
 	tp := &tgdPlan{
@@ -289,6 +313,32 @@ func (st *State) Instance() *storage.Instance { return st.inst }
 // instance. Counters (Rounds, Fired, ...) accumulate across Chase and
 // Extend calls; Saturated reflects the most recent call.
 func (st *State) Result() *Result { return st.res }
+
+// Replan recompiles every TGD/EGD/NC plan against the state's live
+// instance, refreshing the cost-based atom order from its current
+// statistics (the compile-time plans were costed against the prepared
+// base, which an incrementally grown session can drift arbitrarily far
+// from). Slot assignment depends only on the body's source order, so
+// the compiled projections, register banks and — critically — the
+// trigger memos (hashed register snapshots keyed by slot layout) all
+// remain valid; each fired trigger stays fired. Single-writer, like
+// Chase and Extend; must not run concurrently with either.
+func (st *State) Replan() {
+	for _, ts := range st.tgds {
+		tgd := ts.tp.tgd
+		ts.body = storage.CompilePlan(st.inst, tgd.Body)
+		ts.head = storage.CompilePlan(st.inst, tgd.Head, tgd.FrontierVars()...)
+		for i, a := range tgd.Body {
+			ts.delta[i] = storage.CompilePlan(st.inst, tgd.Body, a.Vars()...)
+		}
+	}
+	for _, es := range st.egds {
+		es.plan = storage.CompilePlan(st.inst, es.ep.egd.Body)
+	}
+	for _, ns := range st.ncs {
+		ns.plan = storage.CompilePlan(st.inst, ns.np.nc.PositiveBody())
+	}
+}
 
 // Chase runs the chase to fixpoint from the current frontier. The
 // error is non-nil only for context cancellation; bound-exceeded runs

@@ -91,6 +91,13 @@ func (in *Interner) Fork() *Interner {
 	return out
 }
 
+// Parent returns the interner this one was forked from, or nil for a
+// root interner. Two forks of the same parent with equal Len hold
+// identical id assignments (forking copies the parent's table and a
+// frozen fork never interns), which is what lets a shape-keyed plan
+// cache rebind plans across sibling snapshots of one session.
+func (in *Interner) Parent() *Interner { return in.parent }
+
 // DescendsFrom reports whether in is anc or a (transitive) fork of
 // anc. Ids assigned by an ancestor before forking are preserved in
 // every descendant, so read structures compiled against anc (plans,

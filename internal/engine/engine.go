@@ -77,6 +77,10 @@ type Prepared struct {
 	strata [][]*eval.Rule
 	opts   chase.Options
 	pool   par.Pool
+	// planPreds is the set of predicates read by any compiled plan
+	// (TGD/EGD/NC bodies plus rule bodies) — the relations whose
+	// cardinality drift a session watches to decide when to re-plan.
+	planPreds map[string]bool
 }
 
 // Prepare validates and compiles the spec once. The returned Prepared
@@ -108,6 +112,14 @@ func Prepare(spec Spec) (*Prepared, error) {
 			return nil, err
 		}
 	}
+	p.planPreds = cp.BodyPreds()
+	for _, rules := range p.strata {
+		for _, r := range rules {
+			for _, a := range r.Body {
+				p.planPreds[a.Pred] = true
+			}
+		}
+	}
 	return p, nil
 }
 
@@ -131,6 +143,10 @@ func (p *Prepared) NewSession(ctx context.Context, d *storage.Instance) (*Sessio
 		}
 	}
 	cs := p.cp.NewState(inst, p.opts)
+	// The shared compiled plans were costed against the bare base; the
+	// session instance now holds the merged data under assessment, so
+	// re-cost the atom order once before the cold chase.
+	cs.Replan()
 	if err := cs.Chase(ctx); err != nil {
 		return nil, err
 	}
@@ -145,6 +161,7 @@ func (p *Prepared) NewSession(ctx context.Context, d *storage.Instance) (*Sessio
 	if err := s.rebuildEval(ctx); err != nil {
 		return nil, err
 	}
+	s.recordPlanLens()
 	return s, nil
 }
 
@@ -158,6 +175,14 @@ type Session struct {
 	// instance (sharing its interner — the session is the only
 	// writer); nil when the spec has no rules.
 	eval *eval.State
+	// planLens records each plan-referenced relation's cardinality at
+	// the last (re)planning point; needReplan is latched when Apply
+	// observes ≥2× drift from it, and serviced at the START of the next
+	// Apply — re-planning is amortized off the ack critical path, never
+	// added to the apply that detected the drift.
+	planLens   map[string]int
+	needReplan bool
+	replans    int64
 }
 
 // rebuildEval recomputes the derived layer from the chased instance,
@@ -195,6 +220,10 @@ type ApplyResult struct {
 	// scratch instead of extended (EGD merges rewrote tuples, or the
 	// rule program has negation).
 	Rebuilt bool
+	// Replanned reports that this Apply serviced a pending re-plan:
+	// drift latched by an earlier Apply caused the chase and eval plans
+	// to be re-costed against current statistics before this batch ran.
+	Replanned bool
 	// Violations is the session's cumulative violation list.
 	Violations []chase.Violation
 }
@@ -207,6 +236,18 @@ type ApplyResult struct {
 func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*ApplyResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	replanned := false
+	if s.needReplan {
+		s.chase.Replan()
+		if s.eval != nil {
+			s.eval.Replan()
+		}
+		s.needReplan = false
+		s.replans++
+		s.recordPlanLens()
+		replanned = true
+	}
 
 	ci := s.chase.Instance()
 	lens := map[string]int{}
@@ -229,6 +270,7 @@ func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*ApplyResult
 		Inserted:   info.Inserted,
 		Fired:      info.Fired,
 		Merged:     info.Merged,
+		Replanned:  replanned,
 		Violations: s.chase.Result().Violations,
 	}
 	for _, name := range ci.RelationNames() {
@@ -237,6 +279,7 @@ func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*ApplyResult
 		}
 	}
 	if s.eval == nil {
+		s.noteDrift()
 		return res, nil
 	}
 
@@ -246,7 +289,11 @@ func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*ApplyResult
 	// the incrementally-chased instance).
 	if info.Merged > 0 || !s.eval.Incremental() {
 		res.Rebuilt = true
-		return res, s.rebuildEval(ctx)
+		if err := s.rebuildEval(ctx); err != nil {
+			return nil, err
+		}
+		s.noteDrift()
+		return res, nil
 	}
 
 	// No merges: the chased instance grew append-only, so the rows
@@ -263,7 +310,79 @@ func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*ApplyResult
 		return nil, err
 	}
 	res.Derived = len(derived)
+	s.noteDrift()
 	return res, nil
+}
+
+// planInstance is the instance drift is measured against: the eval
+// instance when a derived layer exists (it holds the chased facts plus
+// the derived predicates the rule plans read), the chased instance
+// otherwise.
+func (s *Session) planInstance() *storage.Instance {
+	if s.eval != nil {
+		return s.eval.Instance()
+	}
+	return s.chase.Instance()
+}
+
+// recordPlanLens snapshots every plan-referenced relation's current
+// cardinality — the statistics the active plans were costed against.
+func (s *Session) recordPlanLens() {
+	inst := s.planInstance()
+	if s.planLens == nil {
+		s.planLens = make(map[string]int, len(s.prep.planPreds))
+	}
+	for name := range s.prep.planPreds {
+		n := 0
+		if rel := inst.Relation(name); rel != nil {
+			n = rel.Len()
+		}
+		s.planLens[name] = n
+	}
+}
+
+// noteDrift latches needReplan when any plan-referenced relation has
+// grown or shrunk ≥2× since the plans were last costed. It runs on the
+// apply path but only compares a handful of integers; the re-plan
+// itself is deferred to the start of the next Apply.
+func (s *Session) noteDrift() {
+	if s.needReplan {
+		return
+	}
+	inst := s.planInstance()
+	for name := range s.prep.planPreds {
+		cur := 0
+		if rel := inst.Relation(name); rel != nil {
+			cur = rel.Len()
+		}
+		if driftExceeded(s.planLens[name], cur) {
+			s.needReplan = true
+			return
+		}
+	}
+}
+
+// driftFloor is the smallest cardinality that can register as drift:
+// below it a misordered join is too cheap to matter, and the floor
+// keeps small fixtures from re-planning nondeterministically.
+const driftFloor = 64
+
+// driftExceeded reports a ≥2× cardinality change in either direction
+// past the floor.
+func driftExceeded(old, cur int) bool {
+	lo, hi := old, cur
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return hi >= driftFloor && hi >= 2*lo
+}
+
+// Replans returns how many times the session has re-planned, for
+// metrics export.
+func (s *Session) Replans() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replans
 }
 
 // Snapshot returns a frozen, consistent view of the full contextual

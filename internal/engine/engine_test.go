@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/chase"
@@ -125,6 +126,69 @@ func TestSessionSnapshotIsolation(t *testing.T) {
 	}
 	if s.Snapshot().Relation("M").Len() != m0+1 {
 		t.Fatal("new snapshot missing the applied delta's derivation")
+	}
+}
+
+func TestSessionReplanOnDrift(t *testing.T) {
+	p, err := Prepare(testSpec(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSession(context.Background(), d0())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch big enough to push R0 past the drift floor (64) and a 2×
+	// growth over the cardinality the plans were costed against.
+	var big []dl.Atom
+	for i := 0; i < 80; i++ {
+		big = append(big, dl.A("R0", dl.C("c0"), dl.C(fmt.Sprintf("v%d", i))))
+	}
+	res, err := s.Apply(context.Background(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drift is latched, never serviced on the apply that detected it.
+	if res.Replanned {
+		t.Fatal("re-plan ran on the drift-detecting apply (must be deferred)")
+	}
+	if s.Replans() != 0 {
+		t.Fatalf("replans = %d before the deferred apply, want 0", s.Replans())
+	}
+	// The next apply services the re-plan before running its batch.
+	res, err = s.Apply(context.Background(), []dl.Atom{dl.A("R0", dl.C("c2"), dl.C("w"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Replanned {
+		t.Fatal("deferred re-plan did not run on the next apply")
+	}
+	if s.Replans() != 1 {
+		t.Fatalf("replans = %d, want 1", s.Replans())
+	}
+	// Once re-costed, small applies do not re-trigger.
+	res, err = s.Apply(context.Background(), []dl.Atom{dl.A("R0", dl.C("c2"), dl.C("w2"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replanned || s.Replans() != 1 {
+		t.Fatalf("spurious re-plan: replanned=%v replans=%d", res.Replanned, s.Replans())
+	}
+
+	// Re-planning must not change a single answer: a fresh session fed
+	// all the same data at once holds the identical fixpoint.
+	all := d0()
+	for _, a := range big {
+		all.MustInsert(a.Pred, a.Args...)
+	}
+	all.MustInsert("R0", dl.C("c2"), dl.C("w"))
+	all.MustInsert("R0", dl.C("c2"), dl.C("w2"))
+	fresh, err := p.NewSession(context.Background(), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Snapshot().Equal(fresh.Snapshot()) {
+		t.Fatal("re-planned session diverged from a fresh session over the same data")
 	}
 }
 

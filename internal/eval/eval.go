@@ -379,6 +379,31 @@ func (st *State) Reset(inst *storage.Instance) {
 	st.inited = false
 }
 
+// Replan recompiles every rule's join plans against the state's live
+// instance, refreshing the cost-based atom order from its current
+// statistics — the session layer calls this when relation
+// cardinalities have drifted far from what the original plans were
+// costed against. Slot assignment depends only on the body's source
+// order (first occurrence), never on atom order, so the existing
+// projections, register banks and pivot compilations all remain valid;
+// only the plans themselves are replaced. No-op before the first Init
+// compiles. Single-writer, like Init and Extend.
+func (st *State) Replan() {
+	if st.comp == nil {
+		return
+	}
+	for _, comp := range st.comp {
+		for _, cr := range comp {
+			cr.plan = storage.CompilePlan(st.inst, cr.r.Body)
+			for i, a := range cr.r.Body {
+				if cr.deltaPlans[i] != nil {
+					cr.deltaPlans[i] = storage.CompilePlan(st.inst, cr.r.Body, a.Vars()...)
+				}
+			}
+		}
+	}
+}
+
 // Init computes the least fixpoint stratum by stratum. ctx is checked
 // once per rule pass (per worker unit when the pool is parallel).
 // Rule plans are compiled on the first Init
@@ -727,6 +752,14 @@ func EvalQuery(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, erro
 	return answers, nil
 }
 
+// QueryPlanner supplies compiled read-only plans for query bodies —
+// the seam a plan cache plugs into (*storage.PlanCache implements it).
+// Implementations must return plans equivalent to
+// storage.CompileQueryPlan(db, body).
+type QueryPlanner interface {
+	QueryPlan(db *storage.Instance, body []datalog.Atom) *storage.Plan
+}
+
 // EvalQueryFunc is the streaming form of EvalQuery: each distinct
 // answer is passed to yield as it is produced by the join plan,
 // without materializing an answer set. Returning false from yield
@@ -734,10 +767,21 @@ func EvalQuery(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, erro
 // answer keys is kept, but never the answers themselves), so yield
 // observes each answer exactly once.
 func EvalQueryFunc(q *datalog.Query, db *storage.Instance, yield func(datalog.Answer) bool) error {
+	return EvalQueryFuncPlanned(q, db, nil, yield)
+}
+
+// EvalQueryFuncPlanned is EvalQueryFunc with plan supply delegated to
+// planner; a nil planner compiles fresh per call.
+func EvalQueryFuncPlanned(q *datalog.Query, db *storage.Instance, planner QueryPlanner, yield func(datalog.Answer) bool) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
-	plan := storage.CompileQueryPlan(db, q.Body)
+	var plan *storage.Plan
+	if planner != nil {
+		plan = planner.QueryPlan(db, q.Body)
+	} else {
+		plan = storage.CompileQueryPlan(db, q.Body)
+	}
 	negs := make([]storage.Proj, len(q.Negated))
 	for i, n := range q.Negated {
 		negs[i] = plan.CompileProbe(n)

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/eval"
 	"repro/internal/qerr"
 	"repro/internal/storage"
 )
@@ -353,17 +354,24 @@ func CertainAnswersViaChase(ctx context.Context, prog *datalog.Program, db *stor
 	if !res.Consistent() && !opts.AllowViolations {
 		return nil, fmt.Errorf("qa: %w", &qerr.InconsistentError{Violations: res.Violations})
 	}
-	return evalCertain(q, res.Instance)
+	return evalCertain(q, res.Instance, nil)
 }
 
 // evalCertain evaluates the CQ over a fixed instance and filters
 // non-certain (null-carrying) answers. The body runs as a compiled
-// join plan over the chased instance's interned rows.
-func evalCertain(q *datalog.Query, db *storage.Instance) (*datalog.AnswerSet, error) {
+// join plan over the chased instance's interned rows; planner, when
+// non-nil, supplies the plan (the plan-cache seam — see
+// eval.QueryPlanner).
+func evalCertain(q *datalog.Query, db *storage.Instance, planner eval.QueryPlanner) (*datalog.AnswerSet, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	plan := storage.CompileQueryPlan(db, q.Body)
+	var plan *storage.Plan
+	if planner != nil {
+		plan = planner.QueryPlan(db, q.Body)
+	} else {
+		plan = storage.CompileQueryPlan(db, q.Body)
+	}
 	answers := datalog.NewAnswerSet()
 	var derr error
 	plan.Execute(db, plan.NewRegs(), func(regs []int32) bool {

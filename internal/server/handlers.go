@@ -368,6 +368,9 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		s.met.with(lc.name, func(cm *contextMetrics) {
 			cm.applyTotal++
 			cm.chaseRounds += int64(res.rounds)
+			if res.res.Replanned {
+				cm.replans++
+			}
 			if s.store != nil {
 				cm.walAppends++
 			}
@@ -538,9 +541,21 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, lc.name, err)
 		return
 	}
-	seq := snap.Answers(q)
+	if r.URL.Query().Get("explain") == "1" {
+		// Return the compiled join plan instead of rows: the same
+		// rewrite and plan cache the answer path would use, so explain
+		// shows exactly what a subsequent identical query executes.
+		text, err := snap.Explain(q, mode == "clean", lc.cache)
+		if err != nil {
+			s.fail(w, lc.name, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ExplainResponse{Query: qsrc, Mode: mode, Plan: text})
+		return
+	}
+	seq := snap.AnswersCached(q, lc.cache)
 	if mode == "clean" {
-		seq = snap.CleanAnswers(q)
+		seq = snap.CleanAnswersCached(q, lc.cache)
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/mdqa"
 )
 
 // metrics aggregates per-context serving counters and request
@@ -24,6 +26,10 @@ type metrics struct {
 	// + WAL replay across every persisted session); 0 until a durable
 	// server finishes recovery.
 	recoveryNanos atomic.Int64
+	// planCaches maps context name to that context's ad-hoc query plan
+	// cache; the caches keep their own hit/miss/eviction counters and
+	// are only read here, at scrape time. Filled once at startup.
+	planCaches map[string]*mdqa.PlanCache
 }
 
 // ops is the fixed latency class vocabulary, in render order.
@@ -46,6 +52,7 @@ type contextMetrics struct {
 	sessionsOpen  int64 // sessions currently registered
 	errorsTotal   int64 // requests answered with an error body
 	chaseRounds   int64 // cumulative chase rounds across all sessions
+	replans       int64 // session re-plans after stat drift (engine)
 
 	// Durability counters; all stay zero on ephemeral servers.
 	walAppends        int64 // acknowledged batches appended to WALs
@@ -58,7 +65,10 @@ type contextMetrics struct {
 }
 
 func newMetrics(contexts []string) *metrics {
-	m := &metrics{contexts: make(map[string]*contextMetrics, len(contexts))}
+	m := &metrics{
+		contexts:   make(map[string]*contextMetrics, len(contexts)),
+		planCaches: map[string]*mdqa.PlanCache{},
+	}
 	for _, name := range contexts {
 		cm := &contextMetrics{latency: make(map[string]*latencyRing, len(ops))}
 		for _, op := range ops {
@@ -117,6 +127,20 @@ func (m *metrics) render(b *strings.Builder) {
 	counter("mdserve_sessions_evicted_total", func(c *contextMetrics) int64 { return c.sessionsEvicted })
 	counter("mdserve_sessions_revived_total", func(c *contextMetrics) int64 { return c.sessionsRevived })
 	counter("mdserve_sessions_recovered_total", func(c *contextMetrics) int64 { return c.sessionsRecovered })
+	counter("mdserve_replans_total", func(c *contextMetrics) int64 { return c.replans })
+	planCounter := func(metric string, pick func(hits, misses, evictions int64) int64) {
+		fmt.Fprintf(b, "# TYPE %s counter\n", metric)
+		for _, name := range names {
+			var h, mi, e int64
+			if pc := m.planCaches[name]; pc != nil {
+				h, mi, e = pc.Stats()
+			}
+			fmt.Fprintf(b, "%s{context=%q} %d\n", metric, name, pick(h, mi, e))
+		}
+	}
+	planCounter("mdserve_plan_cache_hits_total", func(h, _, _ int64) int64 { return h })
+	planCounter("mdserve_plan_cache_misses_total", func(_, mi, _ int64) int64 { return mi })
+	planCounter("mdserve_plan_cache_evictions_total", func(_, _, e int64) int64 { return e })
 	fmt.Fprintf(b, "# TYPE mdserve_wal_fsyncs_total counter\nmdserve_wal_fsyncs_total %d\n", m.walFsyncs.Load())
 	fmt.Fprintf(b, "# TYPE mdserve_recovery_seconds gauge\nmdserve_recovery_seconds %.6f\n",
 		time.Duration(m.recoveryNanos.Load()).Seconds())

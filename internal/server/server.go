@@ -84,6 +84,10 @@ type Config struct {
 // Config.MaxSessions is zero.
 const DefaultMaxSessions = 1024
 
+// defaultPlanCacheSize bounds each context's compiled ad-hoc query
+// plan cache (distinct query shapes, not bytes).
+const defaultPlanCacheSize = 128
+
 // ContextSource names one quality context to load. Exactly one of
 // Path, Source or Context must be set.
 type ContextSource struct {
@@ -123,6 +127,10 @@ type loadedContext struct {
 	// these are well-formed even when the relation holds no tuples in
 	// a given snapshot.
 	declared map[string]bool
+	// cache holds compiled ad-hoc query plans shared by every answers
+	// request against this context (concurrency-safe; keyed by query
+	// shape and snapshot lineage).
+	cache *mdqa.PlanCache
 }
 
 // session is one live assessment session.
@@ -214,6 +222,9 @@ func New(ctx context.Context, cfg Config, sources []ContextSource) (*Server, err
 	}
 	sort.Strings(s.names)
 	s.met = newMetrics(s.names)
+	for _, lc := range loaded {
+		s.met.planCaches[lc.name] = lc.cache
+	}
 	s.routes()
 	if cfg.DataDir != "" {
 		if err := s.openStore(ctx); err != nil {
@@ -231,7 +242,12 @@ func loadContext(ctx context.Context, cfg Config, src ContextSource) (*loadedCon
 	if src.Name == "" {
 		return nil, fmt.Errorf("server: context source needs a name")
 	}
-	lc := &loadedContext{name: src.Name, input: src.Input, queries: map[string]*mdqa.Query{}}
+	lc := &loadedContext{
+		name:    src.Name,
+		input:   src.Input,
+		queries: map[string]*mdqa.Query{},
+		cache:   mdqa.NewPlanCache(defaultPlanCacheSize),
+	}
 	switch {
 	case src.Context != nil:
 		lc.qc = src.Context

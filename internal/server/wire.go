@@ -141,6 +141,15 @@ type ApplyResponse struct {
 	Violations int  `json:"violations"`
 }
 
+// ExplainResponse is the body of GET .../answers?explain=1: the
+// compiled join plan the query would execute (atom order, candidate
+// estimates, probed index positions), instead of its rows.
+type ExplainResponse struct {
+	Query string `json:"query"`
+	Mode  string `json:"mode"`
+	Plan  string `json:"plan"`
+}
+
 // AnswerLine is the decode-side union of the three NDJSON line shapes
 // a GET .../answers stream carries: answer tuples (the "answer" field
 // is always present, `{"answer":[]}` for a zero-arity/boolean query's

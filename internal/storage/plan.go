@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/datalog"
@@ -50,6 +51,15 @@ type planAtom struct {
 	// declared bound at compile time); the executor probes the smallest
 	// index bucket among them.
 	groundPos []int
+	// allGround marks an atom whose every position is ground at compile
+	// time: it binds nothing, so executing it is a pure membership test
+	// and the executor probes the relation's row-hash bucket in O(1)
+	// instead of scanning a posting list. (Declared-bound slots the
+	// caller leaves unseeded fall back to the scan path at run time.)
+	allGround bool
+	// est is the planner's candidate-row estimate for this atom at the
+	// point it was chosen (see atomCost), kept for EXPLAIN output.
+	est float64
 }
 
 // unknownID is the compile-time id of a constant the interner has
@@ -64,9 +74,13 @@ const unknownID int32 = -2
 // registers before execution (e.g. the frontier variables of a TGD
 // head check, or the pivot variables of a semi-naive delta pass);
 // declaring them lets the planner order atoms as if they were
-// constants. Atom order is greedy — most ground arguments first,
-// smaller relations breaking ties — mirroring (and fixing) the legacy
-// matcher's heuristic at plan time instead of per recursion level.
+// constants. Atom order is greedy and cost-based: each step picks the
+// remaining atom with the smallest estimated candidate count under the
+// bindings accumulated so far, reading the relations' live statistics
+// (row counts, per-position distinct counts and max-bucket sizes — see
+// atomCost). The legacy static ordering remains reachable through
+// CompilePlanStatic so tests can pin the two orderings to identical
+// match sets.
 //
 // CompilePlan interns the conjunction's constants, so ids stay stable
 // while the instance grows — the right mode for the chase and eval
@@ -75,7 +89,15 @@ const unknownID int32 = -2
 // fixed instance the caller does not own, use CompileQueryPlan, which
 // leaves the interner untouched.
 func CompilePlan(db *Instance, body []datalog.Atom, bound ...datalog.Term) *Plan {
-	return compilePlan(db, body, bound, true)
+	return compilePlan(db, body, bound, true, false)
+}
+
+// CompilePlanStatic compiles with the pre-cost-model ordering (most
+// ground arguments first, smaller relation breaking ties), kept as the
+// reference ordering for property tests: cost-ordered and
+// static-ordered plans must enumerate identical match sets.
+func CompilePlanStatic(db *Instance, body []datalog.Atom, bound ...datalog.Term) *Plan {
+	return compilePlan(db, body, bound, true, true)
 }
 
 // CompileQueryPlan compiles a read-only join plan: constants the
@@ -85,10 +107,10 @@ func CompilePlan(db *Instance, body []datalog.Atom, bound ...datalog.Term) *Plan
 // for fixed instances; do not use it when facts will be inserted
 // between compilation and execution.
 func CompileQueryPlan(db *Instance, body []datalog.Atom, bound ...datalog.Term) *Plan {
-	return compilePlan(db, body, bound, false)
+	return compilePlan(db, body, bound, false, false)
 }
 
-func compilePlan(db *Instance, body []datalog.Atom, bound []datalog.Term, intern bool) *Plan {
+func compilePlan(db *Instance, body []datalog.Atom, bound []datalog.Term, intern, static bool) *Plan {
 	p := &Plan{
 		in:    db.in,
 		body:  datalog.CloneAtoms(body),
@@ -112,30 +134,44 @@ func compilePlan(db *Instance, body []datalog.Atom, bound []datalog.Term, intern
 		}
 	}
 
-	// Greedy ordering simulation.
+	// Greedy ordering simulation: each step picks the cheapest remaining
+	// atom under the slots bound so far. Both orderings are fully
+	// deterministic (strict comparisons, remaining kept in source
+	// order), which the parallel engines' byte-identity depends on.
 	remaining := make([]datalog.Atom, len(body))
 	copy(remaining, body)
 	for len(remaining) > 0 {
-		best, bestScore, bestSize := 0, -1, 0
-		for i, a := range remaining {
-			score := 0
-			for _, t := range a.Args {
-				if !t.IsVar() || boundSlots[p.slots[t.Name]] {
-					score++
+		best := 0
+		if static {
+			bestScore, bestSize := -1, 0
+			for i, a := range remaining {
+				score := p.groundCount(a, boundSlots)
+				size := 0
+				if rel := db.relations[a.Pred]; rel != nil {
+					size = rel.Len()
+				}
+				if score > bestScore || (score == bestScore && size < bestSize) {
+					best, bestScore, bestSize = i, score, size
 				}
 			}
-			size := 0
-			if rel := db.relations[a.Pred]; rel != nil {
-				size = rel.Len()
-			}
-			if score > bestScore || (score == bestScore && size < bestSize) {
-				best, bestScore, bestSize = i, score, size
+		} else {
+			bestCost, bestGround := math.Inf(1), -1
+			for i, a := range remaining {
+				cost := p.atomCost(db, a, boundSlots)
+				// Ties (common on empty prepare-time instances, where
+				// every cost is 0) fall back to most-ground-first, then
+				// source order.
+				ground := p.groundCount(a, boundSlots)
+				if cost < bestCost || (cost == bestCost && ground > bestGround) {
+					best, bestCost, bestGround = i, cost, ground
+				}
 			}
 		}
 		chosen := remaining[best]
+		est := p.atomCost(db, chosen, boundSlots)
 		remaining = append(remaining[:best], remaining[best+1:]...)
 
-		pa := planAtom{pred: chosen.Pred, arity: len(chosen.Args)}
+		pa := planAtom{pred: chosen.Pred, arity: len(chosen.Args), est: est}
 		pa.args = make([]planArg, len(chosen.Args))
 		for pos, t := range chosen.Args {
 			if t.IsVar() {
@@ -150,6 +186,7 @@ func compilePlan(db *Instance, body []datalog.Atom, bound []datalog.Term, intern
 				pa.groundPos = append(pa.groundPos, pos)
 			}
 		}
+		pa.allGround = len(pa.groundPos) == pa.arity
 		p.atoms = append(p.atoms, pa)
 	}
 	return p
@@ -166,6 +203,86 @@ func (p *Plan) constID(t datalog.Term, intern bool) int32 {
 		return id
 	}
 	return unknownID
+}
+
+// groundCount counts arguments of a that are ground under boundSlots:
+// constants plus variables already bound.
+func (p *Plan) groundCount(a datalog.Atom, boundSlots []bool) int {
+	n := 0
+	for _, t := range a.Args {
+		if !t.IsVar() || boundSlots[p.slots[t.Name]] {
+			n++
+		}
+	}
+	return n
+}
+
+// atomCost estimates how many candidate rows executing atom a would
+// touch under the given bound slots, from the relation's live
+// statistics. The executor probes the smallest index bucket among the
+// atom's ground positions, so the estimate is the cheapest
+// per-position bucket estimate, scaled by the selectivity of the other
+// ground positions (each filters the candidates by roughly est/rows):
+//
+//   - a compile-time constant costs its exact posting-list length
+//     (constant pushdown: the planner sees precisely what the index
+//     probe will scan, and an absent constant prunes to zero);
+//   - a bound variable's value is unknown at plan time, so its bucket
+//     is estimated as the geometric mean of the average bucket
+//     (rows/distinct) and the largest bucket — a cheap skew guard: a
+//     position dominated by one hot value is not priced at its
+//     misleadingly low average;
+//   - an atom with no ground positions costs a full scan (rows).
+//
+// A missing relation, arity mismatch or empty relation costs 0 —
+// matching nothing is the cheapest possible atom and pruning early is
+// exactly right. An atom ground at every position costs at most 1: the
+// executor resolves it as a row-hash membership probe, not a scan.
+func (p *Plan) atomCost(db *Instance, a datalog.Atom, boundSlots []bool) float64 {
+	rel := db.relations[a.Pred]
+	if rel == nil || rel.schema.Arity() != len(a.Args) {
+		return 0
+	}
+	rows := float64(rel.Len())
+	if rows == 0 {
+		return 0
+	}
+	best, sel := rows, 1.0
+	ground := 0
+	for pos, t := range a.Args {
+		var est float64
+		if !t.IsVar() {
+			id, ok := p.in.Lookup(t)
+			if !ok {
+				return 0 // constant the instance has never seen: no match
+			}
+			est = float64(rel.BucketLen(pos, id))
+			if est == 0 {
+				return 0
+			}
+		} else if boundSlots[p.slots[t.Name]] {
+			avg := rows / float64(rel.DistinctAt(pos))
+			est = math.Sqrt(avg * float64(rel.MaxBucketAt(pos)))
+			if est > rows {
+				est = rows
+			}
+		} else {
+			continue
+		}
+		ground++
+		if est < best {
+			best, est = est, best // previous best becomes a filter
+		}
+		sel *= est / rows
+	}
+	cost := best * sel
+	// A fully-ground atom executes as an O(1) row-hash membership probe
+	// (see probeGround), not a posting-list scan: cap its cost at one
+	// row so the planner front-loads these fail-fast checks.
+	if ground == len(a.Args) && cost > 1 {
+		cost = 1
+	}
+	return cost
 }
 
 // NumSlots returns the register bank size.
@@ -296,6 +413,37 @@ func (p *Plan) ExecuteShard(db *Instance, regs []int32, shard, nshards int, fn f
 	return true
 }
 
+// probeGround resolves a fully-ground atom as an O(1) membership test
+// against the relation's row-hash buckets: rows are deduplicated on
+// insert, so the probe row matches at most once and the continuation
+// is identical to scanning a posting list — just without touching it.
+// This is the run-time half of constant pushdown, and it is what makes
+// semi-naive delta pivots cheap: a delta plan's residual atoms are
+// often fully bound by the pivot row, turning each of potentially
+// millions of pivot executions into a hash lookup. ok=false means some
+// declared-bound slot was left unseeded, so the atom is not actually
+// ground and the caller must take the scan path.
+func (p *Plan) probeGround(rel *Relation, pa *planAtom, regs []int32) (member, ok bool) {
+	var buf [8]int32
+	row := buf[:0]
+	if pa.arity > len(buf) {
+		row = make([]int32, 0, pa.arity)
+	}
+	for pos := range pa.args {
+		a := &pa.args[pos]
+		id := a.id
+		if !a.isConst {
+			id = regs[a.slot]
+			if id == datalog.NoID {
+				return false, false
+			}
+		}
+		row = append(row, id)
+	}
+	_, member = rel.lookupRow(row)
+	return member, true
+}
+
 // candidates returns the candidate row list for atom pa under regs:
 // the smallest index bucket among pa's ground positions (positions
 // beyond the compile-time groundPos may also be ground — callers can
@@ -334,6 +482,14 @@ func (p *Plan) exec(db *Instance, ai int, regs []int32, fn func([]int32) bool) b
 	rel := db.relations[pa.pred]
 	if rel == nil || rel.schema.Arity() != pa.arity {
 		return true // no facts can match; enumeration is (vacuously) complete
+	}
+	if pa.allGround {
+		if member, ok := p.probeGround(rel, pa, regs); ok {
+			if !member {
+				return true
+			}
+			return p.exec(db, ai+1, regs, fn)
+		}
 	}
 	bucket, haveBucket := p.candidates(rel, pa, regs)
 	if haveBucket {
@@ -534,24 +690,55 @@ func (pr *Proj) Bind(row []int32, regs []int32) bool {
 func (p *Plan) String() string {
 	var b strings.Builder
 	b.WriteString("plan[")
-	for i, pa := range p.atoms {
+	for i := range p.atoms {
 		if i > 0 {
 			b.WriteString(" ⋈ ")
 		}
-		b.WriteString(pa.pred)
-		b.WriteByte('(')
-		for j, a := range pa.args {
-			if j > 0 {
-				b.WriteByte(',')
-			}
-			if a.isConst {
-				b.WriteString(p.in.TermOf(a.id).String())
-			} else {
-				fmt.Fprintf(&b, "r%d", a.slot)
-			}
-		}
-		b.WriteByte(')')
+		p.writeAtom(&b, &p.atoms[i])
 	}
 	b.WriteByte(']')
+	return b.String()
+}
+
+// writeAtom renders one compiled atom as Pred(r0,c,...).
+func (p *Plan) writeAtom(b *strings.Builder, pa *planAtom) {
+	b.WriteString(pa.pred)
+	b.WriteByte('(')
+	for j, a := range pa.args {
+		if j > 0 {
+			b.WriteByte(',')
+		}
+		if a.isConst {
+			if a.id == unknownID {
+				b.WriteString("⊥")
+			} else {
+				b.WriteString(p.in.TermOf(a.id).String())
+			}
+		} else {
+			fmt.Fprintf(b, "r%d", a.slot)
+		}
+	}
+	b.WriteByte(')')
+}
+
+// Explain renders the full EXPLAIN view: one line per atom in chosen
+// execution order, with the planner's candidate estimate at the point
+// the atom was picked and the index positions the executor will probe.
+// mdq -explain and mdserve's ?explain=1 surface this text.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %d atom(s), %d slot(s)\n", len(p.atoms), len(p.vars))
+	for i := range p.atoms {
+		pa := &p.atoms[i]
+		fmt.Fprintf(&b, "  %d. ", i+1)
+		p.writeAtom(&b, pa)
+		fmt.Fprintf(&b, "  est≈%.1f rows", pa.est)
+		if len(pa.groundPos) > 0 {
+			fmt.Fprintf(&b, "  probe@%v", pa.groundPos)
+		} else {
+			b.WriteString("  scan")
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }

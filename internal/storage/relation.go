@@ -52,6 +52,17 @@ type Relation struct {
 	// instead of two per tuple.
 	rowArena  datalog.Int32Arena
 	termArena datalog.Arena[datalog.Term]
+	// postArena backs the bucket and index posting lists the same way:
+	// full lists regrow into chunk-carved segments instead of fresh
+	// heap slices, eliminating the per-position growth allocations that
+	// dominate insert storms.
+	postArena postingArena
+	// maxBucket[pos] is the length of the largest posting list of
+	// indexes[pos] — the most-frequent-value bucket size, maintained
+	// incrementally on append (no scans). Together with Len and the
+	// index map sizes (distinct counts) it forms the live statistics
+	// the cost-based planner reads.
+	maxBucket []int
 	// frozen marks an immutable snapshot relation: every mutating
 	// method fails. Snapshots share tuple storage with the live
 	// relation they were taken from (see Instance.Snapshot).
@@ -80,9 +91,12 @@ func (r *Relation) ensureOwned() {
 	c := r.Clone()
 	r.tuples, r.rows, r.buckets, r.indexes = c.tuples, c.rows, c.buckets, c.indexes
 	// Old arena chunks stay referenced by the snapshot's rows; fresh
-	// chunks keep the writer's new tuples fully private.
+	// chunks keep the writer's new tuples fully private. The clone's
+	// posting lists are capacity-capped, so the first append to any of
+	// them re-carves from the fresh posting arena.
 	r.rowArena = datalog.Int32Arena{}
 	r.termArena = datalog.Arena[datalog.Term]{}
+	r.postArena = postingArena{}
 	r.shared = false
 }
 
@@ -101,7 +115,11 @@ func (r *Relation) snapshot(in *datalog.Interner) *Relation {
 		rows:    r.rows,
 		buckets: r.buckets,
 		indexes: r.indexes,
-		frozen:  true,
+		// The stats slice is copied: the writer keeps updating its own
+		// in place, and the snapshot's stats must stay consistent with
+		// the tuple storage it shares.
+		maxBucket: append([]int(nil), r.maxBucket...),
+		frozen:    true,
 	}
 }
 
@@ -122,6 +140,7 @@ func newRelation(schema Schema, in *datalog.Interner) *Relation {
 	for i := range r.indexes {
 		r.indexes[i] = map[int32][]int{}
 	}
+	r.maxBucket = make([]int, schema.Arity())
 	return r
 }
 
@@ -157,16 +176,81 @@ func (r *Relation) lookupRow(ids []int32) (int, bool) {
 }
 
 // appendRow stores an already-deduplicated row and its term view.
+// Posting lists grow through the posting arena (chunk-carved segments
+// instead of per-list heap growth), and the per-position max-bucket
+// statistic is maintained in the same pass.
 func (r *Relation) appendRow(ids []int32, terms []datalog.Term) {
 	idx := len(r.rows)
 	r.rows = append(r.rows, ids)
 	r.tuples = append(r.tuples, terms)
 	h := datalog.HashInt32s(ids)
-	r.buckets[h] = append(r.buckets[h], idx)
+	r.buckets[h] = r.postArena.grow(r.buckets[h], idx)
 	for pos, id := range ids {
-		r.indexes[pos][id] = append(r.indexes[pos][id], idx)
+		lst := r.postArena.grow(r.indexes[pos][id], idx)
+		r.indexes[pos][id] = lst
+		if len(lst) > r.maxBucket[pos] {
+			r.maxBucket[pos] = len(lst)
+		}
 	}
 }
+
+// DistinctAt returns the number of distinct term ids stored at
+// argument position pos — the live distinct-count statistic, free off
+// the per-position index map.
+func (r *Relation) DistinctAt(pos int) int { return len(r.indexes[pos]) }
+
+// MaxBucketAt returns the size of the largest posting list at
+// position pos: the frequency of the most common value, an upper
+// bound on any index probe at that position.
+func (r *Relation) MaxBucketAt(pos int) int { return r.maxBucket[pos] }
+
+// BucketLen returns the exact posting-list length for term id at
+// position pos — what an index probe on that constant would scan.
+func (r *Relation) BucketLen(pos int, id int32) int { return len(r.indexes[pos][id]) }
+
+// postingArena carves posting-list storage out of chunked backing
+// arrays. A list that still has spare capacity appends in place; a
+// full list is migrated to a fresh segment of double capacity carved
+// from the current chunk. Amortized, a relation's posting lists cost
+// O(rows/chunk) allocations instead of O(distinct values × growth
+// steps). Abandoned segments are wasted until the next rebuild, but
+// total waste is bounded by ~2× the live list volume plus one chunk
+// tail. The zero value is ready to use.
+type postingArena struct {
+	buf []int
+}
+
+// postingChunk is the chunk size in ints.
+const postingChunk = 1024
+
+// grow appends v to list, re-carving it from the arena when full. The
+// returned slice's spare capacity belongs exclusively to this list:
+// segments are capacity-capped at carve time and later carves start
+// beyond them.
+func (a *postingArena) grow(list []int, v int) []int {
+	if len(list) < cap(list) {
+		return append(list, v)
+	}
+	need := 2 * cap(list)
+	if need < 4 {
+		need = 4
+	}
+	if cap(a.buf)-len(a.buf) < need {
+		size := postingChunk
+		if size < need {
+			size = need
+		}
+		a.buf = make([]int, 0, size)
+	}
+	start := len(a.buf)
+	seg := a.buf[start : start : start+need]
+	a.buf = a.buf[:start+need]
+	seg = append(seg, list...)
+	return append(seg, v)
+}
+
+// Reset drops the current chunk so retired lists can be collected.
+func (a *postingArena) Reset() { *a = postingArena{} }
 
 // Insert adds a ground tuple. It returns true if the tuple was new, and
 // an error on arity mismatch or non-ground terms.
@@ -301,10 +385,12 @@ func (r *Relation) rebuild() {
 	tuples := r.tuples
 	r.tuples = r.tuples[:0] // in-place compaction: write index never passes read index
 	r.rows = r.rows[:0]
-	r.rowArena.Reset() // rows are re-carved; let old chunks be collected
+	r.rowArena.Reset()  // rows are re-carved; let old chunks be collected
+	r.postArena.Reset() // posting lists likewise
 	r.buckets = make(map[uint64][]int, len(tuples))
 	for i := range r.indexes {
 		r.indexes[i] = map[int32][]int{}
+		r.maxBucket[i] = 0
 	}
 	var buf [16]int32
 	for _, tup := range tuples {
@@ -434,6 +520,9 @@ func (r *Relation) Clone() *Relation {
 		rows:    make([][]int32, len(r.rows)),
 		buckets: make(map[uint64][]int, len(r.buckets)),
 		indexes: make([]map[int32][]int, len(r.indexes)),
+		// Stats are copied so the clone's planner sees the same picture;
+		// its appendRow keeps them current independently afterwards.
+		maxBucket: append([]int(nil), r.maxBucket...),
 	}
 	arity := r.schema.Arity()
 	// Flat backing arrays: two allocations cover every tuple copy.

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"testing"
+
+	dl "repro/internal/datalog"
+)
+
+// idOf resolves a constant's interned id, failing the test when the
+// instance has never seen it.
+func idOf(t *testing.T, db *Instance, name string) int32 {
+	t.Helper()
+	id, ok := db.Interner().Lookup(dl.C(name))
+	if !ok {
+		t.Fatalf("constant %q not interned", name)
+	}
+	return id
+}
+
+func TestRelationStatsIncremental(t *testing.T) {
+	db := NewInstance()
+	db.MustInsert("R", dl.C("a"), dl.C("x"))
+	db.MustInsert("R", dl.C("a"), dl.C("y"))
+	db.MustInsert("R", dl.C("b"), dl.C("x"))
+	rel := db.Relation("R")
+	if got := rel.DistinctAt(0); got != 2 {
+		t.Errorf("DistinctAt(0) = %d, want 2 (a, b)", got)
+	}
+	if got := rel.DistinctAt(1); got != 2 {
+		t.Errorf("DistinctAt(1) = %d, want 2 (x, y)", got)
+	}
+	if got := rel.MaxBucketAt(0); got != 2 {
+		t.Errorf("MaxBucketAt(0) = %d, want 2 (bucket a)", got)
+	}
+	if got := rel.BucketLen(0, idOf(t, db, "a")); got != 2 {
+		t.Errorf("BucketLen(0, a) = %d, want 2", got)
+	}
+	if got := rel.BucketLen(1, idOf(t, db, "x")); got != 2 {
+		t.Errorf("BucketLen(1, x) = %d, want 2", got)
+	}
+	// Duplicates are rejected and must not inflate any counter.
+	db.MustInsert("R", dl.C("a"), dl.C("x"))
+	if got := rel.MaxBucketAt(0); got != 2 {
+		t.Errorf("MaxBucketAt(0) after dup insert = %d, want 2", got)
+	}
+	// A third distinct value in a new bucket grows the max.
+	db.MustInsert("R", dl.C("a"), dl.C("z"))
+	if got, want := rel.MaxBucketAt(0), 3; got != want {
+		t.Errorf("MaxBucketAt(0) = %d, want %d", got, want)
+	}
+	if got, want := rel.DistinctAt(1), 3; got != want {
+		t.Errorf("DistinctAt(1) = %d, want %d", got, want)
+	}
+}
+
+func TestRelationStatsSurviveRebuild(t *testing.T) {
+	db := NewInstance()
+	db.MustInsert("R", dl.C("a"), dl.C("x"))
+	db.MustInsert("R", dl.C("a"), dl.C("y"))
+	db.MustInsert("R", dl.C("b"), dl.C("x"))
+	rel := db.Relation("R")
+
+	// Delete triggers a full rebuild; stats must reflect what remains.
+	if !db.DeleteAtom(dl.A("R", dl.C("a"), dl.C("y"))) {
+		t.Fatal("delete failed")
+	}
+	if got := rel.MaxBucketAt(0); got != 1 {
+		t.Errorf("MaxBucketAt(0) after delete = %d, want 1", got)
+	}
+	if got := rel.DistinctAt(1); got != 1 {
+		t.Errorf("DistinctAt(1) after delete = %d, want 1 (x)", got)
+	}
+	if got := rel.BucketLen(0, idOf(t, db, "a")); got != 1 {
+		t.Errorf("BucketLen(0, a) after delete = %d, want 1", got)
+	}
+
+	// ReplaceTerm also rebuilds: folding b into a merges the buckets.
+	db.ReplaceTerm(dl.C("b"), dl.C("a"))
+	if got := rel.DistinctAt(0); got != 1 {
+		t.Errorf("DistinctAt(0) after replace = %d, want 1", got)
+	}
+	if got := rel.MaxBucketAt(0); got != rel.Len() {
+		t.Errorf("MaxBucketAt(0) after replace = %d, want %d", got, rel.Len())
+	}
+}
+
+func TestRelationStatsCopyOnWrite(t *testing.T) {
+	db := NewInstance()
+	db.MustInsert("R", dl.C("a"), dl.C("x"))
+	db.MustInsert("R", dl.C("a"), dl.C("y"))
+	snap := db.Snapshot()
+	live := db.Relation("R")
+	frozen := snap.Relation("R")
+
+	// Growing the live side must not disturb the frozen snapshot's
+	// statistics — the planner costs cached plans against them.
+	db.MustInsert("R", dl.C("a"), dl.C("z"))
+	db.MustInsert("R", dl.C("b"), dl.C("z"))
+	if got := frozen.MaxBucketAt(0); got != 2 {
+		t.Errorf("frozen MaxBucketAt(0) = %d, want 2", got)
+	}
+	if got := frozen.DistinctAt(0); got != 1 {
+		t.Errorf("frozen DistinctAt(0) = %d, want 1", got)
+	}
+	if got := live.MaxBucketAt(0); got != 3 {
+		t.Errorf("live MaxBucketAt(0) = %d, want 3", got)
+	}
+	if got := live.DistinctAt(0); got != 2 {
+		t.Errorf("live DistinctAt(0) = %d, want 2", got)
+	}
+
+	// Clone copies the stats picture wholesale.
+	clone := live.Clone()
+	if got, want := clone.MaxBucketAt(0), live.MaxBucketAt(0); got != want {
+		t.Errorf("clone MaxBucketAt(0) = %d, want %d", got, want)
+	}
+	if got, want := clone.DistinctAt(1), live.DistinctAt(1); got != want {
+		t.Errorf("clone DistinctAt(1) = %d, want %d", got, want)
+	}
+}

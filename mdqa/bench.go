@@ -78,9 +78,19 @@ func PerfNames(results map[string]PerfResult) []string { return bench.PerfNames(
 // assessment pair at every requested parallelism level (1 = the exact
 // sequential engine), keyed "<name>/n=<size>/p=<level>" — the
 // parallel-vs-sequential speedup curve recorded per PR in
-// BENCH_<n>.json.
+// BENCH_<n>.json — plus the repeated ad-hoc query pair
+// (BenchmarkAdhocQuery, cache=off vs cache=on) at each size.
 func RunPerfSweep(sizes, levels []int) (map[string]PerfResult, error) {
-	return bench.RunPerfSweep(sizes, levels)
+	out, err := bench.RunPerfSweep(sizes, levels)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range sizes {
+		if err := adhocQueryPerf(out, n); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // RunDurablePerf measures the durable warm-apply path — the streaming
@@ -115,9 +125,89 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 		if err := facadePerf(out, n); err != nil {
 			return nil, err
 		}
+		if err := adhocQueryPerf(out, n); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
+
+// adhocQueryPerf measures the server's repeated ad-hoc query path —
+// parse the query source, plan it, stream the clean answers off a
+// session snapshot — with and without a shared plan cache, keyed
+// "BenchmarkAdhocQuery/n=<size>/cache=off|on". The query is a
+// selective two-atom join bound to one clean patient, the shape of a
+// dashboard poll: answer streaming is cheap, so the off/on delta
+// isolates the per-request planning cost the cache amortizes for
+// second-and-later identical queries.
+func adhocQueryPerf(out map[string]PerfResult, n int) error {
+	spec := bench.StreamWorkloadSpec(n)
+	wl, err := gen.NewStreamingWorkload(spec)
+	if err != nil {
+		return err
+	}
+	qc, err := facadeContext(wl.Base)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	prep, err := qc.Prepare(ctx)
+	if err != nil {
+		return err
+	}
+	sess, err := prep.NewSession(ctx, wl.Base.Instance)
+	if err != nil {
+		return err
+	}
+	snap := sess.Snapshot()
+	// The last patient is always in the clean half of the generated
+	// population, so the clean-mode rewrite keeps its measurements. Four
+	// atoms make the compile cost representative of a real dashboard
+	// join (measurement, its quality witness, the unit it was taken in).
+	patient := fmt.Sprintf("p%d", spec.Base.Patients-1)
+	src := fmt.Sprintf(
+		`q(t, v, u) <- Measurements(t, %q, v), RightTherm(t, %q), PatientUnit(u, d, %q), DayTime(d, t)`,
+		patient, patient, patient)
+
+	run := func(label string, pc *PlanCache) error {
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q, err := ParseQuery(src)
+				if err != nil {
+					benchErr = err
+					return
+				}
+				got := 0
+				for _, err := range snap.CleanAnswersCached(q, pc) {
+					if err != nil {
+						benchErr = err
+						return
+					}
+					got++
+				}
+				if got == 0 {
+					benchErr = fmt.Errorf("ad-hoc query returned no answers at n=%d", n)
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		out[fmt.Sprintf("BenchmarkAdhocQuery/n=%d/cache=%s", n, label)] = bench.ToPerfResult(res)
+		return nil
+	}
+	if err := run("off", nil); err != nil {
+		return err
+	}
+	return run("on", NewPlanCache(defaultAdhocCacheSize))
+}
+
+// defaultAdhocCacheSize mirrors mdserve's per-context plan cache
+// capacity.
+const defaultAdhocCacheSize = 128
 
 // facadeContext rebuilds a generated workload's context through the
 // public functional-options constructor, exactly as an external

@@ -112,7 +112,7 @@ func (s *Snapshot) RewriteClean(q *Query) *Query {
 // err) element. Answers are deduplicated and produced as the join
 // plan finds them — breaking out of the loop stops the evaluation.
 func (s *Snapshot) Answers(q *Query) iter.Seq2[Answer, error] {
-	return streamQuery(q, s.inst, false)
+	return streamQuery(q, s.inst, false, nil)
 }
 
 // CleanAnswers streams the clean answers of a query over the original
@@ -121,14 +121,51 @@ func (s *Snapshot) Answers(q *Query) iter.Seq2[Answer, error] {
 // snapshot, and answers containing labeled nulls are dropped (certain
 // answers). Error handling follows Answers.
 func (s *Snapshot) CleanAnswers(q *Query) iter.Seq2[Answer, error] {
-	return streamQuery(s.RewriteClean(q), s.inst, true)
+	return streamQuery(s.RewriteClean(q), s.inst, true, nil)
+}
+
+// AnswersCached is Answers with join plans served from (and recorded
+// into) pc — the fast path for ad-hoc queries asked repeatedly against
+// successive snapshots of one session, such as mdserve's ?q= answers.
+// A nil cache behaves exactly like Answers.
+func (s *Snapshot) AnswersCached(q *Query, pc *PlanCache) iter.Seq2[Answer, error] {
+	return streamQuery(q, s.inst, false, pc)
+}
+
+// CleanAnswersCached is CleanAnswers with join plans served from pc;
+// see AnswersCached.
+func (s *Snapshot) CleanAnswersCached(q *Query, pc *PlanCache) iter.Seq2[Answer, error] {
+	return streamQuery(s.RewriteClean(q), s.inst, true, pc)
+}
+
+// Explain returns the compiled join plan for the query as EXPLAIN
+// text — chosen atom order, the planner's candidate estimates and the
+// index positions each step probes — without evaluating it. clean
+// first rewrites the query over the quality versions, mirroring
+// CleanAnswers. pc may be nil; when set, the plan comes from (and
+// lands in) the cache, so an explain followed by the same query shares
+// one compilation.
+func (s *Snapshot) Explain(q *Query, clean bool, pc *PlanCache) (string, error) {
+	if clean {
+		q = s.RewriteClean(q)
+	}
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	plan := pc.QueryPlan(s.inst, q.Body)
+	return plan.Explain(), nil
 }
 
 // streamQuery adapts the engine's callback-style streaming evaluation
-// to an iter.Seq2, optionally dropping null-carrying answers.
-func streamQuery(q *Query, db *storage.Instance, certainOnly bool) iter.Seq2[Answer, error] {
+// to an iter.Seq2, optionally dropping null-carrying answers. pc, when
+// non-nil, supplies cached join plans.
+func streamQuery(q *Query, db *storage.Instance, certainOnly bool, pc *PlanCache) iter.Seq2[Answer, error] {
 	return func(yield func(Answer, error) bool) {
-		err := eval.EvalQueryFunc(q, db, func(ans Answer) bool {
+		var planner eval.QueryPlanner
+		if pc != nil {
+			planner = pc
+		}
+		err := eval.EvalQueryFuncPlanned(q, db, planner, func(ans Answer) bool {
 			if certainOnly && ans.HasNull() {
 				return true
 			}

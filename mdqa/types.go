@@ -181,6 +181,16 @@ func FormatRelation(r *Relation) string { return storage.FormatRelation(r) }
 // across runs; use for golden output).
 func FormatRelationSorted(r *Relation) string { return storage.FormatRelationSorted(r) }
 
+// PlanCache is a concurrency-safe LRU of compiled query plans keyed by
+// normalized query shape, shared across the snapshots of one session
+// (or one server context). Pass it to Snapshot.AnswersCached /
+// CleanAnswersCached so repeated ad-hoc queries skip recompilation.
+type PlanCache = storage.PlanCache
+
+// NewPlanCache builds a plan cache holding at most capacity plans;
+// capacity <= 0 disables caching.
+func NewPlanCache(capacity int) *PlanCache { return storage.NewPlanCache(capacity) }
+
 // ---- Chase ----
 
 // ChaseVariant selects the chase flavor (restricted or oblivious).
