@@ -174,3 +174,95 @@ if ! ls "$DATA"/hospital/s1/snap-*.snap >/dev/null 2>&1; then
   exit 1
 fi
 echo "e2e: crash recovery and graceful shutdown OK"
+
+# ---------------------------------------------------------------------
+# Federated-source stage: boot mdfixture serving NDJSON relation files,
+# bind the hospital context's PatientWard and WorkingSchedules to them
+# with -source, and drive a live upstream change through
+# POST .../refresh. The clean answers must pick the new measurement up
+# through the incremental chase ("rebuilt":false — no re-prepare), and
+# the per-source metrics must appear on /metrics.
+FXADDR="127.0.0.1:${MDFIXTURE_PORT:-8129}"
+SADDR="127.0.0.1:${MDSERVE_SOURCE_PORT:-8130}"
+SBASE="http://$SADDR/v1/contexts/hospital"
+FIXDIR="$OUT/fixtures"
+mkdir -p "$FIXDIR"
+: >"$FIXDIR/wards.ndjson"
+: >"$FIXDIR/scheds.ndjson"
+
+go build -o "$OUT/mdfixture" ./cmd/mdfixture
+
+"$OUT/mdfixture" -addr "$FXADDR" -dir "$FIXDIR" >/dev/null &
+FIXTURE_PID=$!
+"$BIN" -addr "$SADDR" -example -parallelism 1 \
+  -source "hospital/PatientWard=http://$FXADDR/wards.ndjson" \
+  -source "hospital/WorkingSchedules=http://$FXADDR/scheds.ndjson" &
+SOURCE_PID=$!
+trap 'kill "$FIXTURE_PID" "$SOURCE_PID" 2>/dev/null || true; cleanup' EXIT
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$SADDR/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+# Baseline: empty source payloads add nothing — the built-in example's
+# two clean measurements come back.
+curl -fsS -X POST "$SBASE/sessions" >/dev/null
+curl -fsS -G --data-urlencode 'q=m(t, p, v) <- Measurements(t, p, v).' \
+  "$SBASE/sessions/s1/answers" | LC_ALL=C sort >"$OUT/answers-sourced-before"
+printf '%s\n' \
+  '{"answer":["Sep/5-12:10","Tom Waits","38.2"]}' \
+  '{"answer":["Sep/6-11:50","Tom Waits","37.1"]}' \
+  '{"count":2}' >"$OUT/answers-sourced-before.want"
+if ! diff -u "$OUT/answers-sourced-before.want" "$OUT/answers-sourced-before"; then
+  echo "e2e: sourced baseline clean answers differ" >&2
+  exit 1
+fi
+
+# Upstream change: Tom moves into standard ward W1 on Sep/9 and a
+# certified nurse covers Standard/Sep/9 — the Sep/9 measurement
+# becomes clean.
+printf '%s\n' '["W1","Sep/9","Tom Waits"]' >>"$FIXDIR/wards.ndjson"
+printf '%s\n' '["Standard","Sep/9","Alice","cert."]' >>"$FIXDIR/scheds.ndjson"
+
+curl -fsS -X POST "$SBASE/sessions/s1/refresh" >"$OUT/refresh"
+for want in '"changed":true' '"rebuilt":false'; do
+  if ! grep -qF "$want" "$OUT/refresh"; then
+    echo "e2e: refresh response missing $want" >&2
+    cat "$OUT/refresh" >&2
+    exit 1
+  fi
+done
+
+curl -fsS -G --data-urlencode 'q=m(t, p, v) <- Measurements(t, p, v).' \
+  "$SBASE/sessions/s1/answers" | LC_ALL=C sort >"$OUT/answers-sourced-after"
+printf '%s\n' \
+  '{"answer":["Sep/5-12:10","Tom Waits","38.2"]}' \
+  '{"answer":["Sep/6-11:50","Tom Waits","37.1"]}' \
+  '{"answer":["Sep/9-12:00","Tom Waits","37.0"]}' \
+  '{"count":3}' >"$OUT/answers-sourced-after.want"
+if ! diff -u "$OUT/answers-sourced-after.want" "$OUT/answers-sourced-after"; then
+  echo "e2e: refreshed clean answers differ" >&2
+  exit 1
+fi
+
+# Source + refresh metrics, labeled per context and source binding.
+curl -fsS "http://$SADDR/metrics" >"$OUT/metrics-sourced"
+for want in \
+  'mdserve_refreshes_total{context="hospital"} 1' \
+  'mdserve_refresh_rebuilds_total{context="hospital"} 0' \
+  'mdserve_refresh_errors_total{context="hospital"} 0' \
+  'mdserve_source_fetches_total{context="hospital",source="PatientWard"} 2' \
+  'mdserve_source_fetches_total{context="hospital",source="WorkingSchedules"} 2' \
+  'mdserve_source_fetch_errors_total{context="hospital",source="PatientWard"} 0' \
+  'mdserve_source_fetch_latency_seconds_count{context="hospital"}'; do
+  if ! grep -qF "$want" "$OUT/metrics-sourced"; then
+    echo "e2e: /metrics missing: $want" >&2
+    cat "$OUT/metrics-sourced" >&2
+    exit 1
+  fi
+done
+
+kill "$FIXTURE_PID" "$SOURCE_PID" 2>/dev/null || true
+wait "$FIXTURE_PID" "$SOURCE_PID" 2>/dev/null || true
+trap cleanup EXIT
+echo "e2e: federated source refresh OK"

@@ -1,0 +1,44 @@
+// Command mdfixture serves relation payload files (NDJSON/JSON, CSV)
+// over HTTP with strong content-hash ETags and If-None-Match
+// revalidation — a stub upstream for mdserve's live external sources.
+// The e2e pipeline boots one, binds an mdserve -source to it, rewrites
+// a file and drives the refresh endpoint against the change.
+//
+// Usage:
+//
+//	mdfixture -addr 127.0.0.1:8091 -dir ./fixtures
+//
+// Every file under -dir is served at its relative path; rewriting a
+// file between requests moves its ETag, so pollers see the change on
+// their next revalidation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port, printed on stdout)")
+	dir := flag.String("dir", ".", "directory of payload files to serve")
+	flag.Parse()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdfixture:", err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout for scripts that passed
+	// port 0; logs go to stderr.
+	fmt.Printf("http://%s\n", ln.Addr())
+	log.Printf("mdfixture: serving %s on %s", *dir, ln.Addr())
+	if err := http.Serve(ln, gen.NewFixtureHandler(*dir)); err != nil {
+		fmt.Fprintln(os.Stderr, "mdfixture:", err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,12 @@
 //	mdq query    file.mdq [-engine chase|det|rewrite] [name]
 //	mdq assess   file.mdq            # quality versions + measures
 //	mdq clean    file.mdq [-explain] [name]
+//
+// assess and clean accept repeated global -source rel=url-or-path
+// flags binding a live external source (HTTP endpoint or CSV/NDJSON
+// file) to a contextual relation, fetched once for the assessment:
+//
+//	mdq -source PatientWard=wards.csv assess file.mdq
 //	                                 # clean answers to named queries;
 //	                                 # -explain prints the compiled join
 //	                                 # plan (atom order + cost estimates)
@@ -34,9 +40,33 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/mdqa"
 )
+
+// sourceFlags collects repeated -source rel=url-or-path flags; each
+// becomes a live source binding on the quality context (fetched once
+// per assessment — the CLI has no long-lived session to refresh).
+type sourceFlags []mdqa.Option
+
+func (s *sourceFlags) String() string { return fmt.Sprintf("%d sources", len(*s)) }
+
+func (s *sourceFlags) Set(v string) error {
+	rel, spec, ok := strings.Cut(v, "=")
+	if !ok || rel == "" || spec == "" {
+		return fmt.Errorf("want relation=url-or-path, got %q", v)
+	}
+	schema := mdqa.SourceSchema{Relation: rel}
+	var src mdqa.Source
+	if strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://") {
+		src = mdqa.NewHTTPSource(spec, schema)
+	} else {
+		src = mdqa.NewFileSource(spec, schema)
+	}
+	*s = append(*s, mdqa.WithSource(rel, src))
+	return nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -53,6 +83,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	parallelism := fs.Int("parallelism", 0,
 		"worker pool bound for chase/eval rounds (0 = all cores, 1 = sequential)")
+	var liveSources sourceFlags
+	fs.Var(&liveSources, "source",
+		"live external source for assess/clean, as relation=url-or-path (repeatable)")
 	fs.Usage = func() {
 		fmt.Fprintln(out, usageError().Error())
 		fs.PrintDefaults()
@@ -97,9 +130,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "query":
 		return runQuery(ctx, file, rest, *parallelism, out)
 	case "assess":
-		return assess(ctx, file, *parallelism, out)
+		return assess(ctx, file, *parallelism, liveSources, out)
 	case "clean":
-		return cleanAnswer(ctx, file, rest, *parallelism, out)
+		return cleanAnswer(ctx, file, rest, *parallelism, liveSources, out)
 	default:
 		return usageError()
 	}
@@ -230,19 +263,20 @@ func runQuery(ctx context.Context, f *mdqa.File, args []string, parallelism int,
 
 // assessFile runs the quality pipeline through the facade's prepared
 // session layer; shared by assess and clean.
-func assessFile(ctx context.Context, f *mdqa.File, parallelism int) (*mdqa.Assessment, error) {
+func assessFile(ctx context.Context, f *mdqa.File, parallelism int, sources []mdqa.Option) (*mdqa.Assessment, error) {
 	if !mdqa.HasQualityContext(f) {
 		return nil, fmt.Errorf("the file declares no quality context (input/mapping/quality/version statements)")
 	}
-	qc, err := mdqa.NewContextFromFile(f, mdqa.WithParallelism(parallelism))
+	opts := append([]mdqa.Option{mdqa.WithParallelism(parallelism)}, sources...)
+	qc, err := mdqa.NewContextFromFile(f, opts...)
 	if err != nil {
 		return nil, err
 	}
 	return qc.Assess(ctx, mdqa.InputInstance(f))
 }
 
-func assess(ctx context.Context, f *mdqa.File, parallelism int, out io.Writer) error {
-	a, err := assessFile(ctx, f, parallelism)
+func assess(ctx context.Context, f *mdqa.File, parallelism int, sources []mdqa.Option, out io.Writer) error {
+	a, err := assessFile(ctx, f, parallelism, sources)
 	if err != nil {
 		return err
 	}
@@ -264,7 +298,7 @@ func assess(ctx context.Context, f *mdqa.File, parallelism int, out io.Writer) e
 	return nil
 }
 
-func cleanAnswer(ctx context.Context, f *mdqa.File, args []string, parallelism int, out io.Writer) error {
+func cleanAnswer(ctx context.Context, f *mdqa.File, args []string, parallelism int, sources []mdqa.Option, out io.Writer) error {
 	fs := flag.NewFlagSet("clean", flag.ContinueOnError)
 	fs.SetOutput(out)
 	explain := fs.Bool("explain", false,
@@ -273,7 +307,7 @@ func cleanAnswer(ctx context.Context, f *mdqa.File, args []string, parallelism i
 		return err
 	}
 	args = fs.Args()
-	a, err := assessFile(ctx, f, parallelism)
+	a, err := assessFile(ctx, f, parallelism, sources)
 	if err != nil {
 		return err
 	}

@@ -21,8 +21,15 @@
 //	GET  /v1/contexts/{name}/sessions/{id}            session info
 //	DELETE /v1/contexts/{name}/sessions/{id}          close a session
 //	POST /v1/contexts/{name}/sessions/{id}/apply      NDJSON delta ingest
+//	POST /v1/contexts/{name}/sessions/{id}/refresh    re-poll live sources
 //	GET  /v1/contexts/{name}/sessions/{id}/answers?q= stream answers
 //	GET  /v1/contexts/{name}/sessions/{id}/assessment materialized outcome
+//
+// Live external sources bind a contextual relation to an HTTP endpoint
+// or file that is re-polled at refresh time:
+//
+//	mdserve -example -source hospital/PatientWard=http://feeds/wards
+//	mdserve -example -source hospital/PatientWard=wards.csv -source-refresh 30s
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting, drains in-flight requests for the -drain window, flushes
@@ -71,6 +78,48 @@ func (c *contextFlags) Set(v string) error {
 	return nil
 }
 
+// sourceFlags collects repeated -source context/relation=spec flags:
+// spec is an http(s) URL or a CSV/NDJSON file path, bound as a live
+// source feeding the named contextual relation (the binding is named
+// after the relation in metrics and errors).
+type sourceFlags []sourceBinding
+
+type sourceBinding struct {
+	context  string
+	relation string
+	spec     string
+}
+
+func (s *sourceFlags) String() string {
+	var parts []string
+	for _, b := range *s {
+		parts = append(parts, b.context+"/"+b.relation+"="+b.spec)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *sourceFlags) Set(v string) error {
+	target, spec, ok := strings.Cut(v, "=")
+	if !ok || spec == "" {
+		return fmt.Errorf("want context/relation=url-or-path, got %q", v)
+	}
+	cname, rel, ok := strings.Cut(target, "/")
+	if !ok || cname == "" || rel == "" {
+		return fmt.Errorf("want context/relation=url-or-path, got %q", v)
+	}
+	*s = append(*s, sourceBinding{context: cname, relation: rel, spec: spec})
+	return nil
+}
+
+// source builds the connector for a binding spec.
+func (b sourceBinding) source() mdqa.Source {
+	schema := mdqa.SourceSchema{Relation: b.relation}
+	if strings.HasPrefix(b.spec, "http://") || strings.HasPrefix(b.spec, "https://") {
+		return mdqa.NewHTTPSource(b.spec, schema)
+	}
+	return mdqa.NewFileSource(b.spec, schema)
+}
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -93,6 +142,10 @@ func run(ctx context.Context, args []string) error {
 	maxResident := fs.Int("max-resident-sessions", 0, "sessions kept saturated in memory; least-recently-used beyond this are evicted to disk (0 = all, needs -data-dir)")
 	var sources contextFlags
 	fs.Var(&sources, "context", "quality context to serve, as name=path.mdq (repeatable)")
+	var liveSources sourceFlags
+	fs.Var(&liveSources, "source", "live external source, as context/relation=url-or-path (repeatable; http(s) URLs poll with ETag revalidation, files by mtime)")
+	sourceRefresh := fs.Duration("source-refresh", 0, "background poll interval for live sources across resident sessions (0 = refresh only via the API)")
+	sourceTTL := fs.Duration("source-ttl", 0, "freshness window for fetched source snapshots (0 = revalidate on every resolve)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -107,6 +160,22 @@ func run(ctx context.Context, args []string) error {
 	}
 	if len(sources) == 0 {
 		return fmt.Errorf("nothing to serve: pass -example and/or -context name=path.mdq")
+	}
+	for _, b := range liveSources {
+		bound := false
+		for i := range sources {
+			if sources[i].Name == b.context {
+				var opts []mdqa.SourceOption
+				if *sourceTTL > 0 {
+					opts = append(opts, mdqa.SourceTTL(*sourceTTL))
+				}
+				sources[i].Options = append(sources[i].Options, mdqa.WithSource(b.relation, b.source(), opts...))
+				bound = true
+			}
+		}
+		if !bound {
+			return fmt.Errorf("-source %s/%s: no such context (declare it with -context or -example first)", b.context, b.relation)
+		}
 	}
 
 	mode, err := wal.ParseSyncMode(*fsync)
@@ -132,6 +201,10 @@ func run(ctx context.Context, args []string) error {
 	// stragglers cancelled.
 	reqCtx, reqCancel := context.WithCancel(context.Background())
 	defer reqCancel()
+	if *sourceRefresh > 0 {
+		log.Printf("mdserve: polling live sources every %s", *sourceRefresh)
+		go srv.RefreshLoop(reqCtx, *sourceRefresh)
+	}
 	hs := &http.Server{
 		Addr:        *addr,
 		Handler:     srv,

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/source"
+)
+
+// TestFixtureHandlerETag pins the revalidation contract end to end:
+// the handler's content-hash ETag round-trips through the HTTP source
+// connector, a matching If-None-Match answers 304, and rewriting the
+// file moves the ETag.
+func TestFixtureHandlerETag(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "wards.ndjson")
+	if err := os.WriteFile(file, []byte(`["W1","Sep/9","Tom Waits"]`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewFixtureHandler(dir))
+	defer ts.Close()
+
+	src := source.NewHTTP(ts.URL+"/wards.ndjson", source.Schema{Relation: "PatientWard"})
+	ctx := context.Background()
+	r1, err := src.Fetch(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Tuples) != 1 || r1.Version == "" {
+		t.Fatalf("first fetch: %+v", r1)
+	}
+	r2, err := src.Fetch(ctx, r1.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Unchanged {
+		t.Fatalf("revalidation fetched a full body: %+v", r2)
+	}
+	if err := os.WriteFile(file, []byte(`["W1","Sep/9","Tom Waits"]`+"\n"+`["W2","Sep/9","Lou Reed"]`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := src.Fetch(ctx, r1.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Unchanged || len(r3.Tuples) != 2 || r3.Version == r1.Version {
+		t.Fatalf("rewrite not observed: %+v", r3)
+	}
+
+	// Path traversal is confined to the fixture dir.
+	resp, err := http.Get(ts.URL + "/../source.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traversal answered %d", resp.StatusCode)
+	}
+}

@@ -67,6 +67,12 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 const (
 	SectionChase = "chase"
 	SectionOrig  = "orig"
+	// SectionSources holds the last-applied external source tuples of
+	// a session with live source bindings (one instance, one relation
+	// per binding). Optional: snapshots written before sources existed
+	// — or by sessions without them — omit it, and decode to a nil
+	// Sources instance.
+	SectionSources = "sources"
 )
 
 // Meta is the snapshot's JSON header.
@@ -83,6 +89,10 @@ type Meta struct {
 	Chase   ChaseMeta `json:"chase"`
 	// Instances lists the section names, in file order.
 	Instances []string `json:"instances"`
+	// SourceVersions records each source binding's version token as of
+	// the snapshot, keyed by binding name; present only when the
+	// session has live sources.
+	SourceVersions map[string]string `json:"source_versions,omitempty"`
 }
 
 // ChaseMeta is the JSON shape of chase.Restored.
@@ -130,6 +140,11 @@ type SessionState struct {
 	Chased *storage.Instance
 	Orig   *storage.Instance
 	Chase  chase.Restored
+	// Sources holds the last-applied external source tuples (nil for
+	// sessions without live source bindings), with SourceVersions the
+	// per-binding version tokens they correspond to.
+	Sources        *storage.Instance
+	SourceVersions map[string]string
 }
 
 // EncodeSnapshot serializes a session snapshot. meta.Format, meta.Chase
@@ -141,6 +156,10 @@ func EncodeSnapshot(meta Meta, st SessionState) ([]byte, error) {
 	meta.Format = Format
 	meta.Chase = ChaseMetaOf(st.Chase)
 	meta.Instances = []string{SectionChase, SectionOrig}
+	if st.Sources != nil {
+		meta.Instances = append(meta.Instances, SectionSources)
+		meta.SourceVersions = st.SourceVersions
+	}
 	mj, err := json.Marshal(meta)
 	if err != nil {
 		return nil, fmt.Errorf("persist: marshal meta: %w", err)
@@ -151,6 +170,9 @@ func EncodeSnapshot(meta Meta, st SessionState) ([]byte, error) {
 	out = append(out, mj...)
 	out = appendSection(out, SectionChase, encodeInstance(st.Chased))
 	out = appendSection(out, SectionOrig, encodeInstance(st.Orig))
+	if st.Sources != nil {
+		out = appendSection(out, SectionSources, encodeInstance(st.Sources))
+	}
 	return out, nil
 }
 
@@ -279,7 +301,15 @@ func ReadSnapshot(data []byte, base *datalog.Interner) (Meta, SessionState, erro
 	if err != nil {
 		return Meta{}, SessionState{}, fmt.Errorf("persist: %s section: %w", SectionOrig, err)
 	}
-	return meta, SessionState{Chased: chased, Orig: orig, Chase: meta.Chase.Restored()}, nil
+	st := SessionState{Chased: chased, Orig: orig, Chase: meta.Chase.Restored()}
+	if srcBody, ok := bodies[SectionSources]; ok {
+		st.Sources, err = decodeInstance(srcBody, datalog.NewInterner())
+		if err != nil {
+			return Meta{}, SessionState{}, fmt.Errorf("persist: %s section: %w", SectionSources, err)
+		}
+		st.SourceVersions = meta.SourceVersions
+	}
+	return meta, st, nil
 }
 
 func readSection(data []byte, off int) (name string, body []byte, next int, err error) {

@@ -62,7 +62,37 @@ var (
 	// ErrBoundExceeded marks chase or evaluation runs aborted by a
 	// round or atom bound before reaching a fixpoint.
 	ErrBoundExceeded = errors.New("bound exceeded before fixpoint")
+	// ErrSourceUnavailable marks assessments or refreshes that could
+	// not fetch an external source (and had no cached snapshot they
+	// were allowed to serve stale).
+	ErrSourceUnavailable = errors.New("external source unavailable")
 )
+
+// SourceUnavailableError names the external source whose fetch failed
+// behind an ErrSourceUnavailable, wrapping the connector's error.
+type SourceUnavailableError struct {
+	Source string // binding name, as given to WithSource
+	Err    error  // the connector failure
+}
+
+// Error renders the source name and the underlying failure.
+func (e *SourceUnavailableError) Error() string {
+	var b strings.Builder
+	b.WriteString(ErrSourceUnavailable.Error())
+	if e.Source != "" {
+		fmt.Fprintf(&b, " %s", e.Source)
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+// Is matches ErrSourceUnavailable.
+func (e *SourceUnavailableError) Is(target error) bool { return target == ErrSourceUnavailable }
+
+// Unwrap exposes the connector failure for errors.Is/As chains.
+func (e *SourceUnavailableError) Unwrap() error { return e.Err }
 
 // InconsistentError carries the constraint violations behind an
 // ErrInconsistent failure.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/chase"
 	"repro/internal/core"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/hm"
 	"repro/internal/qerr"
+	"repro/internal/source"
 	"repro/internal/storage"
 )
 
@@ -61,8 +63,21 @@ type Config struct {
 	// Versions declare the quality versions of original relations.
 	Versions []VersionSpec
 	// Externals are additional data sources E_i merged into the
-	// context.
+	// context. Set-union semantics: every tuple of every external is
+	// merged into the static contextual instance at prepare time
+	// (attribute names come from the external only when the relation is
+	// new; arity conflicts fail Prepare). NewContext deep-copies each
+	// instance, so mutating an external after construction never
+	// changes the context.
 	Externals []*storage.Instance
+	// Sources bind live external sources (package source): connectors
+	// fetched when a session opens and re-polled by Session.Refresh,
+	// with per-binding TTL caching and singleflight dedup shared by
+	// every session of the context. Unlike Externals, source tuples are
+	// not baked into the compiled base — each session resolves them at
+	// open time, so two sessions opened across a source change may see
+	// different extensions.
+	Sources []source.Binding
 	// StrictConsistency makes Assess fail with qerr.ErrInconsistent
 	// when the chase finds constraint violations, instead of
 	// reporting them on the Assessment.
@@ -82,6 +97,9 @@ type Context struct {
 	cfg      Config
 	versions map[string]*versionDef
 	vorder   []string
+	// resolver caches the live source bindings for every session of
+	// the context (nil when the context declares none).
+	resolver *source.Resolver
 
 	// prepareOnce guards prepared, the cached compiled form of the
 	// context: the context never mutates, so one compilation serves
@@ -116,9 +134,42 @@ func NewContext(o *core.Ontology, cfg Config) (*Context, error) {
 		Chase:             cfg.Chase,
 		Mappings:          append([]*eval.Rule(nil), cfg.Mappings...),
 		QualityRules:      append([]*eval.Rule(nil), cfg.QualityRules...),
-		Externals:         append([]*storage.Instance(nil), cfg.Externals...),
+		Sources:           append([]source.Binding(nil), cfg.Sources...),
 		StrictConsistency: cfg.StrictConsistency,
 		Parallelism:       cfg.Parallelism,
+	}
+	// Externals are deep-copied, not just re-sliced: a caller mutating
+	// an instance after NewContext must not reach into the context (the
+	// same no-aliasing guarantee the rule slices already have).
+	for _, ext := range cfg.Externals {
+		if ext == nil {
+			return nil, fmt.Errorf("quality: nil external source")
+		}
+		c.cfg.Externals = append(c.cfg.Externals, ext.CloneDetached())
+	}
+	names := map[string]bool{}
+	rels := map[string]string{}
+	for _, b := range c.cfg.Sources {
+		if b.Name == "" || b.Src == nil {
+			return nil, fmt.Errorf("quality: source binding needs a name and a source")
+		}
+		if names[b.Name] {
+			return nil, fmt.Errorf("quality: source %s bound twice", b.Name)
+		}
+		names[b.Name] = true
+		rel := b.Src.Schema().Relation
+		if rel == "" {
+			return nil, fmt.Errorf("quality: source %s declares no relation", b.Name)
+		}
+		if prev, dup := rels[rel]; dup {
+			// One relation per source keeps refresh diffs and durable
+			// source state attributable to a single binding.
+			return nil, fmt.Errorf("quality: sources %s and %s both feed relation %s", prev, b.Name, rel)
+		}
+		rels[rel] = b.Name
+	}
+	if len(c.cfg.Sources) > 0 {
+		c.resolver = source.NewResolver(c.cfg.Sources)
 	}
 	for _, r := range c.cfg.Mappings {
 		if err := r.Validate(); err != nil {
@@ -153,6 +204,33 @@ func NewContext(o *core.Ontology, cfg Config) (*Context, error) {
 
 // Ontology returns the MD ontology the context is built around.
 func (c *Context) Ontology() *core.Ontology { return c.ontology }
+
+// SourceBindings returns the context's live source bindings in
+// declaration order (nil when the context declares none).
+func (c *Context) SourceBindings() []source.Binding {
+	return append([]source.Binding(nil), c.cfg.Sources...)
+}
+
+// SourceStats returns the per-binding resolver counters (fetches,
+// errors, cache hits, stale serves), keyed by binding name. Serving
+// layers pull it at metrics-scrape time. Nil when the context declares
+// no sources.
+func (c *Context) SourceStats() map[string]source.Stats {
+	if c.resolver == nil {
+		return nil
+	}
+	return c.resolver.Stats()
+}
+
+// SourceFetchLatencies returns the retained source fetch-duration
+// samples for percentile rendering. Nil when the context declares no
+// sources.
+func (c *Context) SourceFetchLatencies() []time.Duration {
+	if c.resolver == nil {
+		return nil
+	}
+	return c.resolver.FetchLatencies()
+}
 
 // VersionPred returns the version predicate defined for an original
 // relation, or "" when none is.
@@ -307,6 +385,14 @@ type Prepared struct {
 	strict   bool
 	versions map[string]*versionDef
 	vorder   []string
+	// bindings and resolver carry the context's live sources; every
+	// session resolves through the shared resolver so concurrent
+	// sessions share fetches and the TTL cache.
+	bindings []source.Binding
+	resolver *source.Resolver
+	// srcRels is the set of relations owned by live sources; Apply
+	// keeps them out of the measure base (see Session.Apply).
+	srcRels map[string]bool
 }
 
 // Prepare compiles the context once, caching the result for the
@@ -359,6 +445,12 @@ func (c *Context) compile() (*Prepared, error) {
 		strict:   c.cfg.StrictConsistency,
 		versions: make(map[string]*versionDef, len(c.versions)),
 		vorder:   append([]string(nil), c.vorder...),
+		bindings: append([]source.Binding(nil), c.cfg.Sources...),
+		resolver: c.resolver,
+		srcRels:  make(map[string]bool, len(c.cfg.Sources)),
+	}
+	for _, b := range p.bindings {
+		p.srcRels[b.Src.Schema().Relation] = true
 	}
 	for rel, def := range c.versions {
 		p.versions[rel] = def
@@ -373,15 +465,43 @@ func (c *Context) compile() (*Prepared, error) {
 // concurrent readers. Cancellation of ctx is checked once per chase
 // round and eval stratum round.
 func (p *Prepared) NewSession(ctx context.Context, d *storage.Instance) (*Session, error) {
-	eng, err := p.eng.NewSession(ctx, d)
+	merged := d
+	var snaps map[string]*source.Snapshot
+	if len(p.bindings) > 0 {
+		// Resolve every live source (TTL-cached, singleflighted) and
+		// merge the snapshots with the instance under assessment. The
+		// combined instance — not d alone — seeds the engine session;
+		// the session remembers each snapshot so Refresh can diff
+		// against exactly what it applied.
+		snaps = make(map[string]*source.Snapshot, len(p.bindings))
+		combined := storage.NewInstance()
+		if d != nil {
+			if err := storage.Merge(combined, d); err != nil {
+				return nil, err
+			}
+		}
+		for _, b := range p.bindings {
+			snap, err := p.resolver.Get(ctx, b.Name)
+			if err != nil {
+				return nil, err
+			}
+			snaps[b.Name] = snap
+			if err := storage.Merge(combined, snap.Inst); err != nil {
+				return nil, err
+			}
+		}
+		merged = combined
+	}
+	eng, err := p.eng.NewSession(ctx, merged)
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{prep: p, eng: eng, orig: storage.NewInstance()}
+	s := &Session{prep: p, eng: eng, orig: storage.NewInstance(), src: snaps}
 	if d != nil {
 		// A detached copy of the instance under assessment backs the
 		// departure measures; holding the caller's instance would race
-		// with the caller mutating it.
+		// with the caller mutating it. Source tuples stay out: they are
+		// context, not the data whose quality is measured.
 		s.orig = d.CloneDetached()
 	}
 	return s, nil
@@ -395,9 +515,16 @@ type Session struct {
 	prep *Prepared
 	eng  *engine.Session
 	mu   sync.Mutex
-	// orig tracks the instance under assessment (base plus applied
-	// deltas) for the departure measures.
+	// orig tracks the instance under assessment (base plus every
+	// applied delta atom) — it backs the departure measures and is the
+	// exact state a source-removal rebuild re-seeds the engine from.
 	orig *storage.Instance
+	// src is the last source snapshot applied to the session, per
+	// binding name; Refresh diffs the resolver's latest against it.
+	src map[string]*source.Snapshot
+	// priorRounds accumulates chase rounds from engine sessions
+	// discarded by rebuild-on-removal, keeping ChaseRounds monotonic.
+	priorRounds int
 }
 
 // Apply extends the assessment with a batch of new ground facts —
@@ -414,27 +541,51 @@ func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*engine.Appl
 	if err != nil {
 		return nil, err
 	}
+	// Every delta atom is recorded, not just the versioned relations:
+	// the measures only read versioned relations either way, and a
+	// source-removal rebuild needs orig to be the complete instance
+	// under assessment. Source-bound relations are the one exception —
+	// the live source owns their extension (the next Refresh diffs and
+	// rebuilds from its snapshot), and a durable layer replaying a
+	// refresh delta through Apply must not leak source tuples into the
+	// measure base.
 	for _, a := range delta {
-		if _, ok := s.prep.versions[a.Pred]; ok {
-			if _, err := s.orig.InsertAtom(a); err != nil {
-				return nil, err
-			}
+		if s.prep.srcRels[a.Pred] {
+			continue
+		}
+		if _, err := s.orig.InsertAtom(a); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil
 }
 
 // Snapshot returns a frozen, consistent view of the contextual
-// instance as of the last Apply, safe for concurrent readers.
-func (s *Session) Snapshot() *storage.Instance { return s.eng.Snapshot() }
+// instance as of the last Apply, safe for concurrent readers. The
+// session lock pairs the read with Apply and Refresh (which may swap
+// the underlying engine session on a source-removal rebuild).
+func (s *Session) Snapshot() *storage.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Snapshot()
+}
 
 // Violations returns the session's cumulative constraint violations.
-func (s *Session) Violations() []chase.Violation { return s.eng.Violations() }
+func (s *Session) Violations() []chase.Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Violations()
+}
 
 // ChaseRounds returns the cumulative number of chase rounds the
 // session has run: the initial saturation plus every incremental
-// extension. Serving layers export it as a cost metric.
-func (s *Session) ChaseRounds() int { return s.eng.ChaseResult().Rounds }
+// extension, plus the rounds of engine sessions a Refresh rebuild
+// retired. Serving layers export it as a cost metric.
+func (s *Session) ChaseRounds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.priorRounds + s.eng.ChaseResult().Rounds
+}
 
 // VersionPred returns the version predicate defined for an original
 // relation, or "" when none is.

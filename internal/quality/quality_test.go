@@ -410,3 +410,71 @@ func TestNoOptionAliasingBetweenContexts(t *testing.T) {
 		t.Errorf("context must not alias the caller's Config: %v", err)
 	}
 }
+
+// TestNoExternalSourceAliasing mirrors the option-aliasing regression
+// test for WithExternalSource / Config.Externals: external instances
+// are deep-copied at NewContext, merged set-union into the compiled
+// base at Prepare, and mutating the caller's instance afterwards must
+// never reach the context.
+func TestNoExternalSourceAliasing(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{})
+	ext := storage.NewInstance()
+	ext.MustInsert("NurseCerts", dl.C("Alice"), dl.C("cert."))
+	cfg := quality.Config{Externals: []*storage.Instance{ext}}
+	qc, err := quality.NewContext(o, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate the caller's instance after construction: grow the
+	// relation and add a new one.
+	ext.MustInsert("NurseCerts", dl.C("Bob"), dl.C("non-c."))
+	ext.MustInsert("Leaked", dl.C("x"))
+
+	a, err := qc.Assess(context.Background(), storage.NewInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := a.Contextual.Relation("NurseCerts")
+	if nc == nil || nc.Len() != 1 {
+		t.Fatalf("context must hold the external as of NewContext: %v", nc)
+	}
+	if a.Contextual.Relation("Leaked") != nil {
+		t.Error("relation added to the caller's instance leaked into the context")
+	}
+}
+
+// TestExternalSourceSetUnionMerge pins the documented merge semantics:
+// overlapping externals union their tuples, and an arity conflict with
+// an existing relation fails Prepare, not silently.
+func TestExternalSourceSetUnionMerge(t *testing.T) {
+	o := hospital.NewOntology(hospital.Options{})
+	e1 := storage.NewInstance()
+	e1.MustInsert("NurseCerts", dl.C("Alice"), dl.C("cert."))
+	e1.MustInsert("NurseCerts", dl.C("Bob"), dl.C("non-c."))
+	e2 := storage.NewInstance()
+	e2.MustInsert("NurseCerts", dl.C("Bob"), dl.C("non-c.")) // duplicate
+	e2.MustInsert("NurseCerts", dl.C("Cara"), dl.C("cert."))
+	qc, err := quality.NewContext(o, quality.Config{Externals: []*storage.Instance{e1, e2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := qc.Assess(context.Background(), storage.NewInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Contextual.Relation("NurseCerts").Len(); got != 3 {
+		t.Errorf("set-union of externals = %d tuples, want 3", got)
+	}
+
+	// Arity conflict with an ontology relation: PatientWard is ternary.
+	bad := storage.NewInstance()
+	bad.MustInsert("PatientWard", dl.C("W1"), dl.C("Sep/5"))
+	qc2, err := quality.NewContext(o, quality.Config{Externals: []*storage.Instance{bad}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qc2.Prepare(context.Background()); err == nil {
+		t.Error("arity-conflicting external must fail Prepare")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/datalog"
 	"repro/internal/persist"
+	"repro/internal/source"
 	"repro/internal/storage"
 )
 
@@ -20,11 +21,36 @@ func (s *Session) Export() persist.SessionState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	chased, r := s.eng.Export()
-	return persist.SessionState{
+	st := persist.SessionState{
 		Chased: chased,
 		Orig:   s.orig.Snapshot(),
 		Chase:  r,
 	}
+	if len(s.src) > 0 {
+		// The last-applied source tuples ride along (one instance,
+		// bindings merged in declaration order — relations are unique
+		// per binding, so restore splits them back apart), with each
+		// binding's version token so the first post-restore Refresh
+		// revalidates instead of re-fetching blindly.
+		srcInst := storage.NewInstance()
+		versions := make(map[string]string, len(s.src))
+		for _, b := range s.prep.bindings {
+			snap := s.src[b.Name]
+			if snap == nil {
+				continue
+			}
+			if err := storage.Merge(srcInst, snap.Inst); err != nil {
+				// Bindings were validated to feed distinct relations, so
+				// a merge conflict is impossible; losing durable source
+				// state would still be preferable to failing the export.
+				continue
+			}
+			versions[b.Name] = snap.Version
+		}
+		st.Sources = srcInst.Snapshot()
+		st.SourceVersions = versions
+	}
+	return st
 }
 
 // RestoreSession rebuilds a session from exported (or decoded) durable
@@ -48,7 +74,45 @@ func (p *Prepared) RestoreSession(ctx context.Context, st persist.SessionState) 
 	case orig.Frozen():
 		orig = orig.Clone()
 	}
-	return &Session{prep: p, eng: eng, orig: orig}, nil
+	s := &Session{prep: p, eng: eng, orig: orig}
+	if len(p.bindings) > 0 {
+		s.src = make(map[string]*source.Snapshot, len(p.bindings))
+		for _, b := range p.bindings {
+			snap, err := restoredSnapshot(st, b)
+			if err != nil {
+				return nil, err
+			}
+			if snap != nil {
+				s.src[b.Name] = snap
+			}
+		}
+	}
+	return s, nil
+}
+
+// restoredSnapshot rebuilds one binding's last-applied snapshot from
+// the decoded durable state, or nil when the snapshot predates the
+// binding (its first Refresh then fetches cold and applies everything
+// as additions — set semantics make that idempotent).
+func restoredSnapshot(st persist.SessionState, b source.Binding) (*source.Snapshot, error) {
+	if st.Sources == nil {
+		return nil, nil
+	}
+	relName := b.Src.Schema().Relation
+	rel := st.Sources.Relation(relName)
+	if rel == nil {
+		return nil, nil
+	}
+	inst := storage.NewInstance()
+	if _, err := inst.CreateRelation(relName, rel.Schema().Attrs...); err != nil {
+		return nil, err
+	}
+	for _, tup := range rel.Tuples() {
+		if _, err := inst.Insert(relName, tup...); err != nil {
+			return nil, err
+		}
+	}
+	return &source.Snapshot{Inst: inst, Version: st.SourceVersions[b.Name]}, nil
 }
 
 // BaseInterner exposes the prepared context's compile-time interner,

@@ -26,6 +26,7 @@ type WireError struct {
 	Rounds     int             `json:"rounds,omitempty"`
 	Atoms      int             `json:"atoms,omitempty"`
 	Relation   string          `json:"relation,omitempty"`
+	Source     string          `json:"source,omitempty"`
 }
 
 // ErrorBody wraps a WireError as a response body.
@@ -60,6 +61,7 @@ func (e *overloadedError) Error() string { return e.msg }
 //	qerr.ErrBoundExceeded  → 422 Unprocessable, chase progress attached
 //	qerr.ErrUnknownRelation→ 400 Bad Request, relation named
 //	qerr.ErrUnsafeRule     → 400 Bad Request
+//	qerr.ErrSourceUnavailable → 502 Bad Gateway, source named
 //	unknown context/session→ 404 Not Found
 //	malformed payloads     → 400 Bad Request
 //	capacity limits        → 429 Too Many Requests
@@ -74,6 +76,7 @@ func MapError(err error) (int, ErrorBody) {
 	var ie *qerr.InconsistentError
 	var be *qerr.BoundExceededError
 	var ur *qerr.UnknownRelationError
+	var su *qerr.SourceUnavailableError
 	switch {
 	case errors.As(err, &nf):
 		status, we.Code = http.StatusNotFound, "not_found"
@@ -98,6 +101,12 @@ func MapError(err error) (int, ErrorBody) {
 		}
 	case errors.Is(err, qerr.ErrUnsafeRule):
 		status, we.Code = http.StatusBadRequest, "unsafe_rule"
+	case errors.Is(err, qerr.ErrSourceUnavailable):
+		// The engine is fine; the upstream the context federates is not.
+		status, we.Code = http.StatusBadGateway, "source_unavailable"
+		if errors.As(err, &su) {
+			we.Source = su.Source
+		}
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status, we.Code = StatusClientClosedRequest, "client_closed_request"
 	default:

@@ -27,6 +27,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/contexts/{name}/sessions/{id}", s.handleSessionInfo)
 	mux.HandleFunc("DELETE /v1/contexts/{name}/sessions/{id}", s.handleSessionClose)
 	mux.HandleFunc("POST /v1/contexts/{name}/sessions/{id}/apply", s.handleApply)
+	mux.HandleFunc("POST /v1/contexts/{name}/sessions/{id}/refresh", s.handleRefresh)
 	mux.HandleFunc("GET /v1/contexts/{name}/sessions/{id}/answers", s.handleAnswers)
 	mux.HandleFunc("GET /v1/contexts/{name}/sessions/{id}/assessment", s.handleSessionAssess)
 	s.mux = mux

@@ -30,12 +30,19 @@ type metrics struct {
 	// cache; the caches keep their own hit/miss/eviction counters and
 	// are only read here, at scrape time. Filled once at startup.
 	planCaches map[string]*mdqa.PlanCache
+	// sources maps context name to the facade context, for contexts
+	// with live source bindings only: the resolver keeps its own
+	// per-binding counters and fetch-latency samples, read at scrape
+	// time. Contexts without sources never appear, so their scrape
+	// output is unchanged. Filled once at startup.
+	sources map[string]*mdqa.Context
 }
 
 // ops is the fixed latency class vocabulary, in render order.
-// wal_append rings stay empty on ephemeral servers and are skipped by
-// render, so pre-durability scrape goldens are unchanged.
-var ops = []string{"assess", "apply", "answers", "wal_append"}
+// wal_append rings stay empty on ephemeral servers, and refresh rings
+// on contexts without sources; empty rings are skipped by render, so
+// earlier scrape goldens are unchanged.
+var ops = []string{"assess", "apply", "answers", "refresh", "wal_append"}
 
 // fsynced is the wal.Options.OnSync hook.
 func (m *metrics) fsynced() { m.walFsyncs.Add(1) }
@@ -54,6 +61,12 @@ type contextMetrics struct {
 	chaseRounds   int64 // cumulative chase rounds across all sessions
 	replans       int64 // session re-plans after stat drift (engine)
 
+	// Source-refresh counters; all stay zero on contexts without live
+	// sources (and are rendered only for sourced contexts).
+	refreshesTotal  int64 // Session.Refresh calls served (HTTP + loop)
+	refreshRebuilds int64 // refreshes that fell back to a rebuild
+	refreshErrors   int64 // refreshes failed (source unavailable, ...)
+
 	// Durability counters; all stay zero on ephemeral servers.
 	walAppends        int64 // acknowledged batches appended to WALs
 	snapshotsWritten  int64 // compaction + shutdown snapshots written
@@ -68,6 +81,7 @@ func newMetrics(contexts []string) *metrics {
 	m := &metrics{
 		contexts:   make(map[string]*contextMetrics, len(contexts)),
 		planCaches: map[string]*mdqa.PlanCache{},
+		sources:    map[string]*mdqa.Context{},
 	}
 	for _, name := range contexts {
 		cm := &contextMetrics{latency: make(map[string]*latencyRing, len(ops))}
@@ -141,6 +155,61 @@ func (m *metrics) render(b *strings.Builder) {
 	planCounter("mdserve_plan_cache_hits_total", func(h, _, _ int64) int64 { return h })
 	planCounter("mdserve_plan_cache_misses_total", func(_, mi, _ int64) int64 { return mi })
 	planCounter("mdserve_plan_cache_evictions_total", func(_, _, e int64) int64 { return e })
+	// Source-federation metrics, emitted only for contexts with live
+	// source bindings: scrape output of sourceless deployments is
+	// byte-identical to the pre-federation format.
+	var sourced []string
+	for _, name := range names {
+		if m.sources[name] != nil {
+			sourced = append(sourced, name)
+		}
+	}
+	if len(sourced) > 0 {
+		refreshCounter := func(metric string, pick func(*contextMetrics) int64) {
+			fmt.Fprintf(b, "# TYPE %s counter\n", metric)
+			for _, name := range sourced {
+				fmt.Fprintf(b, "%s{context=%q} %d\n", metric, name, pick(m.contexts[name]))
+			}
+		}
+		refreshCounter("mdserve_refreshes_total", func(c *contextMetrics) int64 { return c.refreshesTotal })
+		refreshCounter("mdserve_refresh_rebuilds_total", func(c *contextMetrics) int64 { return c.refreshRebuilds })
+		refreshCounter("mdserve_refresh_errors_total", func(c *contextMetrics) int64 { return c.refreshErrors })
+		sourceCounter := func(metric string, pick func(mdqa.SourceStats) int64) {
+			fmt.Fprintf(b, "# TYPE %s counter\n", metric)
+			for _, name := range sourced {
+				qc := m.sources[name]
+				stats := qc.SourceStatsByName()
+				for _, src := range qc.SourceNames() {
+					fmt.Fprintf(b, "%s{context=%q,source=%q} %d\n", metric, name, src, pick(stats[src]))
+				}
+			}
+		}
+		sourceCounter("mdserve_source_fetches_total", func(st mdqa.SourceStats) int64 { return st.Fetches })
+		sourceCounter("mdserve_source_fetch_errors_total", func(st mdqa.SourceStats) int64 { return st.Errors })
+		sourceCounter("mdserve_source_cache_hits_total", func(st mdqa.SourceStats) int64 { return st.CacheHits })
+		sourceCounter("mdserve_source_stale_served_total", func(st mdqa.SourceStats) int64 { return st.StaleServed })
+		fmt.Fprintf(b, "# TYPE mdserve_source_fetch_latency_seconds summary\n")
+		for _, name := range sourced {
+			samples := m.sources[name].SourceFetchLatencies()
+			if len(samples) == 0 {
+				continue
+			}
+			sorted := append([]time.Duration(nil), samples...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, q := range []struct {
+				label string
+				p     float64
+			}{{"0.5", 0.50}, {"0.99", 0.99}} {
+				rank := int(q.p*float64(len(sorted))+0.5) - 1
+				if rank < 0 {
+					rank = 0
+				}
+				fmt.Fprintf(b, "mdserve_source_fetch_latency_seconds{context=%q,quantile=%q} %.6f\n",
+					name, q.label, sorted[rank].Seconds())
+			}
+			fmt.Fprintf(b, "mdserve_source_fetch_latency_seconds_count{context=%q} %d\n", name, len(samples))
+		}
+	}
 	fmt.Fprintf(b, "# TYPE mdserve_wal_fsyncs_total counter\nmdserve_wal_fsyncs_total %d\n", m.walFsyncs.Load())
 	fmt.Fprintf(b, "# TYPE mdserve_recovery_seconds gauge\nmdserve_recovery_seconds %.6f\n",
 		time.Duration(m.recoveryNanos.Load()).Seconds())

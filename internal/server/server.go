@@ -224,6 +224,9 @@ func New(ctx context.Context, cfg Config, sources []ContextSource) (*Server, err
 	s.met = newMetrics(s.names)
 	for _, lc := range loaded {
 		s.met.planCaches[lc.name] = lc.cache
+		if lc.sourced() {
+			s.met.sources[lc.name] = lc.qc
+		}
 	}
 	s.routes()
 	if cfg.DataDir != "" {

@@ -141,6 +141,32 @@ type ApplyResponse struct {
 	Violations int  `json:"violations"`
 }
 
+// RefreshSourceInfo reports what one source binding contributed to a
+// refresh: version-token movement and tuple-level change counts.
+type RefreshSourceInfo struct {
+	Name       string `json:"name"`
+	Relation   string `json:"relation"`
+	OldVersion string `json:"old_version,omitempty"`
+	Version    string `json:"version"`
+	Added      int    `json:"added"`
+	Removed    int    `json:"removed"`
+}
+
+// RefreshResponse is the body of POST .../sessions/{id}/refresh: what
+// each bound source contributed, whether anything changed, and whether
+// a removal forced a rebuild instead of an incremental apply (the
+// incremental chase counters are set only on the incremental path).
+type RefreshResponse struct {
+	ID        string              `json:"id"`
+	Context   string              `json:"context"`
+	Changed   bool                `json:"changed"`
+	Rebuilt   bool                `json:"rebuilt"`
+	Sources   []RefreshSourceInfo `json:"sources"`
+	Inserted  int                 `json:"inserted,omitempty"`
+	ChaseRows int                 `json:"chase_rows,omitempty"`
+	Derived   int                 `json:"derived,omitempty"`
+}
+
 // ExplainResponse is the body of GET .../answers?explain=1: the
 // compiled join plan the query would execute (atom order, candidate
 // estimates, probed index positions), instead of its rows.

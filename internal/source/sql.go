@@ -1,0 +1,181 @@
+package source
+
+import (
+	"context"
+	"crypto/sha256"
+	"database/sql"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// SQL reads a relation from a parameterized query over a database/sql
+// handle. The query uses named parameters (":name"), substituted for
+// positional placeholders at fetch time so any driver that supports
+// ordinal arguments works; string literals and Postgres-style "::type"
+// casts are left untouched. Attribute names come from the declared
+// schema or, when absent, from the result set's column names.
+//
+// The version token is a hash of the result rows, so an unchanged
+// query result reports Unchanged (the query itself still runs — SQL
+// has no cheap revalidation handshake).
+//
+// The container ships no database drivers; SQL sources are wired
+// programmatically by embedders that register their own driver. CI
+// exercises the connector against an in-process stub driver.
+type SQL struct {
+	db          *sql.DB
+	query       string // rewritten, positional form
+	args        []any  // parameter values in placeholder order
+	schema      Schema
+	placeholder func(i int) string
+}
+
+// SQLOption tunes a SQL source.
+type SQLOption func(*SQL)
+
+// WithPlaceholder sets the positional placeholder syntax the driver
+// expects, given the 1-based ordinal (default "?" for every ordinal;
+// Postgres drivers use func(i) = "$i").
+func WithPlaceholder(f func(i int) string) SQLOption { return func(s *SQL) { s.placeholder = f } }
+
+// NewSQL builds a SQL source: query's ":name" parameters are resolved
+// against params once, up front, so a missing or unused parameter
+// fails at construction rather than at fetch time.
+func NewSQL(db *sql.DB, query string, params map[string]any, schema Schema, opts ...SQLOption) (*SQL, error) {
+	s := &SQL{db: db, schema: schema, placeholder: func(int) string { return "?" }}
+	for _, o := range opts {
+		o(s)
+	}
+	rewritten, names, err := rewriteNamedParams(query, s.placeholder)
+	if err != nil {
+		return nil, err
+	}
+	used := map[string]bool{}
+	for _, n := range names {
+		v, ok := params[n]
+		if !ok {
+			return nil, fmt.Errorf("source: query references :%s but no such parameter was given", n)
+		}
+		s.args = append(s.args, v)
+		used[n] = true
+	}
+	for n := range params {
+		if !used[n] {
+			return nil, fmt.Errorf("source: parameter %q is not referenced by the query", n)
+		}
+	}
+	s.query = rewritten
+	return s, nil
+}
+
+// Schema returns the declared schema.
+func (s *SQL) Schema() Schema { return s.schema }
+
+// Fetch runs the query and reads every row as strings.
+func (s *SQL) Fetch(ctx context.Context, prev string) (*Result, error) {
+	rows, err := s.db.QueryContext(ctx, s.query, s.args...)
+	if err != nil {
+		return nil, fmt.Errorf("source: query %s: %w", s.schema.Relation, err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	var tuples [][]string
+	scan := make([]any, len(cols))
+	vals := make([]sql.NullString, len(cols))
+	for i := range vals {
+		scan[i] = &vals[i]
+	}
+	for rows.Next() {
+		if err := rows.Scan(scan...); err != nil {
+			return nil, err
+		}
+		tup := make([]string, len(cols))
+		for i, v := range vals {
+			if !v.Valid {
+				return nil, fmt.Errorf("source %s: NULL in column %s", s.schema.Relation, cols[i])
+			}
+			tup[i] = v.String
+			fmt.Fprintf(h, "%d:%s\x00", len(v.String), v.String)
+		}
+		h.Write([]byte{'\n'})
+		tuples = append(tuples, tup)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	version := "rows:" + hex.EncodeToString(h.Sum(nil))
+	if prev != "" && prev == version {
+		return &Result{Version: version, Unchanged: true}, nil
+	}
+	return &Result{Tuples: tuples, Attrs: cols, Version: version}, nil
+}
+
+// rewriteNamedParams replaces each ":name" parameter with the driver's
+// positional placeholder, returning the referenced names in order
+// (repeated names repeat in the output — each occurrence binds its own
+// ordinal). Single- and double-quoted literals are skipped, as is
+// "::" (a cast, not a parameter).
+func rewriteNamedParams(query string, placeholder func(int) string) (string, []string, error) {
+	var b strings.Builder
+	var names []string
+	i, n := 0, len(query)
+	for i < n {
+		c := query[i]
+		switch {
+		case c == '\'' || c == '"':
+			// Copy the quoted literal verbatim, honoring doubled-quote
+			// escapes ('it''s').
+			j := i + 1
+			for j < n {
+				if query[j] == c {
+					if j+1 < n && query[j+1] == c {
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			if j > n {
+				j = n
+			}
+			b.WriteString(query[i:j])
+			i = j
+		case c == ':' && i+1 < n && query[i+1] == ':':
+			b.WriteString("::")
+			i += 2
+		case c == ':' && i+1 < n && isIdentStart(rune(query[i+1])):
+			j := i + 1
+			for j < n && isIdentPart(rune(query[j])) {
+				j++
+			}
+			names = append(names, query[i+1:j])
+			b.WriteString(placeholder(len(names)))
+			i = j
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	if len(names) == 0 && strings.Contains(query, ":") {
+		// No parameters parsed but a ":" is present — fine (casts,
+		// time literals); nothing to validate.
+		return b.String(), nil, nil
+	}
+	return b.String(), names, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

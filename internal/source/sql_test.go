@@ -1,0 +1,231 @@
+package source
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stubDriver is an in-process database/sql driver so CI exercises the
+// SQL connector without a real database. Each DSN names a shared
+// table; queries are answered by replaying the registered rows, and
+// the rewritten positional query plus its args are recorded for the
+// parameter-substitution assertions.
+type stubDriver struct {
+	mu     sync.Mutex
+	tables map[string]*stubTable
+}
+
+type stubTable struct {
+	cols []string
+	rows [][]driver.Value
+
+	lastQuery string
+	lastArgs  []driver.Value
+	failWith  error
+}
+
+var stub = &stubDriver{tables: map[string]*stubTable{}}
+
+func init() { sql.Register("sourcestub", stub) }
+
+func (d *stubDriver) Open(dsn string) (driver.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tbl, ok := d.tables[dsn]
+	if !ok {
+		return nil, fmt.Errorf("stub: no table registered for %q", dsn)
+	}
+	return &stubConn{tbl: tbl, mu: &d.mu}, nil
+}
+
+type stubConn struct {
+	tbl *stubTable
+	mu  *sync.Mutex
+}
+
+func (c *stubConn) Prepare(query string) (driver.Stmt, error) {
+	return &stubStmt{conn: c, query: query}, nil
+}
+func (c *stubConn) Close() error              { return nil }
+func (c *stubConn) Begin() (driver.Tx, error) { return nil, errors.New("stub: no transactions") }
+
+type stubStmt struct {
+	conn  *stubConn
+	query string
+}
+
+func (s *stubStmt) Close() error  { return nil }
+func (s *stubStmt) NumInput() int { return strings.Count(s.query, "?") }
+func (s *stubStmt) Exec(args []driver.Value) (driver.Result, error) {
+	return nil, errors.New("stub: read-only")
+}
+
+func (s *stubStmt) Query(args []driver.Value) (driver.Rows, error) {
+	s.conn.mu.Lock()
+	defer s.conn.mu.Unlock()
+	tbl := s.conn.tbl
+	tbl.lastQuery = s.query
+	tbl.lastArgs = append([]driver.Value(nil), args...)
+	if tbl.failWith != nil {
+		return nil, tbl.failWith
+	}
+	rows := make([][]driver.Value, len(tbl.rows))
+	for i, r := range tbl.rows {
+		rows[i] = append([]driver.Value(nil), r...)
+	}
+	return &stubRows{cols: tbl.cols, rows: rows}, nil
+}
+
+type stubRows struct {
+	cols []string
+	rows [][]driver.Value
+	next int
+}
+
+func (r *stubRows) Columns() []string { return r.cols }
+func (r *stubRows) Close() error      { return nil }
+func (r *stubRows) Next(dest []driver.Value) error {
+	if r.next >= len(r.rows) {
+		return io.EOF
+	}
+	copy(dest, r.rows[r.next])
+	r.next++
+	return nil
+}
+
+// register installs a table under a unique DSN and returns it with an
+// open handle.
+func register(t *testing.T, cols []string, rows ...[]driver.Value) (*stubTable, *sql.DB) {
+	t.Helper()
+	stub.mu.Lock()
+	dsn := fmt.Sprintf("tbl-%s-%d", t.Name(), len(stub.tables))
+	tbl := &stubTable{cols: cols, rows: rows}
+	stub.tables[dsn] = tbl
+	stub.mu.Unlock()
+	db, err := sql.Open("sourcestub", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return tbl, db
+}
+
+func TestSQLNamedParamsAndColumns(t *testing.T) {
+	tbl, db := register(t, []string{"ward", "day", "patient"},
+		[]driver.Value{"W1", "Sep/5", "Tom"},
+		[]driver.Value{"W2", "Sep/6", "Lou"})
+	src, err := NewSQL(db,
+		"SELECT ward, day, patient FROM wards WHERE day >= :since AND unit = :unit",
+		map[string]any{"since": "Sep/5", "unit": "Standard"},
+		Schema{Relation: "PatientWard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustFetch(t, src, "")
+	wantTuples(t, res, [][]string{{"W1", "Sep/5", "Tom"}, {"W2", "Sep/6", "Lou"}})
+	if len(res.Attrs) != 3 || res.Attrs[2] != "patient" {
+		t.Fatalf("column names not propagated: %v", res.Attrs)
+	}
+	if want := "SELECT ward, day, patient FROM wards WHERE day >= ? AND unit = ?"; tbl.lastQuery != want {
+		t.Fatalf("rewritten query = %q, want %q", tbl.lastQuery, want)
+	}
+	if len(tbl.lastArgs) != 2 || tbl.lastArgs[0] != "Sep/5" || tbl.lastArgs[1] != "Standard" {
+		t.Fatalf("args = %v", tbl.lastArgs)
+	}
+}
+
+func TestSQLRowHashRevalidation(t *testing.T) {
+	tbl, db := register(t, []string{"a"}, []driver.Value{"x"})
+	src, err := NewSQL(db, "SELECT a FROM t", nil, Schema{Relation: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustFetch(t, src, "")
+	again := mustFetch(t, src, res.Version)
+	if !again.Unchanged {
+		t.Fatal("identical rows should report Unchanged")
+	}
+	stub.mu.Lock()
+	tbl.rows = append(tbl.rows, []driver.Value{"y"})
+	stub.mu.Unlock()
+	changed := mustFetch(t, src, res.Version)
+	if changed.Unchanged {
+		t.Fatal("new rows reported Unchanged")
+	}
+	wantTuples(t, changed, [][]string{{"x"}, {"y"}})
+}
+
+func TestSQLParamValidation(t *testing.T) {
+	_, db := register(t, []string{"a"})
+	if _, err := NewSQL(db, "SELECT a FROM t WHERE x = :missing", nil, Schema{Relation: "R"}); err == nil {
+		t.Fatal("unresolved :missing must fail construction")
+	}
+	if _, err := NewSQL(db, "SELECT a FROM t", map[string]any{"unused": 1}, Schema{Relation: "R"}); err == nil {
+		t.Fatal("unused parameter must fail construction")
+	}
+}
+
+func TestSQLQueryFailureSurfaces(t *testing.T) {
+	tbl, db := register(t, []string{"a"})
+	tbl.failWith = errors.New("connection reset")
+	src, err := NewSQL(db, "SELECT a FROM t", nil, Schema{Relation: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Fetch(context.Background(), ""); err == nil {
+		t.Fatal("query failure must surface")
+	}
+}
+
+func TestSQLNullColumnRejected(t *testing.T) {
+	_, db := register(t, []string{"a"}, []driver.Value{nil})
+	src, err := NewSQL(db, "SELECT a FROM t", nil, Schema{Relation: "R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Fetch(context.Background(), ""); err == nil {
+		t.Fatal("NULL column must be rejected, not silently stringified")
+	}
+}
+
+func TestRewriteNamedParams(t *testing.T) {
+	cases := []struct {
+		in        string
+		wantQuery string
+		wantNames []string
+	}{
+		{"SELECT * FROM t WHERE a = :a AND b = :b", "SELECT * FROM t WHERE a = ? AND b = ?", []string{"a", "b"}},
+		{"SELECT ':nota' || x FROM t WHERE y = :y", "SELECT ':nota' || x FROM t WHERE y = ?", []string{"y"}},
+		{`SELECT ":nota" FROM t`, `SELECT ":nota" FROM t`, nil},
+		{"SELECT x::text FROM t WHERE a = :a", "SELECT x::text FROM t WHERE a = ?", []string{"a"}},
+		{"SELECT 'it''s' FROM t WHERE a = :a", "SELECT 'it''s' FROM t WHERE a = ?", []string{"a"}},
+		{"WHERE a = :a AND b = :a", "WHERE a = ? AND b = ?", []string{"a", "a"}},
+	}
+	for _, c := range cases {
+		got, names, err := rewriteNamedParams(c.in, func(int) string { return "?" })
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		if got != c.wantQuery {
+			t.Errorf("rewrite(%q) = %q, want %q", c.in, got, c.wantQuery)
+		}
+		if strings.Join(names, ",") != strings.Join(c.wantNames, ",") {
+			t.Errorf("names(%q) = %v, want %v", c.in, names, c.wantNames)
+		}
+	}
+	// Ordinal placeholders (Postgres style).
+	got, _, err := rewriteNamedParams("WHERE a = :a AND b = :b", func(i int) string { return fmt.Sprintf("$%d", i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "WHERE a = $1 AND b = $2"; got != want {
+		t.Fatalf("ordinal rewrite = %q, want %q", got, want)
+	}
+}

@@ -128,6 +128,9 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 		if err := adhocQueryPerf(out, n); err != nil {
 			return nil, err
 		}
+		if err := refreshPerf(out, n); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -211,8 +214,9 @@ const defaultAdhocCacheSize = 128
 
 // facadeContext rebuilds a generated workload's context through the
 // public functional-options constructor, exactly as an external
-// consumer would.
-func facadeContext(wl *gen.QualityWorkload) (*Context, error) {
+// consumer would; extra options (e.g. WithSource) append after the
+// workload's own.
+func facadeContext(wl *gen.QualityWorkload, extra ...Option) (*Context, error) {
 	opts := []Option{}
 	for _, r := range wl.Config.Mappings {
 		opts = append(opts, WithMapping(r))
@@ -223,7 +227,92 @@ func facadeContext(wl *gen.QualityWorkload) (*Context, error) {
 	for _, v := range wl.Config.Versions {
 		opts = append(opts, WithQualityVersion(v.Original, v.Pred, v.Rules...))
 	}
+	opts = append(opts, extra...)
 	return NewContext(wl.Ontology, opts...)
+}
+
+// refreshPerf measures Session.Refresh folding a federated contextual
+// stream, keyed "BenchmarkSourceRefresh/n=<size>". The workload's ward
+// assignments arrive through a bound in-memory source instead of the
+// apply stream: each op ingests one tick's measurements and time
+// dimension members via Apply (off-timer), publishes the tick's ward
+// rows to the source, and times the refresh that folds them through
+// the incremental chase. Next to the same size's
+// BenchmarkFacadeColdAssess the delta is what chase-time refresh saves
+// over cold re-assessment of the grown instance.
+func refreshPerf(out map[string]PerfResult, n int) error {
+	wl, err := gen.NewStreamingWorkload(bench.StreamWorkloadSpec(n))
+	if err != nil {
+		return err
+	}
+	wards := NewMemSource(SourceSchema{
+		Relation: "PatientWard",
+		Attrs:    []string{"Ward", "Day", "Patient"},
+	})
+	qc, err := facadeContext(wl.Base, WithSource("wards", wards))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	prep, err := qc.Prepare(ctx)
+	if err != nil {
+		return err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		wards.Set()
+		sess, err := prep.NewSession(ctx, wl.Base.Instance)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		tick := 0
+		for i := 0; i < b.N; i++ {
+			if tick == bench.WarmResetTicks {
+				b.StopTimer()
+				wards.Set()
+				if sess, err = prep.NewSession(ctx, wl.Base.Instance); err != nil {
+					benchErr = err
+					return
+				}
+				tick = 0
+				b.StartTimer()
+			}
+			b.StopTimer()
+			delta, _ := wl.Tick(tick)
+			tick++
+			rest := delta[:0:0]
+			for _, a := range delta {
+				if a.Pred == "PatientWard" {
+					wards.Add(a.Args[0].Name, a.Args[1].Name, a.Args[2].Name)
+				} else {
+					rest = append(rest, a)
+				}
+			}
+			if _, err := sess.Apply(ctx, rest); err != nil {
+				benchErr = fmt.Errorf("refresh ingest failed at n=%d: %w", n, err)
+				return
+			}
+			b.StartTimer()
+			rr, err := sess.Refresh(ctx)
+			if err != nil {
+				benchErr = fmt.Errorf("refresh failed at n=%d: %w", n, err)
+				return
+			}
+			if !rr.Changed || rr.Rebuilt {
+				benchErr = fmt.Errorf("refresh at n=%d: changed=%v rebuilt=%v, want incremental change",
+					n, rr.Changed, rr.Rebuilt)
+				return
+			}
+		}
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	out[fmt.Sprintf("BenchmarkSourceRefresh/n=%d", n)] = bench.ToPerfResult(res)
+	return nil
 }
 
 // facadePerf measures FacadeColdAssess and FacadeWarmApply at one

@@ -75,8 +75,18 @@ func WithQualityVersion(rel, versionPred string, rules ...*Rule) Option {
 	}
 }
 
-// WithExternalSource merges an external data source E_i into the
-// static context at prepare time.
+// WithExternalSource merges a pre-materialized external data source
+// E_i into the static context. Merge semantics are set-union: every
+// tuple of db is copied into the context's compiled base at prepare
+// time, creating relations as needed (attribute names come from db
+// only when the relation is new; an arity conflict with an existing
+// relation fails Prepare). The instance is deep-copied at NewContext,
+// so mutating db afterwards never changes the context — the same
+// no-aliasing guarantee every other option has.
+//
+// For sources that change over time, bind a live connector with
+// WithSource instead: external-source tuples baked in here are fixed
+// for the context's lifetime.
 func WithExternalSource(db *Instance) Option {
 	return func(cfg *quality.Config) { cfg.Externals = append(cfg.Externals, db) }
 }

@@ -27,6 +27,10 @@ var (
 	// ErrBoundExceeded marks chase runs stopped by WithChaseBound or
 	// WithAtomBound before reaching a fixpoint.
 	ErrBoundExceeded = qerr.ErrBoundExceeded
+	// ErrSourceUnavailable marks sessions or refreshes that could not
+	// fetch a live external source (and the binding did not opt into
+	// stale serving via SourceAllowStale).
+	ErrSourceUnavailable = qerr.ErrSourceUnavailable
 )
 
 // InconsistentError carries the constraint violations behind an
@@ -43,6 +47,10 @@ type UnknownRelationError = qerr.UnknownRelationError
 // BoundExceededError reports how far a bounded run got before it was
 // cut off.
 type BoundExceededError = qerr.BoundExceededError
+
+// SourceUnavailableError names the source binding whose fetch failed,
+// wrapping the connector error.
+type SourceUnavailableError = qerr.SourceUnavailableError
 
 // Violation records one constraint violation found while chasing the
 // ontology's dependencies.
