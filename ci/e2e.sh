@@ -266,3 +266,69 @@ kill "$FIXTURE_PID" "$SOURCE_PID" 2>/dev/null || true
 wait "$FIXTURE_PID" "$SOURCE_PID" 2>/dev/null || true
 trap cleanup EXIT
 echo "e2e: federated source refresh OK"
+
+# ---------------------------------------------------------------------
+# Load-smoke stage: two mdserve shards behind mdrouter, a short open-
+# loop mdload burst through the router. Gates: zero failed operations
+# (any backend 5xx surfaces as an mdload error), both shards actually
+# served traffic (consistent hashing spread the sessions), and the
+# machine-readable report lands in LOAD_ci.json for the CI artifact.
+LS1ADDR="127.0.0.1:${MDSERVE_SHARD1_PORT:-8131}"
+LS2ADDR="127.0.0.1:${MDSERVE_SHARD2_PORT:-8132}"
+LRADDR="127.0.0.1:${MDROUTER_PORT:-8133}"
+
+go build -o "$OUT/mdrouter" ./cmd/mdrouter
+go build -o "$OUT/mdload" ./cmd/mdload
+
+"$BIN" -addr "$LS1ADDR" -example -parallelism 1 &
+SHARD1_PID=$!
+"$BIN" -addr "$LS2ADDR" -example -parallelism 1 &
+SHARD2_PID=$!
+trap 'kill "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null || true; cleanup' EXIT
+for addr in "$LS1ADDR" "$LS2ADDR"; do
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+done
+
+"$OUT/mdrouter" -addr "$LRADDR" \
+  -backend "http://$LS1ADDR" -backend "http://$LS2ADDR" &
+ROUTER_PID=$!
+trap 'kill "$SHARD1_PID" "$SHARD2_PID" "$ROUTER_PID" 2>/dev/null || true; cleanup' EXIT
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$LRADDR/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+# 5-second burst; -max-error-rate 0 fails the stage on any 5xx or
+# transport error a client observed.
+"$OUT/mdload" -url "http://$LRADDR" -context hospital \
+  -rate 100 -duration 5s -sessions 8 -zipf 0.9 -rr 0.9 \
+  -seed-batches 5 -max-error-rate 0 -json LOAD_ci.json
+
+# Both shards must have served proxied traffic: the router's
+# per-backend request counters are the ground truth.
+curl -fsS "http://$LRADDR/metrics" >"$OUT/router-metrics"
+for backend in "http://$LS1ADDR" "http://$LS2ADDR"; do
+  served=$(awk -v b="mdrouter_backend_requests_total{backend=\"$backend\"}" \
+    '$0 ~ "^mdrouter_backend_requests_total" && index($0, b) == 1 { print $NF }' \
+    "$OUT/router-metrics")
+  if [ -z "$served" ] || [ "$served" -eq 0 ]; then
+    echo "e2e: shard $backend served no traffic through the router" >&2
+    cat "$OUT/router-metrics" >&2
+    exit 1
+  fi
+  errors=$(awk -v b="mdrouter_backend_errors_total{backend=\"$backend\"}" \
+    '$0 ~ "^mdrouter_backend_errors_total" && index($0, b) == 1 { print $NF }' \
+    "$OUT/router-metrics")
+  if [ -n "$errors" ] && [ "$errors" -ne 0 ]; then
+    echo "e2e: router recorded $errors backend errors for $backend" >&2
+    exit 1
+  fi
+done
+
+kill "$SHARD1_PID" "$SHARD2_PID" "$ROUTER_PID" 2>/dev/null || true
+wait "$SHARD1_PID" "$SHARD2_PID" "$ROUTER_PID" 2>/dev/null || true
+trap cleanup EXIT
+echo "e2e: load smoke over 2 shards OK (report in LOAD_ci.json)"

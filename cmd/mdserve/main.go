@@ -9,6 +9,7 @@
 //	mdserve -context a=a.mdq -context b=b.mdq # several contexts
 //	mdserve -addr :8080 -parallelism 4 ...
 //	mdserve -data-dir /var/lib/mdserve -fsync interval   # durable sessions
+//	mdserve -example -pprof localhost:6060    # profiling on a side listener
 //
 // API (JSON; streaming endpoints use NDJSON):
 //
@@ -47,6 +48,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -136,6 +138,7 @@ func run(ctx context.Context, args []string) error {
 	parallelism := fs.Int("parallelism", 0, "engine worker pool bound per context (0 = all cores, 1 = sequential)")
 	maxSessions := fs.Int("max-sessions", 0, "open session limit across contexts (0 = default)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful shutdown drain window")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	dataDir := fs.String("data-dir", "", "durable sessions: WAL + snapshots under this directory, recovered on restart (empty = ephemeral)")
 	fsync := fs.String("fsync", "interval", "WAL durability mode: always, interval or async")
 	snapshotEvery := fs.Int("snapshot-every", 0, "apply batches per session WAL before compaction into a snapshot (0 = default)")
@@ -194,6 +197,26 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	log.Printf("mdserve: serving contexts %s on %s", strings.Join(srv.Contexts(), ", "), *addr)
+
+	// Profiling stays off the serving listener: -pprof binds its own
+	// address (keep it loopback-only in production) so the profile
+	// endpoints are never exposed alongside the API. Registered on a
+	// private mux — the DefaultServeMux side effects of importing
+	// net/http/pprof are not relied on.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("mdserve: pprof on %s", *pprofAddr)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("mdserve: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	// Request contexts are decoupled from the signal context: a SIGTERM
 	// stops the listener and drains in-flight work rather than aborting

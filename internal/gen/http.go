@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"repro/internal/datalog"
 	"repro/internal/hm"
@@ -33,11 +35,38 @@ type HTTPTarget struct {
 	Client *http.Client
 }
 
+// DefaultConnsPerHost is the idle-connection budget of the package's
+// shared HTTP client: generous enough that the stress suite's and
+// mdload's worker fan-outs keep one persistent connection each instead
+// of re-dialing per request (and exhausting ephemeral ports against a
+// loopback server).
+const DefaultConnsPerHost = 256
+
+// NewHTTPClient builds an HTTP client whose transport keeps up to
+// maxPerHost idle connections per backend — size it to the worker
+// count of the load it will carry (values < 1 fall back to
+// DefaultConnsPerHost).
+func NewHTTPClient(maxPerHost int) *http.Client {
+	if maxPerHost < 1 {
+		maxPerHost = DefaultConnsPerHost
+	}
+	return &http.Client{Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        maxPerHost,
+		MaxIdleConnsPerHost: maxPerHost,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+}
+
+// sharedClient serves every HTTPTarget without an explicit Client: one
+// transport reused across all workers of a stress or load run.
+var sharedClient = NewHTTPClient(DefaultConnsPerHost)
+
 func (t HTTPTarget) client() *http.Client {
 	if t.Client != nil {
 		return t.Client
 	}
-	return http.DefaultClient
+	return sharedClient
 }
 
 // HTTPError is a non-2xx response: the status code and the raw
@@ -106,6 +135,25 @@ func (t HTTPTarget) OpenSession(ctx context.Context) (string, error) {
 	}
 	err := t.do(ctx, "POST", "/v1/contexts/"+t.Context+"/sessions", nil, &resp)
 	return resp.ID, err
+}
+
+// OpenSessionWithID opens a session under a client-chosen id — the
+// form a consistent-hash router needs, since only a caller-supplied id
+// makes the session's shard placement reproducible. The returned
+// created flag is false when the id already named a live session (the
+// server's 409), which callers wanting to reuse a warm session treat
+// as success.
+func (t HTTPTarget) OpenSessionWithID(ctx context.Context, id string) (created bool, err error) {
+	body, err := json.Marshal(map[string]string{"id": id})
+	if err != nil {
+		return false, err
+	}
+	err = t.do(ctx, "POST", "/v1/contexts/"+t.Context+"/sessions", bytes.NewReader(body), nil)
+	var he *HTTPError
+	if errors.As(err, &he) && he.Status == http.StatusConflict && strings.Contains(he.Body, "session_exists") {
+		return false, nil
+	}
+	return err == nil, err
 }
 
 // CloseSession closes a session.

@@ -1,0 +1,135 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// Report is the machine-readable record of one run, the unit of a
+// LOAD_<n>.json file. Latencies are Summary quantiles in µs; the spec
+// echo makes a report self-describing (a number without its offered
+// rate and mix is noise).
+type Report struct {
+	Name string `json:"name"`
+
+	// Spec echo.
+	TargetURL   string  `json:"target_url"`
+	Context     string  `json:"context"`
+	RateOps     float64 `json:"rate_ops_per_sec"`
+	DurationSec float64 `json:"duration_sec"`
+	Workers     int     `json:"workers"`
+	Sessions    int     `json:"sessions"`
+	Zipf        float64 `json:"zipf"`
+	ReadRatio   float64 `json:"read_ratio"`
+	DeltaAtoms  int     `json:"delta_atoms"`
+	SeedBatches int     `json:"seed_batches"`
+	Mode        string  `json:"mode"`
+	ReadScope   string  `json:"read_scope"`
+
+	// Outcome.
+	Offered     int64   `json:"offered"`
+	Dropped     int64   `json:"dropped"`
+	Completed   int64   `json:"completed"`
+	ReadErrs    int64   `json:"read_errors"`
+	WriteErrs   int64   `json:"write_errors"`
+	AchievedOps float64 `json:"achieved_ops_per_sec"`
+
+	Read  Summary `json:"read"`
+	Write Summary `json:"write"`
+}
+
+// NewReport condenses a Result under its spec.
+func NewReport(name string, spec Spec, res *Result) Report {
+	elapsed := res.Elapsed.Seconds()
+	achieved := 0.0
+	if elapsed > 0 {
+		achieved = float64(res.Completed) / elapsed
+	}
+	return Report{
+		Name:        name,
+		TargetURL:   spec.Target.BaseURL,
+		Context:     spec.Target.Context,
+		RateOps:     spec.Rate,
+		DurationSec: spec.Duration.Seconds(),
+		Workers:     spec.Workers,
+		Sessions:    spec.Sessions,
+		Zipf:        spec.Zipf,
+		ReadRatio:   spec.ReadRatio,
+		DeltaAtoms:  spec.DeltaAtoms,
+		SeedBatches: spec.SeedBatches,
+		Mode:        spec.Mode,
+		ReadScope:   spec.ReadScope,
+		Offered:     res.Offered,
+		Dropped:     res.Dropped,
+		Completed:   res.Completed,
+		ReadErrs:    res.ReadErrs,
+		WriteErrs:   res.WriteErrs,
+		AchievedOps: achieved,
+		Read:        res.Read.Summarize(),
+		Write:       res.Write.Summarize(),
+	}
+}
+
+// ErrorRate is the fraction of completed ops that failed.
+func (r Report) ErrorRate() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.ReadErrs+r.WriteErrs) / float64(r.Completed)
+}
+
+// loadDoc is the LOAD_<n>.json shape: the runs plus the recording
+// machine, mirroring BENCH_<n>.json's "_hardware" annotation so load
+// numbers are never compared across machine shapes by accident.
+type loadDoc struct {
+	Hardware bench.Hardware `json:"_hardware"`
+	Runs     []Report       `json:"runs"`
+}
+
+// WriteLoadJSON writes the reports to path annotated with the
+// recording machine.
+func WriteLoadJSON(path string, runs []Report) error {
+	data, err := json.MarshalIndent(loadDoc{Hardware: bench.CurrentHardware(), Runs: runs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadLoadJSON reads a LOAD_<n>.json file back.
+func ReadLoadJSON(path string) ([]Report, *bench.Hardware, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var doc loadDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc.Runs, &doc.Hardware, nil
+}
+
+// FormatReport renders a human-readable block for terminal output.
+func FormatReport(r Report) string {
+	line := func(kind string, s Summary, errs int64) string {
+		if s.Count == 0 {
+			return fmt.Sprintf("  %-6s (none)\n", kind)
+		}
+		return fmt.Sprintf("  %-6s n=%-8d p50=%-9s p90=%-9s p99=%-9s max=%-9s errs=%d\n",
+			kind, s.Count,
+			time.Duration(s.P50Us*1e3).Round(time.Microsecond),
+			time.Duration(s.P90Us*1e3).Round(time.Microsecond),
+			time.Duration(s.P99Us*1e3).Round(time.Microsecond),
+			time.Duration(s.MaxUs*1e3).Round(time.Microsecond),
+			errs)
+	}
+	out := fmt.Sprintf("%s: offered %.0f ops/s for %.1fs -> achieved %.1f ops/s (%d completed, %d dropped)\n",
+		r.Name, r.RateOps, r.DurationSec, r.AchievedOps, r.Completed, r.Dropped)
+	out += line("reads", r.Read, r.ReadErrs)
+	out += line("writes", r.Write, r.WriteErrs)
+	return out
+}

@@ -1,0 +1,176 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/mdqa"
+)
+
+// SweepSpec parameterizes RunShardSweep: the same open-loop workload
+// offered to one direct backend and to mdrouter in front of 1..N
+// in-process shards, all on loopback listeners. The direct-vs-router
+// shards=1 pair isolates the router's added latency; the shard sweep
+// shows how capacity scales when sessions spread across backends.
+type SweepSpec struct {
+	// Shards are the router fleet sizes to sweep, e.g. [1, 2, 4].
+	Shards []int
+	// Load is the per-run workload. Target is overwritten per run;
+	// Sessions should be >= the largest shard count to give the ring
+	// something to spread.
+	Load Spec
+	// Parallelism is each backend's engine pool (0 = server default).
+	Parallelism int
+}
+
+// shard is one in-process mdserve.
+type shard struct {
+	srv  *server.Server
+	hs   *http.Server
+	url  string
+	done chan error
+}
+
+func startShard(ctx context.Context, parallelism int) (*shard, error) {
+	srv, err := server.New(ctx, server.Config{Parallelism: parallelism}, []server.ContextSource{{
+		Name:   "hospital",
+		Source: mdqa.HospitalQualityExampleSource(),
+	}})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{
+		srv:  srv,
+		hs:   &http.Server{Handler: srv},
+		url:  "http://" + l.Addr().String(),
+		done: make(chan error, 1),
+	}
+	go func() { sh.done <- sh.hs.Serve(l) }()
+	return sh, nil
+}
+
+func (sh *shard) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = sh.hs.Shutdown(ctx)
+	<-sh.done
+}
+
+// runOne boots the topology, runs the load, tears down, and returns
+// the report.
+func runOne(ctx context.Context, spec SweepSpec, name string, shards int, viaRouter bool) (Report, error) {
+	var backends []*shard
+	defer func() {
+		for _, sh := range backends {
+			sh.stop()
+		}
+	}()
+	for i := 0; i < shards; i++ {
+		sh, err := startShard(ctx, spec.Parallelism)
+		if err != nil {
+			return Report{}, err
+		}
+		backends = append(backends, sh)
+	}
+	ls := spec.Load
+	ls.Target.Context = "hospital"
+	if viaRouter {
+		var urls []string
+		for _, sh := range backends {
+			urls = append(urls, sh.url)
+		}
+		rt, err := router.New(router.Config{Backends: urls})
+		if err != nil {
+			return Report{}, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return Report{}, err
+		}
+		fhs := &http.Server{Handler: rt}
+		done := make(chan error, 1)
+		go func() { done <- fhs.Serve(l) }()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = fhs.Shutdown(sctx)
+			<-done
+		}()
+		ls.Target.BaseURL = "http://" + l.Addr().String()
+	} else {
+		ls.Target.BaseURL = backends[0].url
+	}
+	res, err := Run(ctx, ls)
+	if err != nil {
+		return Report{}, err
+	}
+	if res.Completed == 0 {
+		return Report{}, fmt.Errorf("load: run %s completed nothing (last error: %v)", name, res.LastErr)
+	}
+	return NewReport(name, ls, res), nil
+}
+
+// RunShardSweep runs direct (no router, 1 backend) plus router runs at
+// each shard count, and returns both the reports and the
+// BENCH-trajectory view: BenchmarkLoad{Read,Write}{P50,P99} keys whose
+// NsPerOp is the measured latency quantile, named so ComparePerf can
+// gate "BenchmarkLoad" as a family.
+func RunShardSweep(ctx context.Context, spec SweepSpec) ([]Report, map[string]bench.PerfResult, error) {
+	if len(spec.Shards) == 0 {
+		spec.Shards = []int{1, 2, 4}
+	}
+	var reports []Report
+	perf := map[string]bench.PerfResult{}
+	record := func(r Report, mode string, shards int) {
+		reports = append(reports, r)
+		us := func(v float64) int64 { return int64(v * 1e3) }
+		tag := fmt.Sprintf("mode=%s/shards=%d", mode, shards)
+		perf["BenchmarkLoadReadP50/"+tag] = bench.PerfResult{NsPerOp: us(r.Read.P50Us)}
+		perf["BenchmarkLoadReadP99/"+tag] = bench.PerfResult{NsPerOp: us(r.Read.P99Us)}
+		perf["BenchmarkLoadWriteP50/"+tag] = bench.PerfResult{NsPerOp: us(r.Write.P50Us)}
+		perf["BenchmarkLoadWriteP99/"+tag] = bench.PerfResult{NsPerOp: us(r.Write.P99Us)}
+	}
+
+	direct, err := runOne(ctx, spec, "direct/shards=1", 1, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	record(direct, "direct", 1)
+
+	for _, n := range spec.Shards {
+		r, err := runOne(ctx, spec, fmt.Sprintf("router/shards=%d", n), n, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		record(r, "router", n)
+	}
+	return reports, perf, nil
+}
+
+// RouterOverheadP50 extracts the acceptance number: the relative p50
+// read-latency overhead of router/shards=1 over direct (0.07 = +7%).
+func RouterOverheadP50(reports []Report) (float64, error) {
+	var direct, routed *Report
+	for i := range reports {
+		switch reports[i].Name {
+		case "direct/shards=1":
+			direct = &reports[i]
+		case "router/shards=1":
+			routed = &reports[i]
+		}
+	}
+	if direct == nil || routed == nil || direct.Read.P50Us == 0 {
+		return 0, fmt.Errorf("load: sweep lacks the direct/router shards=1 pair")
+	}
+	return routed.Read.P50Us/direct.Read.P50Us - 1, nil
+}

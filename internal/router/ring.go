@@ -1,0 +1,167 @@
+// Package router implements mdrouter: a consistent-hash reverse proxy
+// that shards mdserve traffic across share-nothing backends.
+//
+// Sessions are the unit of placement. Every session-scoped request
+// (/v1/contexts/{name}/sessions/{id}...) hashes its {context, session}
+// key onto the ring and is pinned to the owning backend — sessions are
+// share-nothing and partition-safe, so the owner holds the only copy
+// of the session's state. Stateless work (one-shot /assess, the
+// context listing) is spread with a bounded-load walk: it starts at
+// the key's owner for cache affinity but skips backends carrying more
+// than LoadFactor times their fair share of in-flight requests.
+//
+// The ring is the classic Karger construction with virtual nodes:
+// every backend contributes VNodes points (hash of "backend#i"), a key
+// is owned by the first point clockwise from its hash. Adding a
+// backend to an N-backend ring therefore moves ≈ K/(N+1) of K keys —
+// all of them onto the new backend — and removing one moves only the
+// keys it owned. Both properties are property-tested, and lookups are
+// pure functions of the backend list, so independently constructed
+// routers (restarts, replicas) agree on every placement.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per backend. 128 points per
+// backend keeps the largest-share/mean-share imbalance around 20% at
+// small N while ring construction and lookup stay trivial.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over named nodes. Build
+// one with NewRing; lookups are safe for concurrent use.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted, unique
+	points []point  // sorted by hash
+}
+
+// point is one virtual node: a position on the ring and the index of
+// the owning node in Ring.nodes.
+type point struct {
+	hash uint64
+	node int
+}
+
+// NewRing builds a ring with vnodes virtual nodes per node (0 =
+// DefaultVNodes). Node names must be unique and non-empty; insertion
+// order is irrelevant (nodes are sorted, so any two processes given
+// the same set agree on every lookup).
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("router: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("router: empty node name")
+		}
+		if i > 0 && sorted[i-1] == n {
+			return nil, fmt.Errorf("router: duplicate node %q", n)
+		}
+	}
+	r := &Ring{
+		vnodes: vnodes,
+		nodes:  sorted,
+		points: make([]point, 0, len(sorted)*vnodes),
+	}
+	for ni, n := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: ni})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node order so the
+		// winner is still deterministic.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// hash64 is FNV-1a finished with a splitmix64-style avalanche — FNV
+// alone leaves near-identical inputs ("backend#1", "backend#2", ...)
+// correlated, which skews vnode placement. Both pieces are fixed
+// constants, stable across processes, architectures and Go releases,
+// which is what makes lookups deterministic across restarts.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Nodes returns the node names, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// VNodes returns the virtual-node count per node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// start returns the index of the first ring point at or clockwise
+// from the key's hash.
+func (r *Ring) start(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the node owning key: the node of the first virtual
+// point clockwise from the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.points[r.start(key)].node]
+}
+
+// Walk yields the distinct nodes in ring-successor order starting at
+// the key's owner, stopping when yield returns false or every node has
+// been offered. The first yielded node is Owner(key); the rest are the
+// fallback order a bounded-load or health-skipping policy follows.
+func (r *Ring) Walk(key string, yield func(node string) bool) {
+	seen := make([]bool, len(r.nodes))
+	remaining := len(r.nodes)
+	for i, n := r.start(key), len(r.points); n > 0 && remaining > 0; i, n = (i+1)%len(r.points), n-1 {
+		ni := r.points[i].node
+		if seen[ni] {
+			continue
+		}
+		seen[ni] = true
+		remaining--
+		if !yield(r.nodes[ni]) {
+			return
+		}
+	}
+}
+
+// Shares returns each node's fraction of the hash space — the expected
+// share of uniformly hashed keys it owns. Sums to 1.
+func (r *Ring) Shares() map[string]float64 {
+	shares := make(map[string]float64, len(r.nodes))
+	if len(r.points) == 0 {
+		return shares
+	}
+	span := func(from, to uint64) float64 {
+		return float64(to-from) / math.MaxUint64 // uint64 wrap-around handles the seam
+	}
+	for i, p := range r.points {
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		shares[r.nodes[p.node]] += span(prev, p.hash)
+	}
+	return shares
+}

@@ -1,0 +1,206 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testKeys builds M session-shaped keys ("hospital/lg-<i>").
+func testKeys(m int) []string {
+	keys := make([]string, m)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("hospital/lg-%d", i)
+	}
+	return keys
+}
+
+func backendNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingAddRelocatesAtMostKOverN is property (a): growing an
+// N-backend ring to N+1 moves about K/(N+1) of K keys — within slack
+// for vnode variance — and every moved key moves TO the new backend
+// (consistent hashing never shuffles keys between surviving backends).
+func TestRingAddRelocatesAtMostKOverN(t *testing.T) {
+	const m = 20000
+	keys := testKeys(m)
+	for _, n := range []int{1, 2, 4, 8} {
+		nodes := backendNames(n)
+		before, err := NewRing(nodes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := "http://10.0.1.99:8080"
+		after, err := NewRing(append(append([]string(nil), nodes...), added), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			ob, oa := before.Owner(k), after.Owner(k)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if oa != added {
+				t.Fatalf("n=%d: key %s moved %s -> %s, not to the added backend", n, k, ob, oa)
+			}
+		}
+		// Expected m/(n+1); allow 50% slack plus a constant for vnode
+		// placement variance at small n.
+		bound := m/(n+1) + m/(2*(n+1)) + 200
+		if moved > bound {
+			t.Fatalf("n=%d: adding a backend moved %d of %d keys, want <= %d (~K/N)", n, moved, m, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: adding a backend moved nothing — the ring is not spreading", n)
+		}
+	}
+}
+
+// TestRingRemoveRelocatesOwnKeysOnly is property (b): removing a
+// backend moves exactly the keys it owned; every other key keeps its
+// owner.
+func TestRingRemoveRelocatesOwnKeysOnly(t *testing.T) {
+	const m = 20000
+	keys := testKeys(m)
+	nodes := backendNames(5)
+	before, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := nodes[2]
+	var rest []string
+	for _, n := range nodes {
+		if n != removed {
+			rest = append(rest, n)
+		}
+	}
+	after, err := NewRing(rest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == removed {
+			if oa == removed {
+				t.Fatalf("key %s still owned by removed backend", k)
+			}
+			continue
+		}
+		if ob != oa {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, ob, oa)
+		}
+	}
+}
+
+// TestRingDeterministicAcrossConstruction is property (c): lookup is a
+// pure function of the backend set — rings built from any permutation
+// of the same backends (as independent processes or restarts would)
+// agree on every key, and a handful of pinned key→owner pairs guard
+// the hash function itself against accidental change.
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	nodes := backendNames(4)
+	ref, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(2000)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r2, err := NewRing(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if ref.Owner(k) != r2.Owner(k) {
+				t.Fatalf("trial %d: owner(%s) differs across construction order: %s vs %s",
+					trial, k, ref.Owner(k), r2.Owner(k))
+			}
+		}
+	}
+	// Pinned placements: if these move, the on-the-wire hash changed
+	// and every deployed router would re-place every session.
+	pinned := map[string]string{
+		"hospital/lg-0":   "http://10.0.0.3:8080",
+		"hospital/lg-1":   "http://10.0.0.2:8080",
+		"hospital/s1":     "http://10.0.0.3:8080",
+		"ward/session-17": "http://10.0.0.4:8080",
+	}
+	for k, want := range pinned {
+		if got := ref.Owner(k); got != want {
+			t.Fatalf("pinned owner(%q) = %q, want %q — the ring hash changed; this breaks existing deployments", k, got, want)
+		}
+	}
+}
+
+// TestRingWalkCoversAllNodesStartingAtOwner pins the fallback order:
+// the first yielded node is the owner and a full walk offers every
+// node exactly once.
+func TestRingWalkCoversAllNodesStartingAtOwner(t *testing.T) {
+	nodes := backendNames(5)
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(200) {
+		var walked []string
+		r.Walk(k, func(n string) bool { walked = append(walked, n); return true })
+		if len(walked) != len(nodes) {
+			t.Fatalf("walk(%s) yielded %d nodes, want %d", k, len(walked), len(nodes))
+		}
+		if walked[0] != r.Owner(k) {
+			t.Fatalf("walk(%s) starts at %s, owner is %s", k, walked[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range walked {
+			if seen[n] {
+				t.Fatalf("walk(%s) yielded %s twice", k, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingSharesBalance sanity-checks the vnode count: every backend's
+// hash-space share stays within 2x of fair on an 8-backend ring, and
+// the shares sum to 1.
+func TestRingSharesBalance(t *testing.T) {
+	nodes := backendNames(8)
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.Shares()
+	total := 0.0
+	fair := 1.0 / float64(len(nodes))
+	for n, s := range shares {
+		total += s
+		if s > 2*fair || s < fair/2 {
+			t.Fatalf("backend %s owns share %.4f, fair is %.4f — vnode balance off", n, s, fair)
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %.6f, want 1", total)
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring must error")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate nodes must error")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node name must error")
+	}
+}

@@ -54,6 +54,13 @@ type overloadedError struct{ msg string }
 
 func (e *overloadedError) Error() string { return e.msg }
 
+// conflictError marks a client-chosen session id that already names a
+// live session (409): the caller either retries with a fresh id or
+// deliberately reuses the existing session.
+type conflictError struct{ msg string }
+
+func (e *conflictError) Error() string { return e.msg }
+
 // MapError translates an engine or handler error into its HTTP status
 // and structured body, the qerr → HTTP contract of the API:
 //
@@ -63,6 +70,7 @@ func (e *overloadedError) Error() string { return e.msg }
 //	qerr.ErrUnsafeRule     → 400 Bad Request
 //	qerr.ErrSourceUnavailable → 502 Bad Gateway, source named
 //	unknown context/session→ 404 Not Found
+//	taken session id       → 409 Conflict (code "session_exists")
 //	malformed payloads     → 400 Bad Request
 //	capacity limits        → 429 Too Many Requests
 //	cancelled request ctx  → 499 (client closed request)
@@ -73,6 +81,7 @@ func MapError(err error) (int, ErrorBody) {
 	var nf *notFoundError
 	var br *badRequestError
 	var ov *overloadedError
+	var cf *conflictError
 	var ie *qerr.InconsistentError
 	var be *qerr.BoundExceededError
 	var ur *qerr.UnknownRelationError
@@ -84,6 +93,8 @@ func MapError(err error) (int, ErrorBody) {
 		status, we.Code = http.StatusBadRequest, "bad_request"
 	case errors.As(err, &ov):
 		status, we.Code = http.StatusTooManyRequests, "overloaded"
+	case errors.As(err, &cf):
+		status, we.Code = http.StatusConflict, "session_exists"
 	case errors.Is(err, qerr.ErrInconsistent):
 		status, we.Code = http.StatusConflict, "inconsistent"
 		if errors.As(err, &ie) {

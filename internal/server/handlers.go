@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"regexp"
 	"sort"
 	"strings"
 	"time"
@@ -100,12 +101,17 @@ func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 // requestInstance resolves the instance under assessment: the wire
 // instance from the body when one was sent, the context's declared
 // input otherwise.
-func requestInstance(req AssessRequest, lc *loadedContext) (*mdqa.Instance, error) {
-	if len(req.Instance) == 0 {
+func requestInstance(wi WireInstance, lc *loadedContext) (*mdqa.Instance, error) {
+	if len(wi) == 0 {
 		return lc.input, nil
 	}
-	return req.Instance.Instance()
+	return wi.Instance()
 }
+
+// sessionIDPattern admits client-chosen session ids: they become URL
+// segments, metrics labels and (durable servers) directory names, so
+// the vocabulary is deliberately narrow.
+var sessionIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 
 // handleAssess serves the one-shot path: merge, chase, evaluate,
 // measure — a fresh session per request over the shared compilation,
@@ -123,7 +129,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, lc.name, err)
 		return
 	}
-	inst, err := requestInstance(req, lc)
+	inst, err := requestInstance(req.Instance, lc)
 	if err != nil {
 		s.fail(w, lc.name, err)
 		return
@@ -216,12 +222,16 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "", err)
 		return
 	}
-	var req AssessRequest
+	var req SessionCreateRequest
 	if err := decodeBody(r, &req); err != nil {
 		s.fail(w, lc.name, err)
 		return
 	}
-	inst, err := requestInstance(req, lc)
+	if req.ID != "" && !sessionIDPattern.MatchString(req.ID) {
+		s.fail(w, lc.name, &badRequestError{msg: fmt.Sprintf("invalid session id %q (want %s)", req.ID, sessionIDPattern)})
+		return
+	}
+	inst, err := requestInstance(req.Instance, lc)
 	if err != nil {
 		s.fail(w, lc.name, err)
 		return
@@ -231,7 +241,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, lc.name, err)
 		return
 	}
-	sess, err := s.register(lc, ms)
+	sess, err := s.register(lc, ms, req.ID)
 	if err != nil {
 		s.fail(w, lc.name, err)
 		return

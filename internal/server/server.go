@@ -184,8 +184,13 @@ type Server struct {
 	// empty.
 	store *persist.Store
 
-	mu       sync.Mutex // guards sessions + nextID + residentCount
+	mu       sync.Mutex // guards sessions + reserved + nextID + residentCount
 	sessions map[string]*session
+	// reserved holds session ids mid-registration: claimed under mu but
+	// not yet addressable (their durable directory is still being
+	// created). Two concurrent creates of one client-chosen id must not
+	// both reach the store.
+	reserved map[string]struct{}
 	nextID   uint64
 	// residentCount tracks sessions whose engine state is in memory
 	// (session.s != nil), for MaxResident eviction.
@@ -212,6 +217,7 @@ func New(ctx context.Context, cfg Config, sources []ContextSource) (*Server, err
 		cfg:      cfg,
 		contexts: make(map[string]*loadedContext, len(loaded)),
 		sessions: map[string]*session{},
+		reserved: map[string]struct{}{},
 	}
 	for _, lc := range loaded {
 		if _, dup := s.contexts[lc.name]; dup {
@@ -320,21 +326,49 @@ func (s *Server) session(contextName, id string) (*session, error) {
 	return sess, nil
 }
 
-// register files a new session under the next id ("s1", "s2", ...).
-// Sessions never expire on their own — clients close what they open,
-// and the MaxSessions bound caps the damage of clients that don't.
-// With a durable store, the session's directory (initial snapshot +
-// first WAL segment) is created before the session becomes
-// addressable, so no request can ever apply to an unlogged session.
-func (s *Server) register(lc *loadedContext, ms *mdqa.Session) (*session, error) {
+// register files a new session under the next id ("s1", "s2", ...) or
+// under the client-chosen requestedID when one was sent (409 when it
+// already names a live session — routing layers place sessions by
+// hashing the id, so the id is the client's to pick). Sessions never
+// expire on their own — clients close what they open, and the
+// MaxSessions bound caps the damage of clients that don't. With a
+// durable store, the session's directory (initial snapshot + first WAL
+// segment) is created before the session becomes addressable, so no
+// request can ever apply to an unlogged session; the id is reserved
+// across that window so concurrent creates of one id cannot both reach
+// the store.
+func (s *Server) register(lc *loadedContext, ms *mdqa.Session, requestedID string) (*session, error) {
 	s.mu.Lock()
-	if len(s.sessions) >= s.cfg.MaxSessions {
+	if len(s.sessions)+len(s.reserved) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
 		return nil, &overloadedError{msg: fmt.Sprintf("session limit reached (%d open); close sessions with DELETE", s.cfg.MaxSessions)}
 	}
-	s.nextID++
+	var id string
+	if requestedID != "" {
+		if _, taken := s.sessions[requestedID]; taken {
+			s.mu.Unlock()
+			return nil, &conflictError{msg: fmt.Sprintf("session %q already exists", requestedID)}
+		}
+		if _, taken := s.reserved[requestedID]; taken {
+			s.mu.Unlock()
+			return nil, &conflictError{msg: fmt.Sprintf("session %q already exists", requestedID)}
+		}
+		id = requestedID
+		// A client-chosen "s<n>" must push the auto counter past n, or a
+		// later auto-numbered create would collide with it.
+		var n uint64
+		var rest string
+		if k, err := fmt.Sscanf(requestedID, "s%d%s", &n, &rest); k == 1 && err != nil && n > s.nextID {
+			s.nextID = n
+		}
+		s.nextID++
+	} else {
+		s.nextID++
+		id = fmt.Sprintf("s%d", s.nextID)
+	}
+	s.reserved[id] = struct{}{}
 	sess := &session{
-		id:  fmt.Sprintf("s%d", s.nextID),
+		id:  id,
 		seq: s.nextID,
 		lc:  lc,
 		s:   ms,
@@ -342,9 +376,15 @@ func (s *Server) register(lc *loadedContext, ms *mdqa.Session) (*session, error)
 	sess.lastRounds = ms.ChaseRounds()
 	s.mu.Unlock()
 
+	release := func() {
+		s.mu.Lock()
+		delete(s.reserved, id)
+		s.mu.Unlock()
+	}
 	if s.store != nil {
 		log, err := s.store.CreateSession(lc.name, sess.id, persist.Meta{Created: timestamp()}, ms.ExportState())
 		if err != nil {
+			release()
 			return nil, fmt.Errorf("server: persist session %s: %w", sess.id, err)
 		}
 		sess.log = log
@@ -352,14 +392,7 @@ func (s *Server) register(lc *loadedContext, ms *mdqa.Session) (*session, error)
 	sess.touch()
 
 	s.mu.Lock()
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		s.mu.Unlock()
-		if sess.log != nil {
-			sess.log.Close()
-			_ = s.store.RemoveSession(lc.name, sess.id)
-		}
-		return nil, &overloadedError{msg: fmt.Sprintf("session limit reached (%d open); close sessions with DELETE", s.cfg.MaxSessions)}
-	}
+	delete(s.reserved, id)
 	sess.isResident.Store(true)
 	s.sessions[sess.id] = sess
 	s.residentCount++

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/mdqa"
+)
+
+// newExampleServer boots the built-in hospital context, optionally
+// durable under dir.
+func newExampleServer(t testing.TB, cfg Config) *httptest.Server {
+	t.Helper()
+	srv, err := New(context.Background(), cfg, []ContextSource{{
+		Name:   "hospital",
+		Source: mdqa.HospitalQualityExampleSource(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// createSession posts a session-create request with the given body and
+// returns status and decoded response id (when 2xx).
+func createSession(t *testing.T, base, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/contexts/hospital/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SessionResponse
+	if resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, out.ID
+}
+
+func TestClientChosenSessionIDs(t *testing.T) {
+	ts := newExampleServer(t, Config{Parallelism: 1})
+
+	// A client-chosen id is honored verbatim.
+	status, id := createSession(t, ts.URL, `{"id":"shard-7.session"}`)
+	if status != http.StatusOK || id != "shard-7.session" {
+		t.Fatalf("custom id create: got %d %q", status, id)
+	}
+	// The same id again is a 409, with the stable error code.
+	resp, err := http.Post(ts.URL+"/v1/contexts/hospital/sessions", "application/json", strings.NewReader(`{"id":"shard-7.session"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error WireError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || body.Error.Code != "session_exists" {
+		t.Fatalf("duplicate id: got %d code %q, want 409 session_exists", resp.StatusCode, body.Error.Code)
+	}
+	// The session is addressable under its chosen id.
+	info, err := http.Get(ts.URL + "/v1/contexts/hospital/sessions/shard-7.session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info.Body.Close()
+	if info.StatusCode != http.StatusOK {
+		t.Fatalf("info under custom id: got %d", info.StatusCode)
+	}
+	// Invalid ids are client errors, not sessions.
+	for _, bad := range []string{`{"id":"../escape"}`, `{"id":".dot"}`, `{"id":"a b"}`, fmt.Sprintf(`{"id":%q}`, strings.Repeat("x", 65))} {
+		if status, _ := createSession(t, ts.URL, bad); status != http.StatusBadRequest {
+			t.Fatalf("invalid id %s: got %d, want 400", bad, status)
+		}
+	}
+	// Auto-numbered creates still work alongside custom ids.
+	if status, id := createSession(t, ts.URL, ""); status != http.StatusOK || id == "" {
+		t.Fatalf("auto id create: got %d %q", status, id)
+	}
+}
+
+func TestCustomNumericIDBumpsAutoCounter(t *testing.T) {
+	ts := newExampleServer(t, Config{Parallelism: 1})
+	// Claim "s5" explicitly; the next auto-numbered session must skip
+	// past it instead of colliding.
+	if status, _ := createSession(t, ts.URL, `{"id":"s5"}`); status != http.StatusOK {
+		t.Fatalf("create s5: got %d", status)
+	}
+	// The custom create consumed a counter slot for its ordering seq,
+	// so the next auto id lands past both "s5" and that slot.
+	status, id := createSession(t, ts.URL, "")
+	if status != http.StatusOK || id != "s7" {
+		t.Fatalf("auto create after claiming s5: got %d %q, want 200 s7", status, id)
+	}
+	if status, _ := createSession(t, ts.URL, ""); status != http.StatusOK {
+		t.Fatalf("second auto create: got %d", status)
+	}
+}
+
+func TestConcurrentCreatesOfOneIDYieldOneSession(t *testing.T) {
+	ts := newExampleServer(t, Config{Parallelism: 1})
+	const racers = 8
+	var wg sync.WaitGroup
+	codes := make([]int, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = createSession(t, ts.URL, `{"id":"contested"}`)
+		}(i)
+	}
+	wg.Wait()
+	ok, conflicts := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusConflict:
+			conflicts++
+		}
+	}
+	if ok != 1 || conflicts != racers-1 {
+		t.Fatalf("want exactly one winner, got %d ok / %d conflicts (codes %v)", ok, conflicts, codes)
+	}
+}
+
+func TestCustomIDSurvivesDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts := newExampleServer(t, Config{Parallelism: 1, DataDir: dir})
+	if status, _ := createSession(t, ts.URL, `{"id":"pinned-42"}`); status != http.StatusOK {
+		t.Fatalf("create: got %d", status)
+	}
+	ts.Close()
+
+	ts2 := newExampleServer(t, Config{Parallelism: 1, DataDir: dir})
+	info, err := http.Get(ts2.URL + "/v1/contexts/hospital/sessions/pinned-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info.Body.Close()
+	if info.StatusCode != http.StatusOK {
+		t.Fatalf("recovered custom-id session: got %d", info.StatusCode)
+	}
+	// And it still conflicts with a fresh create of the same id.
+	if status, _ := createSession(t, ts2.URL, `{"id":"pinned-42"}`); status != http.StatusConflict {
+		t.Fatalf("create over recovered id: got %d, want 409", status)
+	}
+}

@@ -87,11 +87,23 @@ func wireViolations(vs []qerr.Violation) []WireViolation {
 	return out
 }
 
-// AssessRequest is the body of POST .../assess and POST .../sessions.
-// A missing or empty instance falls back to the context's declared
-// input instance (the .mdq input relations), so `curl -X POST` with no
-// body assesses the built-in data.
+// AssessRequest is the body of POST .../assess. A missing or empty
+// instance falls back to the context's declared input instance (the
+// .mdq input relations), so `curl -X POST` with no body assesses the
+// built-in data.
 type AssessRequest struct {
+	Instance WireInstance `json:"instance,omitempty"`
+}
+
+// SessionCreateRequest is the body of POST .../sessions: the optional
+// instance under assessment (same fallback as AssessRequest) plus an
+// optional client-chosen session id. Client-chosen ids exist for
+// routing layers — mdrouter places a session on the backend that owns
+// hash(context/id), and only a caller-supplied id makes that placement
+// reproducible across router restarts. An empty id keeps the server's
+// own "s1", "s2", ... numbering.
+type SessionCreateRequest struct {
+	ID       string       `json:"id,omitempty"`
 	Instance WireInstance `json:"instance,omitempty"`
 }
 
