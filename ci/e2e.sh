@@ -268,6 +268,88 @@ trap cleanup EXIT
 echo "e2e: federated source refresh OK"
 
 # ---------------------------------------------------------------------
+# Time-travel stage: apply three batches, capturing the live answer
+# stream after each one; every ?as_of=<version> read must then return
+# those captures byte-identically, the version timeline must number one
+# version per batch, the trajectory must grow monotonically, and the
+# as-of error vocabulary (400 invalid_as_of) must hold.
+TTADDR="127.0.0.1:${MDSERVE_TT_PORT:-8134}"
+TTBASE="http://$TTADDR/v1/contexts/hospital"
+
+"$BIN" -addr "$TTADDR" -example -parallelism 1 &
+TT_PID=$!
+trap 'kill "$TT_PID" 2>/dev/null || true; cleanup' EXIT
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$TTADDR/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+curl -fsS -X POST "$TTBASE/sessions" >/dev/null
+TTQ='m(t, p, v) <- Measurements(t, p, v).'
+curl -fsS -G --data-urlencode "q=$TTQ" \
+  "$TTBASE/sessions/s1/answers" | LC_ALL=C sort >"$OUT/tt-live-v0"
+for i in 0 1 2; do
+  printf '{"atoms":[{"pred":"Clock","args":["Sep/6-12:4%d","Sep/6"]},{"pred":"Measurements","args":["Sep/6-12:4%d","Tom Waits","37.%d"]}]}\n' "$i" "$i" "$i" \
+    | curl -fsS -X POST --data-binary @- "$TTBASE/sessions/s1/apply" >/dev/null
+  curl -fsS -G --data-urlencode "q=$TTQ" \
+    "$TTBASE/sessions/s1/answers" | LC_ALL=C sort >"$OUT/tt-live-v$((i + 1))"
+done
+
+# As-of reads are byte-identical to what the live session answered at
+# each version.
+for v in 0 1 2 3; do
+  curl -fsS -G --data-urlencode "q=$TTQ" --data-urlencode "as_of=$v" \
+    "$TTBASE/sessions/s1/answers" | LC_ALL=C sort >"$OUT/tt-asof-v$v"
+  if ! diff -u "$OUT/tt-live-v$v" "$OUT/tt-asof-v$v"; then
+    echo "e2e: as_of=$v answers differ from the live capture" >&2
+    exit 1
+  fi
+done
+
+# The timeline numbers one version per batch (plus the initial v0).
+curl -fsS "$TTBASE/sessions/s1/versions" >"$OUT/tt-versions"
+if ! grep -qF '"latest":3' "$OUT/tt-versions"; then
+  echo "e2e: version timeline must end at 3" >&2
+  cat "$OUT/tt-versions" >&2
+  exit 1
+fi
+nvers=$(grep -o '"seq":[0-9]*' "$OUT/tt-versions" | wc -l)
+if [ "$nvers" -ne 4 ]; then
+  echo "e2e: want 4 versions, got $nvers" >&2
+  cat "$OUT/tt-versions" >&2
+  exit 1
+fi
+
+# The trajectory holds one scored point per version and the relation
+# only grows: its original-row counts must be strictly increasing.
+curl -fsS "$TTBASE/sessions/s1/trajectory?rel=Measurements" >"$OUT/tt-trajectory"
+if ! grep -o '"original":[0-9]*' "$OUT/tt-trajectory" | cut -d: -f2 \
+  | awk 'NR > 1 && $1 <= prev { exit 1 } { prev = $1 } END { exit NR == 4 ? 0 : 1 }'; then
+  echo "e2e: trajectory must hold 4 strictly-growing points" >&2
+  cat "$OUT/tt-trajectory" >&2
+  exit 1
+fi
+
+# The as-of error vocabulary: malformed and future versions are 400
+# invalid_as_of on every read endpoint.
+for bad in 'as_of=banana' 'as_of=99'; do
+  for path in "sessions/s1/answers?q=m(t)%20%3C-%20Clock(t%2C%20d).&$bad" \
+    "sessions/s1/assessment?$bad" "sessions/s1/trajectory?rel=Measurements&$bad"; do
+    code=$(curl -s -o "$OUT/tt-err" -w '%{http_code}' "$TTBASE/$path")
+    if [ "$code" -ne 400 ] || ! grep -qF '"invalid_as_of"' "$OUT/tt-err"; then
+      echo "e2e: $path must fail 400 invalid_as_of, got $code" >&2
+      cat "$OUT/tt-err" >&2
+      exit 1
+    fi
+  done
+done
+
+kill "$TT_PID" 2>/dev/null || true
+wait "$TT_PID" 2>/dev/null || true
+trap cleanup EXIT
+echo "e2e: time travel OK"
+
+# ---------------------------------------------------------------------
 # Load-smoke stage: two mdserve shards behind mdrouter, a short open-
 # loop mdload burst through the router. Gates: zero failed operations
 # (any backend 5xx surfaces as an mdload error), both shards actually

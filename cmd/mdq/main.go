@@ -324,12 +324,18 @@ func cleanAnswer(ctx context.Context, f *mdqa.File, args []string, parallelism i
 	}
 	// Stream the clean answers off the assessment's snapshot; answers
 	// are sorted via the materialized set only for stable CLI output.
+	// Explain reads the same snapshot the answers come from — a plan is
+	// costed against one snapshot's statistics, so rendering it off any
+	// other version would show a plan the query never executes.
 	snap := a.Snapshot()
 	for _, nq := range queries {
 		if *explain {
 			text, err := snap.Explain(nq.Query, true, nil)
 			if err != nil {
 				return fmt.Errorf("query %s: %w", nq.Name, err)
+			}
+			if v, ok := snap.Version(); ok {
+				fmt.Fprintf(out, "-- plan at session version %d\n", v.Seq)
 			}
 			fmt.Fprintf(out, "%s -> %s", snap.RewriteClean(nq.Query), text)
 			continue

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"net/url"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"syscall"
 	"testing"
@@ -179,6 +181,43 @@ func TestKillRecover(t *testing.T) {
 			wantAssess := request(t, "GET", refBase+"/assessment", "")
 			if gotAssess != wantAssess {
 				t.Fatalf("recovered assessment differs from uninterrupted run:\n got: %s\nwant: %s", gotAssess, wantAssess)
+			}
+			// Time travel survives the kill: every pre-crash version
+			// still answers and assesses byte-identically to the
+			// uninterrupted run's as-of reads.
+			for v := 0; v <= acked; v++ {
+				av := fmt.Sprintf("&as_of=%d", v)
+				gotV := sortLines(request(t, "GET", sbase2+q+av, ""))
+				wantV := sortLines(request(t, "GET", refBase+q+av, ""))
+				if gotV != wantV {
+					t.Fatalf("recovered as_of=%d answers differ:\n got: %s\nwant: %s", v, gotV, wantV)
+				}
+				ap := fmt.Sprintf("/assessment?as_of=%d", v)
+				gotA := request(t, "GET", sbase2+ap, "")
+				wantA := request(t, "GET", refBase+ap, "")
+				if gotA != wantA {
+					t.Fatalf("recovered as_of=%d assessment differs:\n got: %s\nwant: %s", v, gotA, wantA)
+				}
+			}
+			// The trajectory is intact across the restart: one scored
+			// point per acknowledged batch, score-for-score identical to
+			// the reference (wall times are replay times, so they are
+			// blanked before comparing).
+			var gotTr, wantTr server.TrajectoryResponse
+			if err := json.Unmarshal([]byte(request(t, "GET", sbase2+"/trajectory?rel=Measurements", "")), &gotTr); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal([]byte(request(t, "GET", refBase+"/trajectory?rel=Measurements", "")), &wantTr); err != nil {
+				t.Fatal(err)
+			}
+			if len(gotTr.Points) != acked+1 {
+				t.Fatalf("recovered trajectory = %d points, want %d", len(gotTr.Points), acked+1)
+			}
+			for i := range gotTr.Points {
+				gotTr.Points[i].Time, wantTr.Points[i].Time = "", ""
+			}
+			if !reflect.DeepEqual(gotTr.Points, wantTr.Points) {
+				t.Fatalf("recovered trajectory differs:\n got: %+v\nwant: %+v", gotTr.Points, wantTr.Points)
 			}
 			metrics := request(t, "GET", base2+"/metrics", "")
 			if !strings.Contains(metrics, `mdserve_sessions_recovered_total{context="hospital"} 1`) {

@@ -25,6 +25,15 @@
 //	POST /v1/contexts/{name}/sessions/{id}/refresh    re-poll live sources
 //	GET  /v1/contexts/{name}/sessions/{id}/answers?q= stream answers
 //	GET  /v1/contexts/{name}/sessions/{id}/assessment materialized outcome
+//	GET  /v1/contexts/{name}/sessions/{id}/versions   version timeline
+//	GET  /v1/contexts/{name}/sessions/{id}/trajectory?rel= score series
+//
+// Time travel: every applied batch produces a numbered session
+// version; answers, assessment, assess and trajectory accept
+// ?as_of=<version|RFC3339> to read any version still retained in the
+// in-memory ring (-history-depth, -history-bytes) — or, with
+// -data-dir, any version reconstructable from retained snapshots and
+// WAL replay.
 //
 // Live external sources bind a contextual relation to an HTTP endpoint
 // or file that is re-polled at refresh time:
@@ -143,6 +152,8 @@ func run(ctx context.Context, args []string) error {
 	fsync := fs.String("fsync", "interval", "WAL durability mode: always, interval or async")
 	snapshotEvery := fs.Int("snapshot-every", 0, "apply batches per session WAL before compaction into a snapshot (0 = default)")
 	maxResident := fs.Int("max-resident-sessions", 0, "sessions kept saturated in memory; least-recently-used beyond this are evicted to disk (0 = all, needs -data-dir)")
+	historyDepth := fs.Int("history-depth", 0, "version snapshots retained in memory per session for as-of reads (0 = default, negative = disable history)")
+	historyBytes := fs.Int64("history-bytes", 0, "estimated memory cap for each session's retained version snapshots (0 = bounded by -history-depth alone)")
 	var sources contextFlags
 	fs.Var(&sources, "context", "quality context to serve, as name=path.mdq (repeatable)")
 	var liveSources sourceFlags
@@ -192,6 +203,8 @@ func run(ctx context.Context, args []string) error {
 		Fsync:         mode,
 		SnapshotEvery: *snapshotEvery,
 		MaxResident:   *maxResident,
+		HistoryDepth:  *historyDepth,
+		HistoryBytes:  *historyBytes,
 	}, sources)
 	if err != nil {
 		return err

@@ -407,6 +407,25 @@ func (s *Session) Violations() []chase.Violation {
 	return out
 }
 
+// State returns a frozen snapshot paired with the cumulative violation
+// list it corresponds to, taken under one lock acquisition — the
+// version-recording path needs the two to describe the same instant,
+// which separate Snapshot and Violations calls cannot guarantee under
+// a concurrent writer.
+func (s *Session) State() (*storage.Instance, []chase.Violation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var inst *storage.Instance
+	if s.eval != nil {
+		inst = s.eval.Instance().Snapshot()
+	} else {
+		inst = s.chase.Instance().Snapshot()
+	}
+	out := make([]chase.Violation, len(s.chase.Result().Violations))
+	copy(out, s.chase.Result().Violations)
+	return inst, out
+}
+
 // ChaseResult returns the cumulative chase statistics. The contained
 // instance is the live one — use Snapshot for concurrent reads.
 func (s *Session) ChaseResult() *chase.Result {

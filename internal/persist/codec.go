@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/history"
 	"repro/internal/storage"
 )
 
@@ -93,6 +94,11 @@ type Meta struct {
 	// the snapshot, keyed by binding name; present only when the
 	// session has live sources.
 	SourceVersions map[string]string `json:"source_versions,omitempty"`
+	// History is the session's version metadata (trajectory, wall
+	// times, delta attribution) up to Seq. Metadata only — as-of reads
+	// behind the in-memory ring reconstruct instances by WAL replay
+	// from an earlier snapshot file. Absent from pre-history snapshots.
+	History []history.Version `json:"history,omitempty"`
 }
 
 // ChaseMeta is the JSON shape of chase.Restored.
@@ -145,6 +151,14 @@ type SessionState struct {
 	// per-binding version tokens they correspond to.
 	Sources        *storage.Instance
 	SourceVersions map[string]string
+	// Seq is the apply sequence the state covers — the version number
+	// the restored session resumes at. Carried in Meta.Seq on disk;
+	// EncodeSnapshot takes it from its meta argument, ReadSnapshot
+	// fills it in from the decoded header.
+	Seq uint64
+	// History is the session's version metadata up to Seq (see
+	// Meta.History).
+	History []history.Version
 }
 
 // EncodeSnapshot serializes a session snapshot. meta.Format, meta.Chase
@@ -155,6 +169,7 @@ func EncodeSnapshot(meta Meta, st SessionState) ([]byte, error) {
 	}
 	meta.Format = Format
 	meta.Chase = ChaseMetaOf(st.Chase)
+	meta.History = st.History
 	meta.Instances = []string{SectionChase, SectionOrig}
 	if st.Sources != nil {
 		meta.Instances = append(meta.Instances, SectionSources)
@@ -301,7 +316,13 @@ func ReadSnapshot(data []byte, base *datalog.Interner) (Meta, SessionState, erro
 	if err != nil {
 		return Meta{}, SessionState{}, fmt.Errorf("persist: %s section: %w", SectionOrig, err)
 	}
-	st := SessionState{Chased: chased, Orig: orig, Chase: meta.Chase.Restored()}
+	st := SessionState{
+		Chased:  chased,
+		Orig:    orig,
+		Chase:   meta.Chase.Restored(),
+		Seq:     meta.Seq,
+		History: meta.History,
+	}
 	if srcBody, ok := bodies[SectionSources]; ok {
 		st.Sources, err = decodeInstance(srcBody, datalog.NewInterner())
 		if err != nil {

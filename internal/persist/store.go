@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/datalog"
+	"repro/internal/qerr"
 	"repro/internal/wal"
 )
 
@@ -23,6 +24,13 @@ type Options struct {
 	// SnapshotEvery is the batch count between snapshots
 	// (0 = DefaultSnapshotEvery).
 	SnapshotEvery int
+	// RetainHistory keeps as-of reads answerable for the last N
+	// versions after compaction: WriteSnapshot preserves the newest
+	// older snapshot covering seq <= newSeq-N as a replay base (plus
+	// any sealed WAL segments it still needs) instead of deleting
+	// everything older. 0 preserves the historical behavior — one
+	// snapshot, no replay-based time travel past it.
+	RetainHistory int
 }
 
 // Store is the on-disk root of durable sessions, laid out as
@@ -282,9 +290,13 @@ func (l *SessionLog) Rotate() (uint64, error) {
 }
 
 // WriteSnapshot writes a snapshot covering meta.Seq durably, then
-// deletes every older snapshot and every sealed (non-current) WAL
-// segment — all their batches are covered. Safe to call without the
-// session lock: it touches no writer state.
+// compacts: with Options.RetainHistory zero every older snapshot and
+// every sealed (non-current) WAL segment is deleted — all their
+// batches are covered. With retention N, the newest older snapshot
+// covering seq <= meta.Seq-N survives as the replay base for as-of
+// reconstruction (ReadSessionAt), along with every snapshot newer than
+// it and every sealed segment holding batches beyond the base. Safe to
+// call without the session lock: it touches no writer state.
 func (l *SessionLog) WriteSnapshot(meta Meta, st SessionState) error {
 	data, err := EncodeSnapshot(meta, st)
 	if err != nil {
@@ -294,13 +306,33 @@ func (l *SessionLog) WriteSnapshot(meta Meta, st SessionState) error {
 		return fmt.Errorf("persist: write snapshot: %w", err)
 	}
 	l.snapSeq = meta.Seq
+	// The retention floor: versions >= floor must stay reconstructable,
+	// so the newest snapshot covering seq <= floor is the replay base.
+	floor := meta.Seq
+	if retain := uint64(l.opts.RetainHistory); retain > 0 {
+		if retain < floor {
+			floor -= retain
+		} else {
+			floor = 0
+		}
+	}
 	// Cleanup is best-effort: leftovers are re-deleted after the next
 	// snapshot, and recovery tolerates them (replay skips covered
 	// sequences).
 	paths, seqs, err := snapshots(l.dir)
+	baseSeq := meta.Seq
 	if err == nil {
+		base := -1
+		for i, seq := range seqs {
+			if seq <= floor && (base < 0 || seq > seqs[base]) {
+				base = i
+			}
+		}
+		if base >= 0 {
+			baseSeq = seqs[base]
+		}
 		for i, p := range paths {
-			if seqs[i] != meta.Seq {
+			if i < base || (base < 0 && seqs[i] != meta.Seq) {
 				os.Remove(p)
 			}
 		}
@@ -309,12 +341,92 @@ func (l *SessionLog) WriteSnapshot(meta Meta, st SessionState) error {
 	if err == nil {
 		cur := filepath.Join(l.dir, wal.SegmentName(l.gen))
 		for _, p := range segs {
-			if p != cur {
-				os.Remove(p)
+			if p == cur {
+				continue
 			}
+			if l.opts.RetainHistory > 0 && !segmentCovered(p, baseSeq) {
+				continue // still needed to replay base -> newer versions
+			}
+			os.Remove(p)
 		}
 	}
 	return nil
+}
+
+// segmentCovered reports whether every batch in a sealed segment has
+// Seq <= baseSeq, i.e. the segment is fully behind the replay base and
+// deletable. Any read or decode doubt keeps the segment — deleting a
+// needed segment silently truncates time travel, keeping a stale one
+// only costs disk.
+func segmentCovered(path string, baseSeq uint64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	covered := true
+	err = wal.DecodeSegment(path, data, false, func(b wal.Batch) error {
+		if b.Seq > baseSeq {
+			covered = false
+		}
+		return nil
+	})
+	return err == nil && covered
+}
+
+// ReadSessionAt reconstructs a session's durable state at an exact
+// historical version: it decodes the newest snapshot covering
+// seq <= target and replays the WAL batches in (snapshot, target]
+// through replay, in order. It is read-only — no segment is opened for
+// appends and no file is touched — so it is safe alongside a live
+// SessionLog on the same directory. A target older than every retained
+// snapshot (compaction has dropped its replay base) yields a
+// *qerr.VersionEvictedError naming the oldest reconstructable version;
+// a target beyond the log yields a plain error (callers validate
+// against the live session's latest version first).
+func (s *Store) ReadSessionAt(context, sid string, target uint64, base *datalog.Interner, replay func(wal.Batch) error) (Meta, SessionState, error) {
+	dir, err := s.sessionDir(context, sid)
+	if err != nil {
+		return Meta{}, SessionState{}, err
+	}
+	paths, seqs, err := snapshots(dir)
+	if err != nil {
+		return Meta{}, SessionState{}, err
+	}
+	bi := -1
+	for i, seq := range seqs {
+		if seq <= target {
+			bi = i // ascending order: last match is the newest base
+		}
+	}
+	if bi < 0 {
+		oldest := uint64(0)
+		if len(seqs) > 0 {
+			oldest = seqs[0]
+		}
+		return Meta{}, SessionState{}, &qerr.VersionEvictedError{Version: target, Oldest: oldest}
+	}
+	data, err := os.ReadFile(paths[bi])
+	if err != nil {
+		return Meta{}, SessionState{}, err
+	}
+	meta, st, err := ReadSnapshot(data, base)
+	if err != nil {
+		return Meta{}, SessionState{}, fmt.Errorf("persist: snapshot %s: %w", filepath.Base(paths[bi]), err)
+	}
+	if meta.Seq != seqs[bi] {
+		return Meta{}, SessionState{}, fmt.Errorf("persist: snapshot %s covers seq %d, file name says %d", filepath.Base(paths[bi]), meta.Seq, seqs[bi])
+	}
+	replayed := uint64(0)
+	if _, err := wal.ReplayRange(dir, meta.Seq, target, func(b wal.Batch) error {
+		replayed++
+		return replay(b)
+	}); err != nil {
+		return Meta{}, SessionState{}, err
+	}
+	if meta.Seq+replayed != target {
+		return Meta{}, SessionState{}, fmt.Errorf("persist: as-of %d: log ends at %d (snapshot %d + %d replayed)", target, meta.Seq+replayed, meta.Seq, replayed)
+	}
+	return meta, st, nil
 }
 
 // Sync forces the live segment to stable storage (shutdown flushes).

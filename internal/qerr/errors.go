@@ -66,7 +66,28 @@ var (
 	// not fetch an external source (and had no cached snapshot they
 	// were allowed to serve stale).
 	ErrSourceUnavailable = errors.New("external source unavailable")
+	// ErrVersionEvicted marks as-of reads of a session version that has
+	// aged out of the retained history (ring-evicted in memory and, for
+	// durable sessions, past the oldest snapshot the WAL can replay
+	// from).
+	ErrVersionEvicted = errors.New("version evicted from history")
 )
+
+// VersionEvictedError reports which version an as-of read asked for
+// and the oldest version still reachable, behind an ErrVersionEvicted.
+type VersionEvictedError struct {
+	Version uint64 // the requested version
+	Oldest  uint64 // the oldest version still reachable
+}
+
+// Error renders the requested and oldest-reachable versions.
+func (e *VersionEvictedError) Error() string {
+	return fmt.Sprintf("%s: version %d (oldest retained %d)",
+		ErrVersionEvicted.Error(), e.Version, e.Oldest)
+}
+
+// Is matches ErrVersionEvicted.
+func (e *VersionEvictedError) Is(target error) bool { return target == ErrVersionEvicted }
 
 // SourceUnavailableError names the external source whose fetch failed
 // behind an ErrSourceUnavailable, wrapping the connector's error.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/engine"
 	"repro/internal/eval"
+	"repro/internal/history"
 	"repro/internal/hm"
 	"repro/internal/qerr"
 	"repro/internal/source"
@@ -82,6 +83,15 @@ type Config struct {
 	// when the chase finds constraint violations, instead of
 	// reporting them on the Assessment.
 	StrictConsistency bool
+	// HistoryDepth bounds how many version snapshots each session
+	// retains in memory for as-of reads: 0 selects
+	// history.DefaultDepth, a negative value disables version history
+	// entirely (Session.At and friends then fail).
+	HistoryDepth int
+	// HistoryBytes caps the estimated memory of the retained version
+	// snapshots per session (0 = no byte bound). The newest version is
+	// always retained.
+	HistoryBytes int64
 	// Parallelism bounds the worker pool assessments fan chase and
 	// eval rounds out across: 0 resolves to runtime.GOMAXPROCS(0)
 	// (the default), 1 reproduces the sequential engine exactly, n > 1
@@ -136,6 +146,8 @@ func NewContext(o *core.Ontology, cfg Config) (*Context, error) {
 		QualityRules:      append([]*eval.Rule(nil), cfg.QualityRules...),
 		Sources:           append([]source.Binding(nil), cfg.Sources...),
 		StrictConsistency: cfg.StrictConsistency,
+		HistoryDepth:      cfg.HistoryDepth,
+		HistoryBytes:      cfg.HistoryBytes,
 		Parallelism:       cfg.Parallelism,
 	}
 	// Externals are deep-copied, not just re-sliced: a caller mutating
@@ -393,6 +405,10 @@ type Prepared struct {
 	// srcRels is the set of relations owned by live sources; Apply
 	// keeps them out of the measure base (see Session.Apply).
 	srcRels map[string]bool
+	// histDepth and histBytes carry the context's history bounds into
+	// every session's version ring (see Config.HistoryDepth).
+	histDepth int
+	histBytes int64
 }
 
 // Prepare compiles the context once, caching the result for the
@@ -441,13 +457,15 @@ func (c *Context) compile() (*Prepared, error) {
 		return nil, err
 	}
 	p := &Prepared{
-		eng:      eng,
-		strict:   c.cfg.StrictConsistency,
-		versions: make(map[string]*versionDef, len(c.versions)),
-		vorder:   append([]string(nil), c.vorder...),
-		bindings: append([]source.Binding(nil), c.cfg.Sources...),
-		resolver: c.resolver,
-		srcRels:  make(map[string]bool, len(c.cfg.Sources)),
+		eng:       eng,
+		strict:    c.cfg.StrictConsistency,
+		versions:  make(map[string]*versionDef, len(c.versions)),
+		vorder:    append([]string(nil), c.vorder...),
+		bindings:  append([]source.Binding(nil), c.cfg.Sources...),
+		resolver:  c.resolver,
+		srcRels:   make(map[string]bool, len(c.cfg.Sources)),
+		histDepth: c.cfg.HistoryDepth,
+		histBytes: c.cfg.HistoryBytes,
 	}
 	for _, b := range p.bindings {
 		p.srcRels[b.Src.Schema().Relation] = true
@@ -504,6 +522,12 @@ func (p *Prepared) NewSession(ctx context.Context, d *storage.Instance) (*Sessio
 		// context, not the data whose quality is measured.
 		s.orig = d.CloneDetached()
 	}
+	if p.histDepth >= 0 {
+		// Version 0 is the session's initial saturated state; every
+		// Apply and changed Refresh then stamps the next version.
+		s.hist = history.New(p.histDepth, p.histBytes)
+		s.recordVersionLocked(0)
+	}
 	return s, nil
 }
 
@@ -525,6 +549,9 @@ type Session struct {
 	// priorRounds accumulates chase rounds from engine sessions
 	// discarded by rebuild-on-removal, keeping ChaseRounds monotonic.
 	priorRounds int
+	// hist is the bounded version history behind the as-of read path
+	// (nil when Config.HistoryDepth is negative). Guarded by mu.
+	hist *history.Ring
 }
 
 // Apply extends the assessment with a batch of new ground facts —
@@ -557,7 +584,162 @@ func (s *Session) Apply(ctx context.Context, delta []datalog.Atom) (*engine.Appl
 			return nil, err
 		}
 	}
+	s.recordVersionLocked(res.Inserted)
 	return res, nil
+}
+
+// recordVersionLocked stamps the session's next version: a frozen
+// engine snapshot paired with the violation list it corresponds to,
+// scored per versioned relation. Callers hold s.mu (or own the session
+// exclusively, as NewSession does). batch counts the new facts the
+// producing apply inserted.
+func (s *Session) recordVersionLocked(batch int) {
+	if s.hist == nil {
+		return
+	}
+	inst, viols := s.eng.State()
+	seq := s.hist.NextSeq()
+	v := history.Version{
+		Seq:        seq,
+		WALSeq:     seq, // one WAL record per version under the durable serving layer
+		Time:       time.Now().UTC(),
+		Batch:      batch,
+		Violations: len(viols),
+		Rows:       inst.TotalTuples(),
+		Scores:     s.scoresLocked(inst),
+	}
+	// Delta attribution: the violations beyond the previous version's
+	// cumulative count are the ones this version introduced. A refresh
+	// rebuild resets the engine's accounting (the list can shrink), in
+	// which case attribution restarts from this version.
+	if last, ok := s.hist.Last(); ok && len(viols) >= last.Violations {
+		v.Introduced = append([]chase.Violation(nil), viols[last.Violations:]...)
+	}
+	s.hist.Record(&history.Entry{Version: v, Inst: inst, Viol: viols})
+}
+
+// scoresLocked computes the departure measure of every versioned
+// relation against the given contextual snapshot — count-only (no
+// materialized rename), so the per-apply recording cost stays linear
+// in the version relations' sizes.
+func (s *Session) scoresLocked(inst *storage.Instance) map[string]history.Score {
+	if len(s.prep.vorder) == 0 {
+		return nil
+	}
+	scores := make(map[string]history.Score, len(s.prep.vorder))
+	for _, rel := range s.prep.vorder {
+		orig := s.orig.Relation(rel)
+		if orig == nil {
+			continue
+		}
+		var vrel *storage.Relation
+		if def := s.prep.versions[rel]; def != nil {
+			vrel = inst.Relation(def.pred)
+		}
+		m := Measure{Original: orig.Len()}
+		if vrel != nil {
+			m.Quality = vrel.Len()
+			for _, tup := range vrel.Tuples() {
+				if orig.Schema().Arity() == len(tup) && orig.Contains(tup) {
+					m.Intersection++
+				}
+			}
+		}
+		scores[rel] = history.Score{Original: m.Original, Quality: m.Quality, Intersection: m.Intersection}
+	}
+	return scores
+}
+
+// History returns the metadata of every version the session knows
+// about, ascending; nil when history is disabled.
+func (s *Session) History() []history.Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hist == nil {
+		return nil
+	}
+	return s.hist.Versions()
+}
+
+// LatestVersion returns the newest version's metadata (false when
+// history is disabled).
+func (s *Session) LatestVersion() (history.Version, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hist == nil {
+		return history.Version{}, false
+	}
+	return s.hist.Last()
+}
+
+// OldestRetained returns the oldest version whose snapshot the session
+// still holds in memory (false when history is disabled).
+func (s *Session) OldestRetained() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hist == nil {
+		return 0, false
+	}
+	return s.hist.OldestRetained()
+}
+
+// ErrHistoryDisabled marks versioned reads on a session whose context
+// disabled history retention (Config.HistoryDepth < 0).
+var ErrHistoryDisabled = fmt.Errorf("quality: version history disabled")
+
+// At returns the frozen contextual snapshot and metadata of version
+// seq. Versions older than the retained ring fail with
+// qerr.ErrVersionEvicted (a durable serving layer may still
+// reconstruct them from disk); versions newer than the latest fail
+// with a plain error naming the latest.
+func (s *Session) At(seq uint64) (*storage.Instance, history.Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.entryAtLocked(seq)
+	if err != nil {
+		return nil, history.Version{}, err
+	}
+	return e.Inst, e.Version, nil
+}
+
+// AsOfTime resolves a wall-clock instant to the newest version at or
+// before it (qerr.ErrVersionEvicted when t predates the first known
+// version).
+func (s *Session) AsOfTime(t time.Time) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hist == nil {
+		return 0, ErrHistoryDisabled
+	}
+	return s.hist.AsOf(t)
+}
+
+// Attribute reports which version introduced the given violation —
+// the answer to "which applied batch broke this constraint" — by
+// consulting the per-version delta-attribution records.
+func (s *Session) Attribute(v chase.Violation) (history.Version, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hist == nil {
+		return history.Version{}, false
+	}
+	return s.hist.Attribute(v)
+}
+
+// entryAtLocked resolves one retained version entry under s.mu.
+func (s *Session) entryAtLocked(seq uint64) (*history.Entry, error) {
+	if s.hist == nil {
+		return nil, ErrHistoryDisabled
+	}
+	e, ok, err := s.hist.At(seq)
+	if err != nil {
+		return nil, fmt.Errorf("quality: %w", err)
+	}
+	if !ok {
+		latest, _ := s.hist.LatestSeq()
+		return nil, fmt.Errorf("quality: version %d not yet applied (latest %d)", seq, latest)
+	}
+	return e, nil
 }
 
 // Snapshot returns a frozen, consistent view of the contextual
@@ -568,6 +750,21 @@ func (s *Session) Snapshot() *storage.Instance {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.eng.Snapshot()
+}
+
+// View returns the latest frozen contextual snapshot paired with its
+// version metadata, under one lock acquisition (so the pairing cannot
+// straddle a concurrent Apply). ok is false when history is disabled —
+// the snapshot is still valid, only the metadata is absent.
+func (s *Session) View() (*storage.Instance, history.Version, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hist != nil {
+		if e := s.hist.Latest(); e != nil {
+			return e.Inst, e.Version, true
+		}
+	}
+	return s.eng.Snapshot(), history.Version{}, false
 }
 
 // Violations returns the session's cumulative constraint violations.
@@ -610,11 +807,38 @@ func (s *Session) Assessment() (*Assessment, error) {
 	// atomically against Apply.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	violations := s.eng.Violations()
+	final, violations := s.eng.State()
+	return s.assembleLocked(final, violations, nil)
+}
+
+// AssessmentAt materializes the assessment outcome as of version seq:
+// quality versions and violations from the retained snapshot, measures
+// from the scores recorded when the version was produced (the measure
+// base itself is not retained per version). Resolution errors mirror
+// Session.At.
+func (s *Session) AssessmentAt(seq uint64) (*Assessment, history.Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.entryAtLocked(seq)
+	if err != nil {
+		return nil, history.Version{}, err
+	}
+	a, err := s.assembleLocked(e.Inst, e.Viol, e.Scores)
+	if err != nil {
+		return nil, history.Version{}, err
+	}
+	return a, e.Version, nil
+}
+
+// assembleLocked builds the Assessment over one frozen contextual
+// snapshot: version relations renamed to the original attribute names
+// in sorted order, measures either computed live against the current
+// measure base (scores == nil, the latest-version path) or taken from
+// a version's recorded scores (the as-of path).
+func (s *Session) assembleLocked(final *storage.Instance, violations []chase.Violation, scores map[string]history.Score) (*Assessment, error) {
 	if s.prep.strict && len(violations) > 0 {
 		return nil, fmt.Errorf("quality: %w", &qerr.InconsistentError{Violations: violations})
 	}
-	final := s.eng.Snapshot()
 	out := &Assessment{
 		Contextual:  final,
 		Versions:    map[string]*storage.Relation{},
@@ -649,7 +873,12 @@ func (s *Session) Assessment() (*Assessment, error) {
 			}
 		}
 		out.Versions[rel] = renamed
-		if orig != nil {
+		switch {
+		case scores != nil:
+			if sc, ok := scores[rel]; ok {
+				out.Measures[rel] = Measure{Original: sc.Original, Quality: sc.Quality, Intersection: sc.Intersection}
+			}
+		case orig != nil:
 			out.Measures[rel] = measure(orig, renamed)
 		}
 	}

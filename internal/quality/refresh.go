@@ -114,6 +114,17 @@ func (s *Session) Refresh(ctx context.Context) (*RefreshResult, error) {
 		res.Changed, res.Apply, res.Delta = true, ar, added
 	}
 	s.src = next
+	if res.Changed {
+		// A changed refresh is a version like any applied batch. The
+		// durable serving layer keeps the WAL aligned: it appends
+		// res.Delta for the incremental case and an empty marker batch
+		// for a rebuild, so version seq == WAL seq either way.
+		batch := 0
+		if res.Apply != nil {
+			batch = res.Apply.Inserted
+		}
+		s.recordVersionLocked(batch)
+	}
 	return res, nil
 }
 

@@ -24,6 +24,10 @@ func (s *Server) openStore(ctx context.Context) error {
 			OnSync:   s.met.fsynced,
 		},
 		SnapshotEvery: s.cfg.SnapshotEvery,
+		// Keep enough on-disk replay bases to reconstruct every version
+		// the in-memory rings promise metadata for — as-of reads behind
+		// the ring fall through to persist.ReadSessionAt.
+		RetainHistory: s.historyRetain(),
 	})
 	if err != nil {
 		return err
@@ -51,6 +55,21 @@ func (s *Server) openStore(ctx context.Context) error {
 	}
 	s.met.setRecovery(time.Since(start))
 	return nil
+}
+
+// historyRetain resolves Config.HistoryDepth to the durable store's
+// snapshot-retention window: 0 means the facade default, negative
+// means history is disabled and compaction keeps only the newest
+// snapshot (the pre-history behavior).
+func (s *Server) historyRetain() int {
+	switch {
+	case s.cfg.HistoryDepth < 0:
+		return 0
+	case s.cfg.HistoryDepth == 0:
+		return mdqa.DefaultHistoryDepth
+	default:
+		return s.cfg.HistoryDepth
+	}
 }
 
 // openSession decodes a session's durable state and replays its WAL

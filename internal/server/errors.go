@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/qerr"
+	"repro/mdqa"
 )
 
 // StatusClientClosedRequest is the non-standard status (nginx's 499)
@@ -27,6 +28,10 @@ type WireError struct {
 	Atoms      int             `json:"atoms,omitempty"`
 	Relation   string          `json:"relation,omitempty"`
 	Source     string          `json:"source,omitempty"`
+	// Version and Oldest detail a 410 version_evicted: the version the
+	// as-of read asked for and the oldest one still reachable.
+	Version uint64 `json:"version,omitempty"`
+	Oldest  uint64 `json:"oldest,omitempty"`
 }
 
 // ErrorBody wraps a WireError as a response body.
@@ -61,6 +66,15 @@ type conflictError struct{ msg string }
 
 func (e *conflictError) Error() string { return e.msg }
 
+// invalidAsOfError marks an unusable ?as_of= parameter (400): not a
+// version number or RFC3339 instant, a version beyond the session's
+// latest, or an as-of read against a history-disabled context. Distinct
+// from version_evicted (410) — that version existed and is gone;
+// this one never will resolve as asked.
+type invalidAsOfError struct{ msg string }
+
+func (e *invalidAsOfError) Error() string { return e.msg }
+
 // MapError translates an engine or handler error into its HTTP status
 // and structured body, the qerr → HTTP contract of the API:
 //
@@ -69,6 +83,8 @@ func (e *conflictError) Error() string { return e.msg }
 //	qerr.ErrUnknownRelation→ 400 Bad Request, relation named
 //	qerr.ErrUnsafeRule     → 400 Bad Request
 //	qerr.ErrSourceUnavailable → 502 Bad Gateway, source named
+//	qerr.ErrVersionEvicted → 410 Gone, version + oldest attached
+//	bad ?as_of= parameter  → 400 Bad Request (code "invalid_as_of")
 //	unknown context/session→ 404 Not Found
 //	taken session id       → 409 Conflict (code "session_exists")
 //	malformed payloads     → 400 Bad Request
@@ -82,13 +98,26 @@ func MapError(err error) (int, ErrorBody) {
 	var br *badRequestError
 	var ov *overloadedError
 	var cf *conflictError
+	var ao *invalidAsOfError
 	var ie *qerr.InconsistentError
 	var be *qerr.BoundExceededError
 	var ur *qerr.UnknownRelationError
 	var su *qerr.SourceUnavailableError
+	var ve *qerr.VersionEvictedError
 	switch {
 	case errors.As(err, &nf):
 		status, we.Code = http.StatusNotFound, "not_found"
+	case errors.As(err, &ao):
+		status, we.Code = http.StatusBadRequest, "invalid_as_of"
+	case errors.Is(err, qerr.ErrVersionEvicted):
+		// 410 Gone: the version existed, but retention (in memory, and
+		// for durable sessions on disk) has moved past it.
+		status, we.Code = http.StatusGone, "version_evicted"
+		if errors.As(err, &ve) {
+			we.Version, we.Oldest = ve.Version, ve.Oldest
+		}
+	case errors.Is(err, mdqa.ErrHistoryDisabled):
+		status, we.Code = http.StatusBadRequest, "invalid_as_of"
 	case errors.As(err, &br):
 		status, we.Code = http.StatusBadRequest, "bad_request"
 	case errors.As(err, &ov):

@@ -31,6 +31,8 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /v1/contexts/{name}/sessions/{id}/refresh", s.handleRefresh)
 	mux.HandleFunc("GET /v1/contexts/{name}/sessions/{id}/answers", s.handleAnswers)
 	mux.HandleFunc("GET /v1/contexts/{name}/sessions/{id}/assessment", s.handleSessionAssess)
+	mux.HandleFunc("GET /v1/contexts/{name}/sessions/{id}/versions", s.handleVersions)
+	mux.HandleFunc("GET /v1/contexts/{name}/sessions/{id}/trajectory", s.handleTrajectory)
 	s.mux = mux
 }
 
@@ -129,6 +131,15 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, lc.name, err)
 		return
 	}
+	// The one-shot path accepts the same ?as_of= the session reads do
+	// (symmetry of the read surface); a fresh session has only its
+	// initial version 0, so anything else fails like any other
+	// out-of-range as-of.
+	ao, _, err := parseReadParams(r, false)
+	if err != nil {
+		s.fail(w, lc.name, err)
+		return
+	}
 	inst, err := requestInstance(req.Instance, lc)
 	if err != nil {
 		s.fail(w, lc.name, err)
@@ -139,7 +150,18 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, lc.name, err)
 		return
 	}
-	a, err := sess.Assess(r.Context())
+	var viewOpts []mdqa.ViewOption
+	var atVersion *uint64
+	if ao != nil {
+		version, err := resolveVersion(sess, ao)
+		if err != nil {
+			s.fail(w, lc.name, err)
+			return
+		}
+		viewOpts = append(viewOpts, mdqa.At(version))
+		atVersion = &version
+	}
+	a, err := sess.Assess(r.Context(), viewOpts...)
 	if err != nil {
 		s.fail(w, lc.name, err)
 		return
@@ -149,6 +171,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, lc.name, err)
 		return
 	}
+	resp.Version = atVersion
 	s.met.with(lc.name, func(cm *contextMetrics) {
 		cm.assessTotal++
 		cm.chaseRounds += int64(sess.ChaseRounds())
@@ -471,7 +494,10 @@ func (s *Server) streamError(w http.ResponseWriter, enc *json.Encoder, contextNa
 }
 
 // handleSessionAssess materializes the Figure 2 outcome for the
-// session's current state over a consistent snapshot.
+// session's current state over a consistent snapshot — or, under
+// ?as_of=, for any historical version: measures and violations come
+// from the version's recorded history, so the response describes what
+// an assessment at that point in time reported.
 func (s *Server) handleSessionAssess(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sess, err := s.lookup(r)
@@ -479,12 +505,34 @@ func (s *Server) handleSessionAssess(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r.PathValue("name"), err)
 		return
 	}
+	ao, _, err := parseReadParams(r, false)
+	if err != nil {
+		s.fail(w, sess.lc.name, err)
+		return
+	}
 	ms, err := s.resident(r.Context(), sess)
 	if err != nil {
 		s.fail(w, sess.lc.name, err)
 		return
 	}
-	a, err := ms.Assess(r.Context())
+	var viewOpts []mdqa.ViewOption
+	var atVersion *uint64
+	target := ms
+	if ao != nil {
+		version, err := resolveVersion(ms, ao)
+		if err != nil {
+			s.fail(w, sess.lc.name, err)
+			return
+		}
+		target, _, err = s.sessionAt(r.Context(), sess, ms, version)
+		if err != nil {
+			s.fail(w, sess.lc.name, err)
+			return
+		}
+		viewOpts = append(viewOpts, mdqa.At(version))
+		atVersion = &version
+	}
+	a, err := target.Assess(r.Context(), viewOpts...)
 	if err != nil {
 		s.fail(w, sess.lc.name, err)
 		return
@@ -494,6 +542,7 @@ func (s *Server) handleSessionAssess(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, sess.lc.name, err)
 		return
 	}
+	resp.Version = atVersion
 	s.met.with(sess.lc.name, func(cm *contextMetrics) { cm.assessTotal++ })
 	s.met.observe(sess.lc.name, "assess", time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
@@ -506,7 +555,8 @@ func (s *Server) handleSessionAssess(w http.ResponseWriter, r *http.Request) {
 // query (`head(vars) <- body.`); ?mode=clean (default) answers with
 // quality semantics (rewritten over the quality versions, certain
 // answers only), ?mode=raw evaluates the query as written, nulls
-// included.
+// included. ?as_of=<version|RFC3339> answers against that historical
+// version instead of the latest state.
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sess, err := s.lookup(r)
@@ -537,6 +587,11 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ao, explain, err := parseReadParams(r, true)
+	if err != nil {
+		s.fail(w, lc.name, err)
+		return
+	}
 
 	ms, err := s.resident(r.Context(), sess)
 	if err != nil {
@@ -544,6 +599,23 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := ms.Snapshot()
+	cache := lc.cache
+	if ao != nil {
+		version, err := resolveVersion(ms, ao)
+		if err != nil {
+			s.fail(w, lc.name, err)
+			return
+		}
+		snap, err = s.viewAt(r.Context(), sess, ms, version)
+		if err != nil {
+			s.fail(w, lc.name, err)
+			return
+		}
+		// Historical views bypass the shared plan cache: its plans are
+		// costed against the live instance's statistics, and explain
+		// must show the plan the historical snapshot actually executes.
+		cache = nil
+	}
 	// Resolve unknown relations before committing the 200: the eval
 	// layer silently treats a missing relation as empty, but a query
 	// over a relation the context has never heard of is a client
@@ -552,11 +624,11 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, lc.name, err)
 		return
 	}
-	if r.URL.Query().Get("explain") == "1" {
+	if explain {
 		// Return the compiled join plan instead of rows: the same
 		// rewrite and plan cache the answer path would use, so explain
 		// shows exactly what a subsequent identical query executes.
-		text, err := snap.Explain(q, mode == "clean", lc.cache)
+		text, err := snap.Explain(q, mode == "clean", cache)
 		if err != nil {
 			s.fail(w, lc.name, err)
 			return
@@ -564,9 +636,9 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ExplainResponse{Query: qsrc, Mode: mode, Plan: text})
 		return
 	}
-	seq := snap.AnswersCached(q, lc.cache)
+	seq := snap.AnswersCached(q, cache)
 	if mode == "clean" {
-		seq = snap.CleanAnswersCached(q, lc.cache)
+		seq = snap.CleanAnswersCached(q, cache)
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")

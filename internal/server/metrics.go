@@ -73,6 +73,7 @@ type contextMetrics struct {
 	sessionsEvicted   int64 // sessions snapshotted out under MaxResident
 	sessionsRevived   int64 // evicted sessions transparently reloaded
 	sessionsRecovered int64 // sessions restored from disk at startup
+	asofReconstructs  int64 // as-of reads served by disk reconstruction
 
 	latency map[string]*latencyRing
 }
@@ -141,6 +142,7 @@ func (m *metrics) render(b *strings.Builder) {
 	counter("mdserve_sessions_evicted_total", func(c *contextMetrics) int64 { return c.sessionsEvicted })
 	counter("mdserve_sessions_revived_total", func(c *contextMetrics) int64 { return c.sessionsRevived })
 	counter("mdserve_sessions_recovered_total", func(c *contextMetrics) int64 { return c.sessionsRecovered })
+	counter("mdserve_asof_reconstructs_total", func(c *contextMetrics) int64 { return c.asofReconstructs })
 	counter("mdserve_replans_total", func(c *contextMetrics) int64 { return c.replans })
 	planCounter := func(metric string, pick func(hits, misses, evictions int64) int64) {
 		fmt.Fprintf(b, "# TYPE %s counter\n", metric)

@@ -95,8 +95,16 @@ func (s *Server) refreshSession(ctx context.Context, sess *session, revive bool)
 		s.met.with(sess.lc.name, func(cm *contextMetrics) { cm.walAppends++ })
 		return res, nil
 	}
-	// Rebuild: rotate and snapshot synchronously (still under sess.mu —
-	// refresh is rare and the export is copy-on-write).
+	// Rebuild: removals have no WAL form, so the batch that would carry
+	// them is an empty marker — it keeps the log's sequence in lockstep
+	// with the version the rebuild recorded (version seq == WAL seq is
+	// the time-travel invariant), and replaying it is a no-op under set
+	// semantics. Then rotate and snapshot synchronously (still under
+	// sess.mu — refresh is rare and the export is copy-on-write).
+	if _, err := sess.log.Append(nil); err != nil {
+		s.met.with(sess.lc.name, func(cm *contextMetrics) { cm.errorsTotal++ })
+		return res, nil
+	}
 	if sess.snapshotting {
 		return res, nil
 	}

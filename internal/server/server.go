@@ -15,6 +15,12 @@
 //     off a consistent copy-on-write snapshot, and
 //     GET .../sessions/{id}/assessment materializes the Figure 2
 //     outcome for the session's current state;
+//   - time travel: every applied batch produces a numbered session
+//     version; GET .../sessions/{id}/versions lists the timeline,
+//     GET .../sessions/{id}/trajectory?rel= returns a relation's
+//     quality-score series, and ?as_of=<version|RFC3339> on answers,
+//     assessment, assess and trajectory serves any retained (or, with
+//     a data dir, disk-reconstructable) historical version;
 //   - GET /healthz and GET /metrics for liveness and per-context
 //     counters, chase rounds and p50/p99 request latency.
 //
@@ -78,6 +84,17 @@ type Config struct {
 	// evicted and transparently revived on its next request. 0 keeps
 	// every session resident. Requires DataDir.
 	MaxResident int
+	// HistoryDepth bounds how many version snapshots each session
+	// retains in memory for as-of reads (0 = mdqa.DefaultHistoryDepth;
+	// negative disables history — as-of reads then fail with 400).
+	// With DataDir it also sets the durable store's snapshot retention,
+	// so versions behind the in-memory ring stay reconstructable from
+	// disk. Applies to Path/Source contexts; a prebuilt
+	// ContextSource.Context keeps the history options it was built with.
+	HistoryDepth int
+	// HistoryBytes caps the estimated memory of each session's retained
+	// version snapshots (0 = bounded by HistoryDepth alone).
+	HistoryBytes int64
 }
 
 // DefaultMaxSessions bounds the session registry when
@@ -274,7 +291,11 @@ func loadContext(ctx context.Context, cfg Config, src ContextSource) (*loadedCon
 		if !mdqa.HasQualityContext(f) {
 			return nil, fmt.Errorf("server: context %s declares no quality context", src.Name)
 		}
-		opts := append([]mdqa.Option{mdqa.WithParallelism(cfg.Parallelism)}, src.Options...)
+		opts := append([]mdqa.Option{
+			mdqa.WithParallelism(cfg.Parallelism),
+			mdqa.WithHistoryDepth(cfg.HistoryDepth),
+			mdqa.WithHistoryBytes(cfg.HistoryBytes),
+		}, src.Options...)
 		lc.qc, err = mdqa.NewContextFromFile(f, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("server: context %s: %w", src.Name, err)

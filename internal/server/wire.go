@@ -108,12 +108,16 @@ type SessionCreateRequest struct {
 }
 
 // AssessResponse is the materialized Figure 2 assessment outcome.
+// Version is set only on ?as_of= requests — it names the session
+// version the assessment describes (latest-state responses keep their
+// pre-time-travel shape).
 type AssessResponse struct {
 	Context    string                  `json:"context"`
 	Consistent bool                    `json:"consistent"`
 	Violations []WireViolation         `json:"violations,omitempty"`
 	Versions   map[string]WireRelation `json:"versions"`
 	Measures   map[string]WireMeasure  `json:"measures"`
+	Version    *uint64                 `json:"version,omitempty"`
 }
 
 // SessionResponse acknowledges a created or closed session.
@@ -204,6 +208,51 @@ type AnswerLine struct {
 // from a count or error line.
 type answerTuple struct {
 	Answer []string `json:"answer"`
+}
+
+// WireVersion is one session version's metadata on the wire: when the
+// batch landed, what it changed, and whether an as-of read of it is
+// still served from memory (retained) or needs disk reconstruction.
+type WireVersion struct {
+	Seq        uint64          `json:"seq"`
+	WALSeq     uint64          `json:"wal_seq,omitempty"`
+	Time       string          `json:"time"`
+	Batch      int             `json:"batch,omitempty"`
+	Violations int             `json:"violations,omitempty"`
+	Introduced []WireViolation `json:"introduced,omitempty"`
+	Rows       int             `json:"rows,omitempty"`
+	Retained   bool            `json:"retained"`
+}
+
+// VersionsResponse is the body of GET .../sessions/{id}/versions: the
+// session's full version timeline, ascending.
+type VersionsResponse struct {
+	ID             string        `json:"id"`
+	Context        string        `json:"context"`
+	Latest         uint64        `json:"latest"`
+	OldestRetained uint64        `json:"oldest_retained"`
+	Versions       []WireVersion `json:"versions"`
+}
+
+// TrajectoryPoint is one relation's quality measure at one version.
+type TrajectoryPoint struct {
+	Version       uint64  `json:"version"`
+	Time          string  `json:"time"`
+	Original      int     `json:"original"`
+	Quality       int     `json:"quality"`
+	Intersection  int     `json:"intersection"`
+	CleanFraction float64 `json:"clean_fraction"`
+	Distance      float64 `json:"distance"`
+}
+
+// TrajectoryResponse is the body of GET .../trajectory?rel=: the
+// score-per-version series of one versioned relation, ascending by
+// version and truncated by ?as_of= when given.
+type TrajectoryResponse struct {
+	ID       string            `json:"id"`
+	Context  string            `json:"context"`
+	Relation string            `json:"relation"`
+	Points   []TrajectoryPoint `json:"points"`
 }
 
 // HealthResponse is the body of GET /healthz.

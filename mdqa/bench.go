@@ -89,6 +89,9 @@ func RunPerfSweep(sizes, levels []int) (map[string]PerfResult, error) {
 		if err := adhocQueryPerf(out, n); err != nil {
 			return nil, err
 		}
+		if err := asOfAnswersPerf(out, n); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -129,6 +132,9 @@ func RunPerf(sizes []int) (map[string]PerfResult, error) {
 			return nil, err
 		}
 		if err := refreshPerf(out, n); err != nil {
+			return nil, err
+		}
+		if err := asOfAnswersPerf(out, n); err != nil {
 			return nil, err
 		}
 	}
@@ -211,6 +217,83 @@ func adhocQueryPerf(out map[string]PerfResult, n int) error {
 // defaultAdhocCacheSize mirrors mdserve's per-context plan cache
 // capacity.
 const defaultAdhocCacheSize = 128
+
+// asOfAnswersPerf measures the time-travel read path next to the live
+// one, keyed "BenchmarkAsOfAnswers/n=<size>/view=live|asof". The
+// session applies a few ticks so the history ring holds several
+// versions; each op then resolves a view — the latest, or a historical
+// version by number — and streams the same clean dashboard query
+// AdhocQuery uses. A ring hit is a handle lookup, not a replay, so the
+// asof number must stay within noise of live: the delta is the whole
+// cost of time travel while the version is retained in memory.
+func asOfAnswersPerf(out map[string]PerfResult, n int) error {
+	spec := bench.StreamWorkloadSpec(n)
+	wl, err := gen.NewStreamingWorkload(spec)
+	if err != nil {
+		return err
+	}
+	qc, err := facadeContext(wl.Base)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	prep, err := qc.Prepare(ctx)
+	if err != nil {
+		return err
+	}
+	sess, err := prep.NewSession(ctx, wl.Base.Instance)
+	if err != nil {
+		return err
+	}
+	for tick := 0; tick < 4; tick++ {
+		delta, _ := wl.Tick(tick)
+		if _, err := sess.Apply(ctx, delta); err != nil {
+			return err
+		}
+	}
+	patient := fmt.Sprintf("p%d", spec.Base.Patients-1)
+	src := fmt.Sprintf(
+		`q(t, v, u) <- Measurements(t, %q, v), RightTherm(t, %q), PatientUnit(u, d, %q), DayTime(d, t)`,
+		patient, patient, patient)
+	q, err := ParseQuery(src)
+	if err != nil {
+		return err
+	}
+	run := func(label string, opts ...ViewOption) error {
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				snap, err := sess.View(opts...)
+				if err != nil {
+					benchErr = err
+					return
+				}
+				got := 0
+				for _, err := range snap.CleanAnswers(q) {
+					if err != nil {
+						benchErr = err
+						return
+					}
+					got++
+				}
+				if got == 0 {
+					benchErr = fmt.Errorf("as-of query returned no answers at n=%d", n)
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		out[fmt.Sprintf("BenchmarkAsOfAnswers/n=%d/view=%s", n, label)] = bench.ToPerfResult(res)
+		return nil
+	}
+	if err := run("live"); err != nil {
+		return err
+	}
+	return run("asof", At(1))
+}
 
 // facadeContext rebuilds a generated workload's context through the
 // public functional-options constructor, exactly as an external

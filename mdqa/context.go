@@ -211,6 +211,9 @@ type Assessment struct {
 
 // Snapshot returns the frozen contextual state behind the assessment,
 // for streaming reads (quality-version tuples, clean query answers).
+// It is the same view Session.View would return for the version the
+// assessment was taken at — View is the general surface when you hold
+// the session rather than an assessment.
 func (a *Assessment) Snapshot() *Snapshot { return a.snap }
 
 // Versions returns the computed quality version of each original

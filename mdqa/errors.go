@@ -1,6 +1,9 @@
 package mdqa
 
-import "repro/internal/qerr"
+import (
+	"repro/internal/qerr"
+	"repro/internal/quality"
+)
 
 // The facade's error vocabulary. Every failure class pairs a sentinel
 // (errors.Is) with a typed error (errors.As): the sentinel names the
@@ -31,6 +34,14 @@ var (
 	// fetch a live external source (and the binding did not opt into
 	// stale serving via SourceAllowStale).
 	ErrSourceUnavailable = qerr.ErrSourceUnavailable
+	// ErrVersionEvicted marks as-of reads (View(At(...)), AsOf) of a
+	// version older than everything the session retains — both the
+	// in-memory ring and, for durable sessions, the on-disk replay
+	// base compaction has kept.
+	ErrVersionEvicted = qerr.ErrVersionEvicted
+	// ErrHistoryDisabled marks versioned reads on a session whose
+	// context disabled history retention (WithHistoryDepth(-1)).
+	ErrHistoryDisabled = quality.ErrHistoryDisabled
 )
 
 // InconsistentError carries the constraint violations behind an
@@ -51,6 +62,10 @@ type BoundExceededError = qerr.BoundExceededError
 // SourceUnavailableError names the source binding whose fetch failed,
 // wrapping the connector error.
 type SourceUnavailableError = qerr.SourceUnavailableError
+
+// VersionEvictedError names the requested version and the oldest one
+// still reachable behind an ErrVersionEvicted failure.
+type VersionEvictedError = qerr.VersionEvictedError
 
 // Violation records one constraint violation found while chasing the
 // ontology's dependencies.

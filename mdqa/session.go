@@ -67,12 +67,12 @@ func (s *Session) Apply(ctx context.Context, delta []Atom) (*ApplyResult, error)
 // instance as of the last Apply, for streaming reads. Snapshots are
 // cheap (copy-on-write) and safe to consume from any number of
 // goroutines while the writer keeps applying deltas.
+//
+// Snapshot is equivalent to View() with no options; use View to read
+// a historical version (At, AsOf) instead of the latest state.
 func (s *Session) Snapshot() *Snapshot {
-	return &Snapshot{
-		inst:        s.s.Snapshot(),
-		versionPred: s.versionPred,
-		vorder:      s.vorder,
-	}
+	snap, _ := s.View() // the latest view cannot fail
+	return snap
 }
 
 // Violations returns the session's cumulative constraint violations.
@@ -84,18 +84,37 @@ func (s *Session) Violations() []Violation { return s.s.Violations() }
 // as the session's chase cost.
 func (s *Session) ChaseRounds() int { return s.s.ChaseRounds() }
 
-// Assess materializes the session's current state as the Figure 2
-// assessment outcome: quality versions, departure measures and
-// accumulated violations over a consistent snapshot. Under
-// WithStrictConsistency it fails with ErrInconsistent when the chase
-// found violations.
-func (s *Session) Assess(ctx context.Context) (*Assessment, error) {
+// Assess materializes the session's state as the Figure 2 assessment
+// outcome: quality versions, departure measures and accumulated
+// violations over a consistent snapshot — the latest state by
+// default, or a historical version under At / AsOf (the same options
+// View takes; measures then come from the scores recorded when that
+// version was produced). Under WithStrictConsistency it fails with
+// ErrInconsistent when the chase found violations.
+func (s *Session) Assess(ctx context.Context, opts ...ViewOption) (*Assessment, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	a, err := s.s.Assessment()
+	o, err := s.resolve(opts)
 	if err != nil {
 		return nil, err
 	}
-	return newAssessment(a, s.versionPred, s.vorder), nil
+	if !o.hasAt {
+		a, err := s.s.Assessment()
+		if err != nil {
+			return nil, err
+		}
+		aa := newAssessment(a, s.versionPred, s.vorder)
+		if v, ok := s.s.LatestVersion(); ok {
+			aa.snap.ver, aa.snap.hasVer = v, true
+		}
+		return aa, nil
+	}
+	a, v, err := s.s.AssessmentAt(o.at)
+	if err != nil {
+		return nil, err
+	}
+	aa := newAssessment(a, s.versionPred, s.vorder)
+	aa.snap.ver, aa.snap.hasVer = v, true
+	return aa, nil
 }
